@@ -1,0 +1,126 @@
+//! Shared helpers for the baseline policies.
+
+use hare_sim::SimView;
+use std::collections::BTreeMap;
+
+/// Group the ready tasks by owning job (every ready task of a job belongs
+/// to its single currently-released round).
+pub fn ready_by_job(view: &SimView<'_>) -> BTreeMap<usize, Vec<usize>> {
+    let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &t in view.ready {
+        map.entry(view.workload.problem.tasks[t].job)
+            .or_default()
+            .push(t);
+    }
+    map
+}
+
+/// The `n` fastest idle GPUs (by generic FP32 speedup, ties by index) —
+/// Gavel's "assign jobs to fastest available GPUs".
+pub fn fastest_idle(view: &SimView<'_>, n: usize) -> Vec<usize> {
+    let mut idle: Vec<usize> = view.idle_gpus.to_vec();
+    idle.sort_by(|&a, &b| {
+        let sa = view.workload.cluster.gpus()[a].kind.generic_speedup();
+        let sb = view.workload.cluster.gpus()[b].kind.generic_speedup();
+        sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+    });
+    idle.truncate(n);
+    idle
+}
+
+/// Remaining serial work of a job in seconds if every remaining task ran on
+/// GPU `gpu` back-to-back (AlloX's per-machine job length).
+pub fn serial_remaining_secs(view: &SimView<'_>, job: usize, gpu: usize) -> f64 {
+    let p = &view.workload.problem;
+    let info = &p.jobs[job];
+    let remaining_rounds = info.rounds - view.synced_rounds[job];
+    let per_task = info.train[gpu].as_secs_f64();
+    let sync = info.sync[gpu].as_secs_f64();
+    remaining_rounds as f64 * (info.sync_scale as f64 * per_task + sync)
+}
+
+/// Remaining best-case time of a job: remaining rounds × (fastest-GPU task
+/// time + its sync), assuming full parallelism — SRTF's ranking key.
+pub fn best_remaining_secs(view: &SimView<'_>, job: usize) -> f64 {
+    let p = &view.workload.problem;
+    let info = &p.jobs[job];
+    let remaining_rounds = info.rounds - view.synced_rounds[job];
+    let best = info
+        .train
+        .iter()
+        .zip(&info.sync)
+        .map(|(t, s)| t.as_secs_f64() + s.as_secs_f64())
+        .fold(f64::MAX, f64::min);
+    remaining_rounds as f64 * best
+}
+
+/// Remaining time under the homogeneity assumption: the *mean* task time
+/// across GPUs (a heterogeneity-oblivious scheduler believes all GPUs are
+/// this fast).
+pub fn mean_remaining_secs(view: &SimView<'_>, job: usize) -> f64 {
+    let p = &view.workload.problem;
+    let info = &p.jobs[job];
+    let remaining_rounds = info.rounds - view.synced_rounds[job];
+    let mean = info.train.iter().map(|t| t.as_secs_f64()).sum::<f64>() / info.train.len() as f64;
+    remaining_rounds as f64 * mean
+}
+
+/// True when the job has fully completed.
+pub fn job_done(view: &SimView<'_>, job: usize) -> bool {
+    view.synced_rounds[job] >= view.workload.problem.jobs[job].rounds
+}
+
+/// GPU reservations for policies that dedicate gangs to jobs.
+///
+/// The engine marks a GPU idle the moment its task finishes *training*,
+/// but a dedicated-gang policy must not hand that GPU to another job while
+/// the owning job is merely between rounds (synchronizing). Policies
+/// reserve the gang at placement and release it when the job completes.
+#[derive(Debug, Default)]
+pub struct Reservations {
+    reserved: std::collections::BTreeSet<usize>,
+}
+
+impl Reservations {
+    /// Reserve a gang.
+    pub fn reserve(&mut self, gpus: &[usize]) {
+        for &g in gpus {
+            assert!(self.reserved.insert(g), "GPU {g} doubly reserved");
+        }
+    }
+
+    /// Release a gang.
+    pub fn release(&mut self, gpus: &[usize]) {
+        for &g in gpus {
+            assert!(self.reserved.remove(&g), "GPU {g} was not reserved");
+        }
+    }
+
+    /// Is this GPU free of reservations?
+    pub fn is_free(&self, gpu: usize) -> bool {
+        !self.reserved.contains(&gpu)
+    }
+
+    /// Keep only unreserved GPUs.
+    pub fn filter_free(&self, gpus: &mut Vec<usize>) {
+        gpus.retain(|g| self.is_free(*g));
+    }
+}
+
+/// Release the reservations of every placed job that has completed.
+/// Returns the GPUs freed.
+pub fn release_completed(
+    view: &SimView<'_>,
+    placed: &mut [Option<Vec<usize>>],
+    reservations: &mut Reservations,
+) -> Vec<usize> {
+    let mut freed = Vec::new();
+    for (job, slot) in placed.iter_mut().enumerate() {
+        if slot.is_some() && job_done(view, job) {
+            let gang = slot.take().unwrap();
+            reservations.release(&gang);
+            freed.extend(gang);
+        }
+    }
+    freed
+}

@@ -1,0 +1,23 @@
+//! The comparison schedulers of Section 7.1 — Gavel_FIFO, SRTF, Sched_Homo
+//! (Zhang et al. [47]) and Sched_Allox (AlloX [24]) — implemented against
+//! the simulator's [`hare_sim::Policy`] interface, plus the five-scheme
+//! comparison suite every end-to-end experiment drives.
+
+#![warn(missing_docs)]
+
+pub mod allox;
+pub mod common;
+pub mod gavel_fifo;
+pub mod hare_online;
+pub mod sched_homo;
+pub mod srtf;
+pub mod suite;
+pub mod timeslice;
+
+pub use allox::SchedAllox;
+pub use gavel_fifo::GavelFifo;
+pub use hare_online::HareOnline;
+pub use sched_homo::SchedHomo;
+pub use srtf::Srtf;
+pub use suite::{run_all, run_scheme, RunOptions, Scheme};
+pub use timeslice::TimeSlice;

@@ -1,0 +1,22 @@
+//! End-to-end scheme comparison (the Fig.-12 pipeline, sized for a bench):
+//! schedule + simulate 16 jobs on the 15-GPU testbed under each scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hare_baselines::{run_scheme, RunOptions, Scheme};
+use hare_bench::bench_workload;
+use std::hint::black_box;
+
+fn schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e/testbed16");
+    group.sample_size(10);
+    let w = bench_workload(16, 3);
+    for scheme in Scheme::ALL {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| black_box(run_scheme(scheme, &w, RunOptions::default())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, schemes);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fast-task-switching benchmarks: per-switch cost computation under each
+//! protocol (the Table-3 scenario) and speculative-cache planning
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hare_cluster::{GpuKind, SimDuration};
+use hare_memory::{plan_cache, switch_time, PrevTask, SwitchPolicy, SwitchRequest, TaskModelRef};
+use hare_workload::{JobId, ModelKind};
+use std::hint::black_box;
+
+fn switch_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory/switch_time");
+    let req = SwitchRequest {
+        gpu: GpuKind::V100,
+        prev: Some(PrevTask {
+            model: ModelKind::GraphSage,
+            step_time: SimDuration::from_millis(55),
+        }),
+        next: ModelKind::ResNet50,
+        cache_hit: false,
+    };
+    for policy in SwitchPolicy::ALL {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(switch_time(policy, &req)));
+        });
+    }
+    group.finish();
+}
+
+fn cache_planning(c: &mut Criterion) {
+    c.bench_function("memory/plan_cache/10k", |b| {
+        let models = [
+            ModelKind::ResNet50,
+            ModelKind::BertBase,
+            ModelKind::Vgg19,
+            ModelKind::GraphSage,
+        ];
+        let seq: Vec<TaskModelRef> = (0..10_000u32)
+            .map(|i| TaskModelRef {
+                job: JobId(i % 37),
+                model: models[(i % 37) as usize % models.len()],
+            })
+            .collect();
+        b.iter(|| black_box(plan_cache(&seq, GpuKind::V100)));
+    });
+}
+
+criterion_group!(benches, switch_cost, cache_planning);
+criterion_main!(benches);

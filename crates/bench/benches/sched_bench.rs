@@ -1,0 +1,71 @@
+//! Scheduling-latency benchmarks: Algorithm 1 end-to-end (relaxation +
+//! list scheduling) vs instance size, and the priority-order ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hare_bench::bench_workload;
+use hare_core::{AssignmentRule, HareScheduler, PriorityOrder};
+use std::hint::black_box;
+
+fn algorithm1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/tasks");
+    group.sample_size(10);
+    for n_jobs in [5u32, 20, 40] {
+        let w = bench_workload(n_jobs, 42);
+        let tasks = w.problem.n_tasks();
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &w, |b, w| {
+            let scheduler = HareScheduler::default();
+            b.iter(|| black_box(scheduler.schedule(&w.problem)));
+        });
+    }
+    group.finish();
+}
+
+fn priority_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/order");
+    group.sample_size(10);
+    let w = bench_workload(20, 42);
+    for order in [
+        PriorityOrder::Midpoint,
+        PriorityOrder::Arrival,
+        PriorityOrder::Smith,
+    ] {
+        group.bench_function(format!("{order:?}"), |b| {
+            let scheduler = HareScheduler {
+                order,
+                ..HareScheduler::default()
+            };
+            b.iter(|| black_box(scheduler.schedule(&w.problem)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the two line-12 GPU-selection rules produce schedules of
+/// different quality; this benchmarks their *cost* (quality is measured by
+/// `fig14 --assign`).
+fn assignment_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/assignment");
+    group.sample_size(10);
+    let w = bench_workload(20, 42);
+    for assignment in [
+        AssignmentRule::EarliestAvailable,
+        AssignmentRule::EarliestFinish,
+    ] {
+        group.bench_function(format!("{assignment:?}"), |b| {
+            let scheduler = HareScheduler {
+                assignment,
+                ..HareScheduler::default()
+            };
+            b.iter(|| black_box(scheduler.schedule(&w.problem)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    algorithm1_scaling,
+    priority_orders,
+    assignment_rules
+);
+criterion_main!(benches);

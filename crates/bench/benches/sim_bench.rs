@@ -1,0 +1,51 @@
+//! Discrete-event-engine throughput: full-fidelity simulation of the
+//! testbed workload under offline replay, and the event-queue hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hare_bench::bench_workload;
+use hare_cluster::SimTime;
+use hare_sim::{Event, EventQueue, OfflineReplay, Simulation};
+use std::hint::black_box;
+
+fn engine_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/replay");
+    group.sample_size(10);
+    for n_jobs in [10u32, 40] {
+        let w = bench_workload(n_jobs, 7);
+        let out = hare_core::hare_schedule(&w.problem);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.problem.n_tasks()),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let mut replay = OfflineReplay::new("Hare", w, &out.schedule);
+                    black_box(Simulation::new(w).run(&mut replay))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(
+                    SimTime::from_micros((i * 7919) % 100_000),
+                    Event::TrainDone {
+                        task: i as usize,
+                        gpu: (i % 16) as usize,
+                    },
+                );
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    });
+}
+
+criterion_group!(benches, engine_replay, event_queue);
+criterion_main!(benches);

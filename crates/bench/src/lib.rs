@@ -1,0 +1,20 @@
+//! Criterion benchmarks for the Hare workspace (no library code; see the
+//! `benches/` directory). Shared helpers live here.
+
+#![warn(missing_docs)]
+
+use hare_cluster::Cluster;
+use hare_sim::SimWorkload;
+use hare_workload::{ProfileDb, TraceConfig};
+
+/// A deterministic testbed workload of `n_jobs` jobs for benching.
+pub fn bench_workload(n_jobs: u32, seed: u64) -> SimWorkload {
+    let db = ProfileDb::with_noise(seed, 0.0);
+    let trace = TraceConfig {
+        n_jobs,
+        seed,
+        ..TraceConfig::default()
+    }
+    .generate();
+    SimWorkload::build(Cluster::testbed15(), trace, &db)
+}

@@ -1,0 +1,245 @@
+//! `hare` — command-line interface to the Hare scheduler and simulator.
+//!
+//! ```text
+//! hare compare  [--cluster testbed|low:N|mid:N|high:N] [--jobs N] [--seed S]
+//!               [--bandwidth Gbps] [--mix cv=..,nlp=..,speech=..,rec=..]
+//!               [--trace FILE.csv] [--online] [--timeslice]
+//! hare schedule [same workload flags]      # print Hare's plan per GPU
+//! hare export   [workload flags] --out FILE.csv     # write the trace CSV
+//! hare profile                              # the Fig.-2 profile table
+//! hare switch --from MODEL --to MODEL [--gpu KIND]   # switching costs
+//! ```
+
+mod args;
+
+use args::Options;
+use hare_baselines::{run_all, HareOnline, RunOptions, TimeSlice};
+use hare_cluster::{GpuKind, SimDuration};
+use hare_core::HareScheduler;
+use hare_memory::{switch_time, PrevTask, SwitchPolicy, SwitchRequest};
+use hare_sim::{SimWorkload, Simulation};
+use hare_workload::{ModelKind, ProfileDb, TraceConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let result = match opts.positional().first().map(|s| s.as_str()) {
+        Some("compare") => compare(&opts),
+        Some("schedule") => schedule(&opts),
+        Some("export") => export(&opts),
+        Some("profile") => profile(),
+        Some("switch") => switching(&opts),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => {
+            print!("{HELP}");
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+const HELP: &str = "\
+hare — DML job scheduling on heterogeneous GPUs (HPDC '22 reproduction)
+
+commands:
+  compare    run all five schemes (plus --online / --timeslice) on a workload
+  schedule   print Hare's Algorithm-1 plan for a workload (--gantt to draw it)
+  export     write the generated workload trace as CSV (--out FILE)
+  profile    per-model, per-GPU batch-time profile table (Fig. 2)
+  switch     task-switching cost between two models (--from, --to, --gpu)
+
+workload flags (compare/schedule/export):
+  --cluster testbed|low:N|mid:N|high:N   (default testbed = 15 mixed GPUs)
+  --jobs N        number of jobs            (default 20)
+  --seed S        trace + noise seed        (default 1)
+  --bandwidth G   NIC speed in Gbps         (default 25)
+  --mix cv=F,nlp=F,speech=F,rec=F          (default 0.25 each)
+  --trace FILE    load jobs from a CSV trace instead of generating them
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{HELP}");
+    ExitCode::FAILURE
+}
+
+fn trace(opts: &Options) -> Result<Vec<hare_workload::JobSpec>, String> {
+    if opts.has("trace") {
+        let path = opts.get("trace", "");
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        return hare_workload::trace_from_csv(&text);
+    }
+    let n_jobs: u32 = opts.num("jobs", 20)?;
+    if n_jobs == 0 {
+        return Err("--jobs must be positive".into());
+    }
+    let seed: u64 = opts.num("seed", 1)?;
+    Ok(TraceConfig {
+        n_jobs,
+        mix: opts.mix()?,
+        seed,
+        ..TraceConfig::default()
+    }
+    .generate())
+}
+
+fn workload(opts: &Options) -> Result<SimWorkload, String> {
+    let cluster = opts.cluster()?;
+    let seed: u64 = opts.num("seed", 1)?;
+    let db = ProfileDb::new(seed);
+    Ok(SimWorkload::build(cluster, trace(opts)?, &db))
+}
+
+fn export(opts: &Options) -> Result<(), String> {
+    let jobs = trace(opts)?;
+    let csv = hare_workload::trace_to_csv(&jobs);
+    let out = opts.get("out", "");
+    if out.is_empty() {
+        print!("{csv}");
+    } else {
+        std::fs::write(out, csv).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+        println!("wrote {} jobs to {out}", jobs.len());
+    }
+    Ok(())
+}
+
+fn compare(opts: &Options) -> Result<(), String> {
+    let w = workload(opts)?;
+    let seed: u64 = opts.num("seed", 1)?;
+    println!(
+        "{} jobs / {} tasks on {} GPUs ({} machines)\n",
+        w.problem.jobs.len(),
+        w.problem.n_tasks(),
+        w.cluster.gpu_count(),
+        w.cluster.machine_count()
+    );
+    let mut reports = run_all(
+        &w,
+        RunOptions {
+            seed,
+            ..RunOptions::default()
+        },
+    );
+    if opts.has("online") {
+        let online = Simulation::new(&w)
+            .with_seed(seed)
+            .run(&mut HareOnline::new());
+        reports.insert(1, online);
+    }
+    if opts.has("timeslice") {
+        // Time slicing ships with its natural fast-switching runtime (it
+        // switches constantly), like Hare.
+        let ts = Simulation::new(&w)
+            .with_seed(seed)
+            .run(&mut TimeSlice::new());
+        reports.push(ts);
+    }
+    let hare = reports[0].weighted_jct;
+    println!(
+        "{:<12} {:>13} {:>9} {:>11} {:>10} {:>9}",
+        "scheme", "weighted JCT", "vs Hare", "mean JCT", "makespan", "util"
+    );
+    for r in &reports {
+        println!(
+            "{:<12} {:>13.0} {:>8.2}x {:>10.0}s {:>10} {:>8.0}%",
+            r.scheme,
+            r.weighted_jct,
+            r.weighted_jct / hare,
+            r.mean_jct(),
+            r.makespan.to_string(),
+            r.mean_utilization() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn schedule(opts: &Options) -> Result<(), String> {
+    let w = workload(opts)?;
+    let out = HareScheduler::default().schedule(&w.problem);
+    println!(
+        "Algorithm 1: {} tasks, planned weighted completion {:.1}s, lower bound {:.1}s\n",
+        w.problem.n_tasks(),
+        out.schedule.weighted_completion(&w.problem),
+        out.lower_bound
+    );
+    for (g, seq) in out.schedule.gpu_sequences(&w.problem).iter().enumerate() {
+        let gpu = &w.cluster.gpus()[g];
+        let busy = out.schedule.busy_time(&w.problem)[g];
+        println!(
+            "gpu{g} ({}): {} tasks, {} busy — first 8: {:?}",
+            gpu.kind,
+            seq.len(),
+            busy,
+            &seq[..seq.len().min(8)]
+        );
+    }
+    if opts.has("gantt") {
+        println!("\n{}", hare_core::render_gantt(&w.problem, &out.schedule, 100));
+    }
+    Ok(())
+}
+
+fn profile() -> Result<(), String> {
+    let db = ProfileDb::new(1);
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}  (ms per default batch)",
+        "model", "V100", "T4", "M60", "K80"
+    );
+    for model in ModelKind::WORKLOAD {
+        let t = |g| {
+            db.profile(model, g, model.spec().batch_size)
+                .batch_time
+                .as_millis_f64()
+        };
+        println!(
+            "{:<12} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            model.to_string(),
+            t(GpuKind::V100),
+            t(GpuKind::T4),
+            t(GpuKind::M60),
+            t(GpuKind::K80)
+        );
+    }
+    Ok(())
+}
+
+fn switching(opts: &Options) -> Result<(), String> {
+    let parse_model = |name: &str| {
+        ModelKind::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown model {name:?}"))
+    };
+    let from = parse_model(opts.get("from", "GraphSAGE"))?;
+    let to = parse_model(opts.get("to", "ResNet50"))?;
+    let gpu = match opts.get("gpu", "V100") {
+        s if s.eq_ignore_ascii_case("v100") => GpuKind::V100,
+        s if s.eq_ignore_ascii_case("t4") => GpuKind::T4,
+        s if s.eq_ignore_ascii_case("k80") => GpuKind::K80,
+        s if s.eq_ignore_ascii_case("m60") => GpuKind::M60,
+        other => return Err(format!("unknown GPU kind {other:?}")),
+    };
+    println!("switch {from} -> {to} on {gpu}:");
+    for policy in SwitchPolicy::ALL {
+        let b = switch_time(
+            policy,
+            &SwitchRequest {
+                gpu,
+                prev: Some(PrevTask {
+                    model: from,
+                    step_time: SimDuration::from_millis_f64(from.batch_ms(gpu)),
+                }),
+                next: to,
+                cache_hit: false,
+            },
+        );
+        println!("  {:<11} {}", policy.name(), b.total());
+    }
+    Ok(())
+}

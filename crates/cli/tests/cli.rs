@@ -1,0 +1,93 @@
+//! End-to-end tests of the `hare` binary.
+
+use std::process::Command;
+
+fn hare(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hare"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_without_args() {
+    let (stdout, _, ok) = hare(&[]);
+    assert!(ok);
+    assert!(stdout.contains("commands:"));
+    assert!(stdout.contains("compare"));
+}
+
+#[test]
+fn unknown_command_fails_with_help() {
+    let (_, stderr, ok) = hare(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn profile_prints_all_models() {
+    let (stdout, _, ok) = hare(&["profile"]);
+    assert!(ok);
+    for model in ["VGG19", "GraphSAGE", "Bert_base"] {
+        assert!(stdout.contains(model), "missing {model} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn switch_reports_three_protocols() {
+    let (stdout, _, ok) = hare(&["switch", "--from", "graphsage", "--to", "resnet50"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Default"));
+    assert!(stdout.contains("PipeSwitch"));
+    assert!(stdout.contains("Hare"));
+}
+
+#[test]
+fn switch_rejects_unknown_model() {
+    let (_, stderr, ok) = hare(&["switch", "--from", "gpt9"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"));
+}
+
+#[test]
+fn export_then_compare_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("hare-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("trace.csv");
+    let csv_str = csv.to_str().unwrap();
+
+    let (stdout, _, ok) = hare(&["export", "--jobs", "6", "--seed", "9", "--out", csv_str]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("wrote 6 jobs"));
+
+    let (stdout, stderr, ok) = hare(&["compare", "--trace", csv_str, "--cluster", "mid:8"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Hare"));
+    assert!(stdout.contains("Sched_Allox"));
+    assert!(stdout.contains("6 jobs"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn schedule_prints_per_gpu_sequences() {
+    let (stdout, _, ok) = hare(&["schedule", "--jobs", "4", "--cluster", "low:4"]);
+    assert!(ok);
+    assert!(stdout.contains("Algorithm 1:"));
+    assert!(stdout.contains("gpu0 (V100)"));
+    assert!(stdout.contains("gpu3"));
+}
+
+#[test]
+fn bad_flags_produce_errors() {
+    let (_, stderr, ok) = hare(&["compare", "--jobs", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--jobs"));
+    let (_, stderr, ok) = hare(&["compare", "--cluster", "ultra:4"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown heterogeneity"));
+}

@@ -1,0 +1,240 @@
+//! GPU hardware descriptions.
+//!
+//! The paper's testbed spans four NVIDIA generations — V100, T4, K80 and M60 —
+//! all attached over PCIe 3.0 x16 (15.75 GB/s). The specs below combine the
+//! public datasheet numbers with the switching-cost components the paper's
+//! Section 4 identifies (CUDA context creation/destruction being the dominant
+//! ones). Custom GPU kinds can be added through [`GpuSpec`] directly.
+
+use crate::units::{Bandwidth, Bytes, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The GPU generations present in the paper's 15-GPU testbed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GpuKind {
+    /// NVIDIA Tesla V100 (Volta, 16 GB HBM2). The fastest GPU in the testbed.
+    V100,
+    /// NVIDIA Tesla T4 (Turing, 16 GB GDDR6).
+    T4,
+    /// NVIDIA Tesla K80 (Kepler, 12 GB per die). The paper's speedup baseline.
+    K80,
+    /// NVIDIA Tesla M60 (Maxwell, 8 GB per die).
+    M60,
+}
+
+impl GpuKind {
+    /// All kinds, ordered fastest-first (the order Gavel_FIFO prefers).
+    pub const ALL: [GpuKind; 4] = [GpuKind::V100, GpuKind::T4, GpuKind::M60, GpuKind::K80];
+
+    /// Hardware description for this kind.
+    pub fn spec(self) -> &'static GpuSpec {
+        match self {
+            GpuKind::V100 => &V100_SPEC,
+            GpuKind::T4 => &T4_SPEC,
+            GpuKind::K80 => &K80_SPEC,
+            GpuKind::M60 => &M60_SPEC,
+        }
+    }
+
+    /// Short display name ("V100", "T4", ...).
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Generic relative FP32 throughput against the K80 baseline.
+    ///
+    /// Individual models deviate from this (that is the whole point of
+    /// Fig. 2); the per-model numbers live in `hare-workload`'s profile
+    /// database. This generic ratio is used only as a model-agnostic
+    /// tie-breaker (e.g. "fastest available GPU" in Gavel_FIFO).
+    pub fn generic_speedup(self) -> f64 {
+        self.spec().fp32_tflops / GpuKind::K80.spec().fp32_tflops
+    }
+}
+
+impl fmt::Display for GpuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static hardware description of a GPU model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Device memory capacity.
+    pub memory: Bytes,
+    /// Device memory bandwidth (HBM/GDDR).
+    pub mem_bandwidth: Bandwidth,
+    /// Host↔device link bandwidth. All testbed GPUs use PCIe 3.0 x16.
+    pub pcie: Bandwidth,
+    /// Peak FP32 throughput in TFLOPS (datasheet).
+    pub fp32_tflops: f64,
+    /// Time to create a fresh CUDA context + load the driver state.
+    ///
+    /// This is the dominant cost of a cold task switch (Section 4 / Table 3);
+    /// PipeSwitch and Hare hide it by pre-creating contexts.
+    pub context_create: SimDuration,
+    /// Time to tear down a CUDA context and return its memory.
+    pub context_destroy: SimDuration,
+    /// cuDNN / framework kernel-autotune cost factor: slower, older parts
+    /// take longer to benchmark and compile kernels during cold start.
+    pub coldstart_factor: f64,
+}
+
+/// PCIe 3.0 x16 as quoted in the paper (Section 7.1).
+pub fn pcie3_x16() -> Bandwidth {
+    Bandwidth::gigabytes_per_sec(15.75)
+}
+
+static V100_SPEC: GpuSpec = GpuSpec {
+    name: "V100",
+    memory: Bytes::gib(16),
+    mem_bandwidth: Bandwidth::bytes_per_sec(900_000_000_000),
+    pcie: Bandwidth::bytes_per_sec(15_750_000_000),
+    fp32_tflops: 15.7,
+    context_create: SimDuration::from_millis(950),
+    context_destroy: SimDuration::from_millis(180),
+    coldstart_factor: 1.0,
+};
+
+static T4_SPEC: GpuSpec = GpuSpec {
+    name: "T4",
+    memory: Bytes::gib(16),
+    mem_bandwidth: Bandwidth::bytes_per_sec(320_000_000_000),
+    pcie: Bandwidth::bytes_per_sec(15_750_000_000),
+    fp32_tflops: 8.1,
+    context_create: SimDuration::from_millis(1050),
+    context_destroy: SimDuration::from_millis(200),
+    coldstart_factor: 1.15,
+};
+
+static K80_SPEC: GpuSpec = GpuSpec {
+    name: "K80",
+    memory: Bytes::gib(12),
+    mem_bandwidth: Bandwidth::bytes_per_sec(240_000_000_000),
+    pcie: Bandwidth::bytes_per_sec(15_750_000_000),
+    fp32_tflops: 4.1,
+    context_create: SimDuration::from_millis(1400),
+    context_destroy: SimDuration::from_millis(260),
+    coldstart_factor: 1.5,
+};
+
+static M60_SPEC: GpuSpec = GpuSpec {
+    name: "M60",
+    memory: Bytes::gib(8),
+    mem_bandwidth: Bandwidth::bytes_per_sec(160_000_000_000),
+    pcie: Bandwidth::bytes_per_sec(15_750_000_000),
+    fp32_tflops: 4.8,
+    context_create: SimDuration::from_millis(1250),
+    context_destroy: SimDuration::from_millis(240),
+    coldstart_factor: 1.35,
+};
+
+/// Identifier of a GPU within a [`crate::cluster::Cluster`]; dense, 0-based.
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GpuId(pub u32);
+
+impl GpuId {
+    /// Index into dense per-GPU arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Identifier of a host machine (EC2 instance in the paper's testbed).
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MachineId(pub u32);
+
+impl MachineId {
+    /// Index into dense per-machine arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One physical GPU instance in a cluster.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gpu {
+    /// Dense cluster-wide identifier.
+    pub id: GpuId,
+    /// Hardware generation.
+    pub kind: GpuKind,
+    /// Host machine this GPU is attached to.
+    pub machine: MachineId,
+}
+
+impl Gpu {
+    /// Hardware description shortcut.
+    pub fn spec(&self) -> &'static GpuSpec {
+        self.kind.spec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_sane() {
+        for kind in GpuKind::ALL {
+            let s = kind.spec();
+            assert!(s.memory >= Bytes::gib(8), "{kind} memory too small");
+            assert!(s.fp32_tflops > 0.0);
+            assert!(s.context_create > SimDuration::ZERO);
+            assert!(s.context_destroy > SimDuration::ZERO);
+            assert!(s.coldstart_factor >= 1.0);
+            assert_eq!(s.pcie, pcie3_x16(), "{kind} should use PCIe 3.0 x16");
+        }
+    }
+
+    #[test]
+    fn v100_is_fastest_k80_is_baseline() {
+        assert!((GpuKind::K80.generic_speedup() - 1.0).abs() < 1e-12);
+        for kind in [GpuKind::V100, GpuKind::T4, GpuKind::M60] {
+            assert!(kind.generic_speedup() > 1.0, "{kind} should beat K80");
+        }
+        assert!(GpuKind::V100.generic_speedup() > GpuKind::T4.generic_speedup());
+    }
+
+    #[test]
+    fn all_is_ordered_fastest_first() {
+        let speeds: Vec<f64> = GpuKind::ALL.iter().map(|k| k.generic_speedup()).collect();
+        for w in speeds.windows(2) {
+            assert!(w[0] >= w[1], "ALL must be fastest-first: {speeds:?}");
+        }
+    }
+
+    #[test]
+    fn memory_capacities_match_datasheets() {
+        assert_eq!(GpuKind::V100.spec().memory, Bytes::gib(16));
+        assert_eq!(GpuKind::T4.spec().memory, Bytes::gib(16));
+        assert_eq!(GpuKind::K80.spec().memory, Bytes::gib(12));
+        assert_eq!(GpuKind::M60.spec().memory, Bytes::gib(8));
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        assert_eq!(GpuId(7).index(), 7);
+        assert_eq!(MachineId(3).index(), 3);
+        assert_eq!(format!("{}", GpuId(2)), "gpu2");
+    }
+}

@@ -1,0 +1,24 @@
+//! Heterogeneous GPU cluster substrate for the Hare reproduction.
+//!
+//! This crate models the hardware layer the paper's evaluation runs on:
+//!
+//! * [`units`] — fixed-point simulation units ([`SimTime`], [`SimDuration`],
+//!   [`Bytes`], [`Bandwidth`]) used across the whole workspace;
+//! * [`gpu`] — the four GPU generations of the paper's testbed (V100, T4,
+//!   K80, M60) with datasheet specs and CUDA-context lifecycle costs;
+//! * [`cluster`] — cluster topologies, including the exact 15-GPU testbed
+//!   and the Fig.-16 heterogeneity levels;
+//! * [`network`] — the 25 Gbps data-center network and the parameter-server
+//!   synchronization cost model.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod gpu;
+pub mod network;
+pub mod units;
+
+pub use cluster::{Cluster, Heterogeneity};
+pub use gpu::{Gpu, GpuId, GpuKind, GpuSpec, MachineId};
+pub use network::{NetworkModel, SyncScheme};
+pub use units::{Bandwidth, Bytes, SimDuration, SimTime};

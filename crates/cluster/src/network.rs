@@ -1,0 +1,365 @@
+//! Data-center network model for parameter-server synchronization.
+//!
+//! The testbed connects machines with 25 Gbps Ethernet (Section 7.1); the
+//! Fig.-18 sweep varies that from 10 to 25 Gbps. Gradient synchronization for
+//! a round is one push + one pull of the gradient payload per worker; workers
+//! sharing a machine share that machine's NIC, and the (sharded) parameter
+//! server side can also be made a bottleneck via [`NetworkModel::ps_shards`].
+
+use crate::gpu::MachineId;
+use crate::units::{Bandwidth, Bytes, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// How a job's workers exchange gradients each round (Section 8 surveys
+/// both families; the paper's system uses the PS scheme).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncScheme {
+    /// Parameter server: each worker pushes and pulls the payload;
+    /// colocated workers share their machine's NIC, and the PS side can
+    /// bottleneck (the default, as in the paper).
+    #[default]
+    ParameterServer,
+    /// Bandwidth-optimal ring all-reduce: every worker sends/receives
+    /// `2(k-1)/k` of the payload; the ring is paced by its slowest link,
+    /// and all workers finish together.
+    RingAllReduce,
+}
+
+/// Network configuration connecting the cluster's machines.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Per-machine NIC bandwidth (full duplex assumed).
+    pub nic: Bandwidth,
+    /// Intra-machine transport (PCIe peer traffic / host staging).
+    pub intra_machine: Bandwidth,
+    /// Protocol efficiency: fraction of line rate usable by gradient flows
+    /// (TCP + gRPC framing overheads).
+    pub efficiency: f64,
+    /// Fraction of the raw FP32 parameter size actually shipped per
+    /// direction. Production PS stacks ship FP16 gradients, so 0.5 by
+    /// default; this also keeps sync time below training time, the paper's
+    /// standing assumption (Section 5.1).
+    pub gradient_factor: f64,
+    /// Number of parameter-server shards the payload is spread across.
+    /// More shards raise the PS-side aggregate bandwidth.
+    pub ps_shards: u32,
+    /// Gradient-exchange scheme.
+    pub scheme: SyncScheme,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            nic: Bandwidth::gbps(25.0),
+            intra_machine: Bandwidth::gigabytes_per_sec(15.75),
+            efficiency: 0.9,
+            gradient_factor: 0.5,
+            ps_shards: 4,
+            scheme: SyncScheme::ParameterServer,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Same model with a different NIC speed (Fig.-18 sweep).
+    pub fn with_nic(mut self, nic: Bandwidth) -> Self {
+        self.nic = nic;
+        self
+    }
+
+    /// Bytes shipped per direction per worker for a model with `param_bytes`
+    /// of FP32 parameters.
+    pub fn payload(&self, param_bytes: Bytes) -> Bytes {
+        param_bytes.mul_f64(self.gradient_factor)
+    }
+
+    /// Same model with a different sync scheme.
+    pub fn with_scheme(mut self, scheme: SyncScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Synchronization time for each worker of one training round, under
+    /// the configured [`SyncScheme`].
+    ///
+    /// `worker_machines[i]` is the machine hosting worker `i`'s GPU.
+    /// Returns one duration per worker, in input order.
+    pub fn round_sync_times(
+        &self,
+        param_bytes: Bytes,
+        worker_machines: &[MachineId],
+    ) -> Vec<SimDuration> {
+        self.round_sync_times_contended(param_bytes, worker_machines, 0)
+    }
+
+    /// Like [`NetworkModel::round_sync_times`], but with `extra_flows`
+    /// unrelated gradient flows contending on every NIC — the cross-job
+    /// congestion a busy cluster exhibits (the simulator passes the number
+    /// of other jobs currently synchronizing).
+    pub fn round_sync_times_contended(
+        &self,
+        param_bytes: Bytes,
+        worker_machines: &[MachineId],
+        extra_flows: u32,
+    ) -> Vec<SimDuration> {
+        match self.scheme {
+            SyncScheme::ParameterServer => {
+                self.ps_sync_times(param_bytes, worker_machines, extra_flows)
+            }
+            SyncScheme::RingAllReduce => {
+                self.allreduce_sync_times(param_bytes, worker_machines, extra_flows)
+            }
+        }
+    }
+
+    /// PS scheme: every worker pushes and pulls `payload(param_bytes)`; its
+    /// achievable rate is the minimum of its machine-NIC fair share and the
+    /// PS-side fair share.
+    fn ps_sync_times(
+        &self,
+        param_bytes: Bytes,
+        worker_machines: &[MachineId],
+        extra_flows: u32,
+    ) -> Vec<SimDuration> {
+        assert!(!worker_machines.is_empty(), "sync with zero workers");
+        let payload = self.payload(param_bytes);
+        let total_workers = worker_machines.len() as u32;
+
+        // Workers per machine (small vectors; avoid a hash map).
+        let mut machines: Vec<(MachineId, u32)> = Vec::new();
+        for &m in worker_machines {
+            match machines.iter_mut().find(|(id, _)| *id == m) {
+                Some((_, c)) => *c += 1,
+                None => machines.push((m, 1)),
+            }
+        }
+
+        // PS-side aggregate: shards ride independent NICs, contended by
+        // the other jobs' flows as well.
+        let ps_side = self
+            .nic
+            .mul_f64(self.efficiency)
+            .mul_f64(self.ps_shards as f64)
+            .shared(total_workers + extra_flows);
+
+        worker_machines
+            .iter()
+            .map(|m| {
+                let colocated = machines
+                    .iter()
+                    .find(|(id, _)| id == m)
+                    .map(|(_, c)| *c)
+                    .expect("machine recorded above");
+                let worker_side = self
+                    .nic
+                    .mul_f64(self.efficiency)
+                    .shared(colocated + extra_flows);
+                let rate = worker_side.min(ps_side);
+                // Push + pull.
+                rate.transfer_time(payload) * 2
+            })
+            .collect()
+    }
+
+    /// Ring all-reduce: each worker transfers `2(k-1)/k` of the payload.
+    /// Ring links between colocated workers run at the intra-machine rate;
+    /// links crossing machines share the endpoints' NICs. The whole ring is
+    /// paced by its slowest link, so every worker reports the same time.
+    fn allreduce_sync_times(
+        &self,
+        param_bytes: Bytes,
+        worker_machines: &[MachineId],
+        extra_flows: u32,
+    ) -> Vec<SimDuration> {
+        assert!(!worker_machines.is_empty(), "sync with zero workers");
+        let k = worker_machines.len();
+        if k == 1 {
+            // Nothing to exchange with a single worker.
+            return vec![SimDuration::ZERO];
+        }
+        let volume = self
+            .payload(param_bytes)
+            .mul_f64(2.0 * (k as f64 - 1.0) / k as f64);
+
+        // Per-machine cross-machine ring degree: each machine's NIC carries
+        // one flow per ring edge leaving it.
+        let mut cross_flows: Vec<(MachineId, u32)> = Vec::new();
+        let mut slowest = self.intra_machine;
+        for i in 0..k {
+            let a = worker_machines[i];
+            let b = worker_machines[(i + 1) % k];
+            if a != b {
+                for m in [a, b] {
+                    match cross_flows.iter_mut().find(|(id, _)| *id == m) {
+                        Some((_, c)) => *c += 1,
+                        None => cross_flows.push((m, 1)),
+                    }
+                }
+            }
+        }
+        for i in 0..k {
+            let a = worker_machines[i];
+            let b = worker_machines[(i + 1) % k];
+            let link = if a == b {
+                self.intra_machine
+            } else {
+                let flows = |m: MachineId| {
+                    cross_flows
+                        .iter()
+                        .find(|(id, _)| *id == m)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(1)
+                };
+                self.nic
+                    .mul_f64(self.efficiency)
+                    .shared(flows(a).max(flows(b)) + extra_flows)
+            };
+            slowest = slowest.min(link);
+        }
+        vec![slowest.transfer_time(volume); k]
+    }
+
+    /// Worst-case (slowest worker) sync time for a round; the barrier time.
+    pub fn round_sync_barrier(
+        &self,
+        param_bytes: Bytes,
+        worker_machines: &[MachineId],
+    ) -> SimDuration {
+        self.round_sync_times(param_bytes, worker_machines)
+            .into_iter()
+            .max()
+            .expect("non-empty workers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> MachineId {
+        MachineId(i)
+    }
+
+    #[test]
+    fn lone_worker_uses_full_nic() {
+        let net = NetworkModel::default();
+        let times = net.round_sync_times(Bytes::mib(100), &[m(0)]);
+        assert_eq!(times.len(), 1);
+        // payload = 50 MiB, rate = min(22.5 Gbps, 4*22.5/1) = 22.5 Gbps
+        let expected = Bandwidth::gbps(22.5).transfer_time(Bytes::mib(50)) * 2;
+        assert_eq!(times[0], expected);
+    }
+
+    #[test]
+    fn colocated_workers_share_nic() {
+        let net = NetworkModel::default();
+        let alone = net.round_sync_times(Bytes::mib(100), &[m(0)])[0];
+        let shared = net.round_sync_times(Bytes::mib(100), &[m(0), m(0)]);
+        assert_eq!(shared[0], shared[1]);
+        assert!(shared[0] > alone, "sharing a NIC must slow the flow");
+    }
+
+    #[test]
+    fn spread_workers_hit_ps_side_limit() {
+        let net = NetworkModel {
+            ps_shards: 1,
+            ..NetworkModel::default()
+        };
+        // 8 workers on 8 machines: worker side is full NIC but the single
+        // PS shard splits its NIC 8 ways.
+        let machines: Vec<MachineId> = (0..8).map(m).collect();
+        let times = net.round_sync_times(Bytes::mib(100), &machines);
+        let lone = net.round_sync_times(Bytes::mib(100), &[m(0)])[0];
+        assert!(times[0] > lone);
+    }
+
+    #[test]
+    fn barrier_is_worst_worker() {
+        let net = NetworkModel::default();
+        let machines = [m(0), m(0), m(0), m(1)];
+        let times = net.round_sync_times(Bytes::mib(200), &machines);
+        let barrier = net.round_sync_barrier(Bytes::mib(200), &machines);
+        assert_eq!(barrier, *times.iter().max().unwrap());
+        // The three colocated workers are slower than the lone one.
+        assert!(times[0] > times[3]);
+    }
+
+    #[test]
+    fn faster_nic_shortens_sync() {
+        let slow = NetworkModel::default().with_nic(Bandwidth::gbps(10.0));
+        let fast = NetworkModel::default().with_nic(Bandwidth::gbps(25.0));
+        let machines = [m(0), m(1)];
+        assert!(
+            slow.round_sync_barrier(Bytes::mib(100), &machines)
+                > fast.round_sync_barrier(Bytes::mib(100), &machines)
+        );
+    }
+
+    #[test]
+    fn payload_applies_gradient_factor() {
+        let net = NetworkModel::default();
+        assert_eq!(net.payload(Bytes::mib(100)), Bytes::mib(50));
+    }
+
+    #[test]
+    fn allreduce_single_worker_is_free() {
+        let net = NetworkModel::default().with_scheme(SyncScheme::RingAllReduce);
+        assert_eq!(
+            net.round_sync_times(Bytes::mib(100), &[m(0)]),
+            vec![SimDuration::ZERO]
+        );
+    }
+
+    #[test]
+    fn allreduce_all_workers_finish_together() {
+        let net = NetworkModel::default().with_scheme(SyncScheme::RingAllReduce);
+        let times = net.round_sync_times(Bytes::mib(200), &[m(0), m(0), m(1), m(2)]);
+        for w in times.windows(2) {
+            assert_eq!(w[0], w[1], "ring barrier must be uniform");
+        }
+        assert!(times[0] > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn allreduce_volume_approaches_2x_payload() {
+        let net = NetworkModel::default().with_scheme(SyncScheme::RingAllReduce);
+        // k=2 -> 2*(1)/2 = 1x payload; k=8 -> 2*7/8 = 1.75x payload.
+        let two = net.round_sync_times(Bytes::mib(100), &[m(0), m(1)])[0];
+        let eight: Vec<MachineId> = (0..8).map(m).collect();
+        let eight_t = net.round_sync_times(Bytes::mib(100), &eight)[0];
+        assert!(eight_t > two, "larger rings move more data per worker");
+    }
+
+    #[test]
+    fn intra_machine_ring_is_much_faster() {
+        let net = NetworkModel::default().with_scheme(SyncScheme::RingAllReduce);
+        let local = net.round_sync_times(Bytes::mib(200), &[m(0), m(0)])[0];
+        let cross = net.round_sync_times(Bytes::mib(200), &[m(0), m(1)])[0];
+        assert!(
+            local < cross,
+            "PCIe ring ({local}) should beat the 25Gbps network ({cross})"
+        );
+    }
+
+    #[test]
+    fn allreduce_vs_ps_crossover() {
+        // With one PS shard and many spread workers, all-reduce's constant
+        // 2(k-1)/k volume beats the PS's k-way incast.
+        let machines: Vec<MachineId> = (0..8).map(m).collect();
+        let ps = NetworkModel {
+            ps_shards: 1,
+            ..NetworkModel::default()
+        };
+        let ar = ps.with_scheme(SyncScheme::RingAllReduce);
+        let ps_t = ps
+            .round_sync_times(Bytes::mib(400), &machines)
+            .into_iter()
+            .max()
+            .unwrap();
+        let ar_t = ar.round_sync_times(Bytes::mib(400), &machines)[0];
+        assert!(
+            ar_t < ps_t,
+            "all-reduce {ar_t} should beat 1-shard PS {ps_t}"
+        );
+    }
+}

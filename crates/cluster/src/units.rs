@@ -1,0 +1,514 @@
+//! Fixed-point simulation units.
+//!
+//! Everything inside the simulator and the scheduler uses **integer
+//! microseconds** so that event ordering is exact and runs are bit-for-bit
+//! reproducible across platforms. Floating point appears only at the
+//! reporting boundary (`as_secs_f64` and friends).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute point on the simulation clock, in microseconds since t=0.
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulated time, in microseconds.
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "unscheduled" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest microsecond.
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite(), "negative or non-finite time");
+        SimTime((s * 1e6).round() as u64)
+    }
+
+    /// Raw microseconds since t=0.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since t=0 as a float (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Milliseconds since t=0 as a float (reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Span from an earlier instant, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional milliseconds, rounding to the nearest microsecond.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0 && ms.is_finite(), "negative or non-finite span");
+        SimDuration((ms * 1e3).round() as u64)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest microsecond.
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite(), "negative or non-finite span");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds (reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Fractional seconds (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scale by a non-negative float, rounding to the nearest microsecond.
+    pub fn mul_f64(self, k: f64) -> Self {
+        debug_assert!(k >= 0.0 && k.is_finite(), "negative or non-finite scale");
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Subtraction clamped at zero.
+    pub fn saturating_sub(self, rhs: SimDuration) -> Self {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Ratio of two spans as a float; zero denominator yields infinity.
+    pub fn ratio(self, denom: SimDuration) -> f64 {
+        if denom.0 == 0 {
+            f64::INFINITY
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics (debug) if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when that is expected.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}us", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+/// A byte count (memory footprints, transfer sizes).
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Construct from a raw byte count.
+    pub const fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+
+    /// Construct from kibibytes.
+    pub const fn kib(k: u64) -> Self {
+        Bytes(k * 1024)
+    }
+
+    /// Construct from mebibytes.
+    pub const fn mib(m: u64) -> Self {
+        Bytes(m * 1024 * 1024)
+    }
+
+    /// Construct from gibibytes.
+    pub const fn gib(g: u64) -> Self {
+        Bytes(g * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Mebibytes as a float (reporting only).
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Bytes) -> Option<Bytes> {
+        self.0.checked_sub(rhs.0).map(Bytes)
+    }
+
+    /// Subtraction clamped at zero.
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scale by a non-negative float, rounding to the nearest byte.
+    pub fn mul_f64(self, k: f64) -> Bytes {
+        debug_assert!(k >= 0.0 && k.is_finite());
+        Bytes((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_add(rhs.0).expect("Bytes overflow"))
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        debug_assert!(self.0 >= rhs.0, "Bytes subtraction underflow");
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 * 1024 {
+            write!(f, "{:.2}GiB", self.0 as f64 / (1024.0 * 1024.0 * 1024.0))
+        } else if self.0 >= 1024 * 1024 {
+            write!(f, "{:.1}MiB", self.as_mib_f64())
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// A transfer rate in bytes per second.
+///
+/// Used both for device interconnects (PCIe, HBM) and for the data-center
+/// network (NIC bandwidth). Network speeds are usually quoted in Gbps
+/// (decimal bits), hence the [`Bandwidth::gbps`] constructor.
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Construct from raw bytes per second.
+    pub const fn bytes_per_sec(b: u64) -> Self {
+        Bandwidth(b)
+    }
+
+    /// Construct from decimal gigabits per second (network convention).
+    pub fn gbps(g: f64) -> Self {
+        debug_assert!(g > 0.0 && g.is_finite());
+        Bandwidth((g * 1e9 / 8.0).round() as u64)
+    }
+
+    /// Construct from decimal gigabytes per second (bus convention;
+    /// e.g. PCIe 3.0 x16 is quoted as 15.75 GB/s).
+    pub fn gigabytes_per_sec(g: f64) -> Self {
+        debug_assert!(g > 0.0 && g.is_finite());
+        Bandwidth((g * 1e9).round() as u64)
+    }
+
+    /// Raw bytes per second.
+    pub const fn as_bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Decimal gigabits per second (reporting only).
+    pub fn as_gbps(self) -> f64 {
+        self.0 as f64 * 8.0 / 1e9
+    }
+
+    /// Time to move `bytes` at this rate, rounded up to a whole microsecond.
+    ///
+    /// Panics if the bandwidth is zero — a zero-rate link is a configuration
+    /// error, not a legitimate state.
+    pub fn transfer_time(self, bytes: Bytes) -> SimDuration {
+        assert!(self.0 > 0, "transfer over a zero-bandwidth link");
+        let us = (bytes.as_u64() as u128 * 1_000_000).div_ceil(self.0 as u128);
+        SimDuration::from_micros(us.try_into().expect("transfer time overflow"))
+    }
+
+    /// Fair share of this link among `flows` concurrent flows.
+    pub fn shared(self, flows: u32) -> Bandwidth {
+        assert!(flows > 0, "sharing among zero flows");
+        Bandwidth(self.0 / flows as u64)
+    }
+
+    /// Scale by a non-negative float (e.g. protocol efficiency factor).
+    pub fn mul_f64(self, k: f64) -> Bandwidth {
+        debug_assert!(k >= 0.0 && k.is_finite());
+        Bandwidth((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}Gbps", self.as_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrip_micros() {
+        let t = SimTime::from_micros(1_234_567);
+        assert_eq!(t.as_micros(), 1_234_567);
+        assert!((t.as_secs_f64() - 1.234567).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(2) + SimDuration::from_millis(500);
+        assert_eq!(t.as_micros(), 2_500_000);
+        let d = t - SimTime::from_secs(1);
+        assert_eq!(d, SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(3);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(250));
+        assert_eq!(d * 3, SimDuration::from_millis(300));
+        assert_eq!(d / 4, SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn duration_sum_and_ratio() {
+        let total: SimDuration = [10u64, 20, 30]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .sum();
+        assert_eq!(total, SimDuration::from_millis(60));
+        assert!((total.ratio(SimDuration::from_millis(120)) - 0.5).abs() < 1e-12);
+        assert!(total.ratio(SimDuration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn bytes_constructors() {
+        assert_eq!(Bytes::kib(1).as_u64(), 1024);
+        assert_eq!(Bytes::mib(1).as_u64(), 1024 * 1024);
+        assert_eq!(Bytes::gib(2).as_u64(), 2 * 1024 * 1024 * 1024);
+        assert!((Bytes::mib(512).as_mib_f64() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_checked_ops() {
+        let a = Bytes::mib(10);
+        let b = Bytes::mib(4);
+        assert_eq!(a - b, Bytes::mib(6));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        // 1 GB/s moving 1 MB takes ~1000us (rounded up from 1048.576us -> 1049).
+        let bw = Bandwidth::gigabytes_per_sec(1.0);
+        let t = bw.transfer_time(Bytes::mib(1));
+        assert_eq!(t.as_micros(), 1049);
+    }
+
+    #[test]
+    fn bandwidth_gbps_roundtrip() {
+        let bw = Bandwidth::gbps(25.0);
+        assert!((bw.as_gbps() - 25.0).abs() < 1e-9);
+        // 25 Gbps = 3.125 GB/s
+        assert_eq!(bw.as_bytes_per_sec(), 3_125_000_000);
+    }
+
+    #[test]
+    fn bandwidth_sharing() {
+        let bw = Bandwidth::gbps(10.0);
+        assert_eq!(bw.shared(4).as_bytes_per_sec(), bw.as_bytes_per_sec() / 4);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 3 bytes at 2 B/s = 1.5s -> 1_500_000us exactly; 1 byte at 3 B/s
+        // = 333333.33us -> rounds up to 333334.
+        let bw = Bandwidth::bytes_per_sec(3);
+        assert_eq!(
+            bw.transfer_time(Bytes::new(1)),
+            SimDuration::from_micros(333_334)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn zero_bandwidth_panics() {
+        Bandwidth::bytes_per_sec(0).transfer_time(Bytes::new(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.00ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+        assert_eq!(format!("{}", Bytes::mib(3)), "3.0MiB");
+    }
+}

@@ -1,0 +1,112 @@
+//! ASCII Gantt rendering of schedules — the quickest way to *see* what a
+//! scheduler decided (GPU preemption, relaxed-sync stacking, idle gaps).
+
+use crate::problem::SchedProblem;
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Render a schedule as one text row per GPU. Each task is drawn with its
+/// job's symbol (`0`–`9`, then `a`–`z`, cycling); `.` is idle time. `width`
+/// columns cover `[0, makespan]`.
+pub fn render(p: &SchedProblem, s: &Schedule, width: usize) -> String {
+    assert!(width >= 10, "unreadably narrow chart");
+    let makespan = s.makespan(p).as_secs_f64().max(1e-9);
+    let scale = width as f64 / makespan;
+    let mut out = String::new();
+
+    for g in 0..p.n_gpus {
+        let mut line = vec![b'.'; width];
+        for (i, task) in p.tasks.iter().enumerate() {
+            if s.gpu[i] != g {
+                continue;
+            }
+            let start = s.start[i].as_secs_f64() * scale;
+            let end = s.gpu_release(p, i).as_secs_f64() * scale;
+            let from = start as usize;
+            // Always at least one cell, so short tasks stay visible.
+            let to = (end.ceil() as usize).clamp(from + 1, width);
+            let symbol = job_symbol(task.job);
+            for c in line.iter_mut().take(to).skip(from.min(width - 1)) {
+                *c = symbol;
+            }
+        }
+        let _ = writeln!(out, "gpu{g:<3}|{}|", String::from_utf8(line).unwrap());
+    }
+    let _ = writeln!(
+        out,
+        "      0s{}{:.1}s",
+        " ".repeat(width.saturating_sub(8)),
+        makespan
+    );
+    out
+}
+
+/// Symbol for a job index: 0–9, a–z, then cycling through a–z.
+pub fn job_symbol(job: usize) -> u8 {
+    if job < 10 {
+        b'0' + job as u8
+    } else {
+        b'a' + ((job - 10) % 26) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::hare_schedule;
+
+    #[test]
+    fn renders_one_row_per_gpu_plus_axis() {
+        let p = SchedProblem::fig1();
+        let out = hare_schedule(&p);
+        let chart = render(&p, &out.schedule, 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), p.n_gpus + 1);
+        for g in 0..p.n_gpus {
+            assert!(lines[g].starts_with(&format!("gpu{g}")));
+            // Fixed row width: 40 cells plus the frame.
+            assert_eq!(lines[g].len(), 6 + 40 + 2);
+        }
+        assert!(lines[p.n_gpus].trim_end().ends_with('s'));
+    }
+
+    #[test]
+    fn every_job_appears_and_busy_cells_match_load() {
+        let p = SchedProblem::fig1();
+        let out = hare_schedule(&p);
+        let chart = render(&p, &out.schedule, 60);
+        for job in 0..p.jobs.len() {
+            let symbol = job_symbol(job) as char;
+            assert!(
+                chart.contains(symbol),
+                "job {job} ({symbol}) missing from chart"
+            );
+        }
+        // Total busy cells roughly match total training volume.
+        let busy_cells = chart
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .count()
+            // subtract the gpu labels and the axis line characters
+            - chart.lines().count() * 4;
+        assert!(busy_cells > 10);
+    }
+
+    #[test]
+    fn symbols_cycle_safely() {
+        assert_eq!(job_symbol(0), b'0');
+        assert_eq!(job_symbol(9), b'9');
+        assert_eq!(job_symbol(10), b'a');
+        assert_eq!(job_symbol(35), b'z');
+        assert_eq!(job_symbol(36), b'a');
+        assert_eq!(job_symbol(36 + 26), b'a');
+    }
+
+    #[test]
+    #[should_panic(expected = "narrow")]
+    fn rejects_tiny_width() {
+        let p = SchedProblem::fig1();
+        let out = hare_schedule(&p);
+        render(&p, &out.schedule, 5);
+    }
+}

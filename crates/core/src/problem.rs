@@ -1,0 +1,298 @@
+//! The `Hare_Sched` problem (Section 5.1).
+//!
+//! A set `N` of jobs runs on a set `M` of heterogeneous GPUs. Job `n` has
+//! arrival `a_n`, weight `w_n` and rounds `R_n`; round `r` launches the
+//! task set `D_r`, and tasks synchronize through the PS at round
+//! boundaries. Training time `T^c_{i,m}` and synchronization time
+//! `T^s_{i,m}` are per-GPU; the paper's Fig. 11 justifies dropping the
+//! round subscript (times are stable across rounds), so times live on the
+//! *job* here and every task of a job shares them.
+
+use hare_cluster::{SimDuration, SimTime};
+use hare_solver::{Instance, JobMeta, TaskMeta};
+use serde::{Deserialize, Serialize};
+
+/// Index of a GPU in the problem (dense, matches `Cluster` GPU ids).
+pub type GpuIdx = usize;
+/// Index of a job.
+pub type JobIdx = usize;
+/// Index of a task in [`SchedProblem::tasks`].
+pub type TaskIdx = usize;
+
+/// One job of the scheduling problem.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobInfo {
+    /// Objective weight `w_n`.
+    pub weight: f64,
+    /// Arrival time `a_n`.
+    pub arrival: SimTime,
+    /// Number of rounds `|R_n|`.
+    pub rounds: u32,
+    /// Tasks per round `|D_r|` (the fixed synchronization scale).
+    pub sync_scale: u32,
+    /// Training time of one task on each GPU (`T^c_{i,m}`).
+    pub train: Vec<SimDuration>,
+    /// Synchronization time of one task on each GPU (`T^s_{i,m}`).
+    pub sync: Vec<SimDuration>,
+}
+
+/// One task; times are inherited from its job.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskInfo {
+    /// Owning job.
+    pub job: JobIdx,
+    /// Round within the job.
+    pub round: u32,
+    /// Index within the round (0..sync_scale), for display only.
+    pub slot: u32,
+}
+
+/// The full scheduling problem.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchedProblem {
+    /// Number of GPUs `|M|`.
+    pub n_gpus: usize,
+    /// Jobs `N`.
+    pub jobs: Vec<JobInfo>,
+    /// All tasks `D`, grouped job-major then round-major (dense).
+    pub tasks: Vec<TaskInfo>,
+}
+
+impl SchedProblem {
+    /// Build from jobs, expanding each into `rounds × sync_scale` tasks.
+    pub fn new(n_gpus: usize, jobs: Vec<JobInfo>) -> Self {
+        assert!(n_gpus > 0, "no GPUs");
+        let mut tasks = Vec::new();
+        for (j, job) in jobs.iter().enumerate() {
+            assert_eq!(job.train.len(), n_gpus, "job {j}: train vector length");
+            assert_eq!(job.sync.len(), n_gpus, "job {j}: sync vector length");
+            for r in 0..job.rounds {
+                for k in 0..job.sync_scale {
+                    tasks.push(TaskInfo {
+                        job: j,
+                        round: r,
+                        slot: k,
+                    });
+                }
+            }
+        }
+        let p = SchedProblem {
+            n_gpus,
+            jobs,
+            tasks,
+        };
+        p.validate().expect("invalid problem");
+        p
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_gpus == 0 {
+            return Err("no GPUs".into());
+        }
+        if self.jobs.is_empty() {
+            return Err("no jobs".into());
+        }
+        for (j, job) in self.jobs.iter().enumerate() {
+            if !(job.weight > 0.0 && job.weight.is_finite()) {
+                return Err(format!("job {j}: weight {}", job.weight));
+            }
+            if job.rounds == 0 || job.sync_scale == 0 {
+                return Err(format!("job {j}: empty rounds/scale"));
+            }
+            if job.train.len() != self.n_gpus || job.sync.len() != self.n_gpus {
+                return Err(format!("job {j}: time vector length"));
+            }
+            if job.train.iter().any(|t| t.is_zero()) {
+                return Err(format!("job {j}: zero training time"));
+            }
+            // The paper's standing assumption: training dominates sync.
+            let t_min = job.train.iter().min().unwrap();
+            let s_max = job.sync.iter().max().unwrap();
+            if s_max > t_min {
+                return Err(format!(
+                    "job {j}: sync {s_max} exceeds training {t_min} — violates the paper's assumption"
+                ));
+            }
+        }
+        let expected: usize = self
+            .jobs
+            .iter()
+            .map(|j| (j.rounds * j.sync_scale) as usize)
+            .sum();
+        if self.tasks.len() != expected {
+            return Err(format!(
+                "task count {} != expanded {}",
+                self.tasks.len(),
+                expected
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of tasks `|D|`.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Training time of task `i` on GPU `m`.
+    pub fn train(&self, i: TaskIdx, m: GpuIdx) -> SimDuration {
+        self.jobs[self.tasks[i].job].train[m]
+    }
+
+    /// Synchronization time of task `i` on GPU `m`.
+    pub fn sync(&self, i: TaskIdx, m: GpuIdx) -> SimDuration {
+        self.jobs[self.tasks[i].job].sync[m]
+    }
+
+    /// Arrival of the job owning task `i`.
+    pub fn arrival_of(&self, i: TaskIdx) -> SimTime {
+        self.jobs[self.tasks[i].job].arrival
+    }
+
+    /// Task indices of one (job, round), in slot order.
+    pub fn round_tasks(&self, job: JobIdx, round: u32) -> Vec<TaskIdx> {
+        // Tasks are dense and job/round-major: compute the base offset.
+        let mut base = 0usize;
+        for (j, info) in self.jobs.iter().enumerate() {
+            if j == job {
+                base += (round * info.sync_scale) as usize;
+                let scale = info.sync_scale as usize;
+                return (base..base + scale).collect();
+            }
+            base += (info.rounds * info.sync_scale) as usize;
+        }
+        panic!("job {job} out of range");
+    }
+
+    /// The heterogeneity factor α (Lemma 3):
+    /// `max_i { T^c_max/T^c_min, T^s_max/T^s_min }`.
+    pub fn alpha(&self) -> f64 {
+        let mut alpha: f64 = 1.0;
+        for job in &self.jobs {
+            let t_max = job.train.iter().max().unwrap().as_micros() as f64;
+            let t_min = job.train.iter().min().unwrap().as_micros() as f64;
+            alpha = alpha.max(t_max / t_min);
+            let s_max = job.sync.iter().max().unwrap().as_micros() as f64;
+            let s_min = job.sync.iter().min().unwrap().as_micros() as f64;
+            if s_min > 0.0 {
+                alpha = alpha.max(s_max / s_min);
+            }
+        }
+        alpha
+    }
+
+    /// Convert to the solver's float instance (seconds).
+    pub fn to_instance(&self) -> Instance {
+        Instance {
+            n_machines: self.n_gpus,
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| JobMeta {
+                    weight: j.weight,
+                    release: j.arrival.as_secs_f64(),
+                    rounds: j.rounds,
+                })
+                .collect(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| {
+                    let job = &self.jobs[t.job];
+                    TaskMeta {
+                        job: t.job,
+                        round: t.round,
+                        p: job.train.iter().map(|d| d.as_secs_f64()).collect(),
+                        s: job.sync.iter().map(|d| d.as_secs_f64()).collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The paper's Fig.-1 toy problem (3 jobs, 3 GPUs) in typed form.
+    pub fn fig1() -> SchedProblem {
+        let secs = |v: &[f64]| -> Vec<SimDuration> {
+            v.iter().map(|&s| SimDuration::from_secs_f64(s)).collect()
+        };
+        let zero = vec![SimDuration::ZERO; 3];
+        SchedProblem::new(
+            3,
+            vec![
+                JobInfo {
+                    weight: 1.0,
+                    arrival: SimTime::ZERO,
+                    rounds: 1,
+                    sync_scale: 2,
+                    train: secs(&[1.0, 1.5, 2.0]),
+                    sync: zero.clone(),
+                },
+                JobInfo {
+                    weight: 1.0,
+                    arrival: SimTime::ZERO,
+                    rounds: 3,
+                    sync_scale: 1,
+                    train: secs(&[1.0, 1.5, 1.5]),
+                    sync: zero.clone(),
+                },
+                JobInfo {
+                    weight: 1.0,
+                    arrival: SimTime::ZERO,
+                    rounds: 2,
+                    sync_scale: 2,
+                    train: secs(&[0.5, 1.0, 1.5]),
+                    sync: zero,
+                },
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_expands_correctly() {
+        let p = SchedProblem::fig1();
+        assert_eq!(p.n_tasks(), 2 + 3 + 4);
+        assert_eq!(p.round_tasks(0, 0), vec![0, 1]);
+        assert_eq!(p.round_tasks(1, 2), vec![4]);
+        assert_eq!(p.round_tasks(2, 1), vec![7, 8]);
+        assert!((p.alpha() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn times_are_shared_within_a_job() {
+        let p = SchedProblem::fig1();
+        assert_eq!(p.train(7, 0), SimDuration::from_millis(500));
+        assert_eq!(p.train(8, 2), SimDuration::from_millis(1500));
+        assert_eq!(p.sync(0, 1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn to_instance_round_trips_structure() {
+        let p = SchedProblem::fig1();
+        let inst = p.to_instance();
+        assert!(inst.validate().is_ok());
+        assert_eq!(inst.n_tasks(), p.n_tasks());
+        assert_eq!(inst.jobs.len(), p.jobs.len());
+        assert!((inst.alpha() - p.alpha()).abs() < 1e-9);
+        assert!((inst.tasks[0].p[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_dominating_training_is_rejected() {
+        let mut p = SchedProblem::fig1();
+        p.jobs[0].sync = vec![SimDuration::from_secs(10); 3];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_training_time_rejected() {
+        let mut p = SchedProblem::fig1();
+        p.jobs[1].train[1] = SimDuration::ZERO;
+        assert!(p.validate().is_err());
+    }
+}

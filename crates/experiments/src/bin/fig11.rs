@@ -1,0 +1,47 @@
+//! Fig. 11 — task training time and synchronization time are highly
+//! predictable and stable across training rounds (the fact that lets the
+//! formulation drop the round subscript from `T^c_{i,m,r}`).
+
+use hare_cluster::GpuKind;
+use hare_experiments::{mean_std, paper_line, Table};
+use hare_workload::{ModelKind, ProfileDb};
+
+fn main() {
+    let db = ProfileDb::new(1);
+    let rounds = 200;
+    let mut table = Table::new(&[
+        "model",
+        "mean (ms/round)",
+        "std (ms)",
+        "CV (%)",
+        "min",
+        "max",
+    ]);
+    let mut worst_cv = 0.0f64;
+    for model in [ModelKind::ResNet50, ModelKind::BertBase] {
+        let series = db.round_series(model, GpuKind::V100, model.spec().batch_size, rounds);
+        let ms: Vec<f64> = series.iter().map(|d| d.as_millis_f64()).collect();
+        let (mean, std) = mean_std(&ms);
+        let cv = std / mean;
+        worst_cv = worst_cv.max(cv);
+        table.row(vec![
+            model.to_string(),
+            format!("{mean:.1}"),
+            format!("{std:.2}"),
+            format!("{:.2}", cv * 100.0),
+            format!("{:.1}", ms.iter().cloned().fold(f64::MAX, f64::min)),
+            format!("{:.1}", ms.iter().cloned().fold(f64::MIN, f64::max)),
+        ]);
+    }
+    table.print(&format!(
+        "Fig. 11 — per-round batch time over {rounds} rounds on a V100"
+    ));
+
+    println!();
+    paper_line(
+        "round-to-round stability",
+        "highly predictable and stable",
+        &format!("worst CV {:.2}%", worst_cv * 100.0),
+        worst_cv < 0.05,
+    );
+}

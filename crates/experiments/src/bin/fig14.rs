@@ -1,0 +1,84 @@
+//! Fig. 14 — total weighted JCT vs number of GPUs (200 jobs, high
+//! heterogeneity). More GPUs shrink every scheme's JCT; Hare stays ahead,
+//! with Sched_Allox the strongest baseline and Gavel_FIFO the weakest tier.
+//!
+//! `--order arrival|smith|midpoint` and `--assign ea|eft` rerun Hare with
+//! alternative Algorithm-1 priority orders / GPU rules (DESIGN.md §6).
+
+use hare_core::{AssignmentRule, HareScheduler, PriorityOrder};
+use hare_experiments::{parse_args, sweep_table, LargeScale, Table};
+use hare_sim::{OfflineReplay, Simulation};
+
+fn main() {
+    let (seeds, csv, extra) = parse_args();
+
+    if let Some(pos) = extra.iter().position(|a| a == "--order" || a == "--assign") {
+        ablation(&extra[pos..]);
+        return;
+    }
+
+    let points: Vec<(String, LargeScale)> = [80u32, 120, 160, 200, 240]
+        .into_iter()
+        .map(|n| {
+            (
+                n.to_string(),
+                LargeScale {
+                    n_gpus: n,
+                    ..LargeScale::default()
+                },
+            )
+        })
+        .collect();
+    let table = sweep_table("#GPUs", &points, &seeds);
+    table.print("Fig. 14 — weighted JCT vs number of GPUs (200 jobs)");
+    if csv {
+        print!("{}", table.to_csv());
+    }
+    println!("\npaper: JCT decreases with more GPUs for all schemes; Hare always wins;");
+    println!("       Sched_Allox ~2x of Hare but clearly ahead of the other baselines;");
+    println!("       Gavel_FIFO has the largest weighted JCT.");
+}
+
+fn ablation(args: &[String]) {
+    let mut order = PriorityOrder::Midpoint;
+    let mut assign = AssignmentRule::EarliestFinish;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--order" => {
+                order = match iter.next().map(|s| s.as_str()) {
+                    Some("arrival") => PriorityOrder::Arrival,
+                    Some("smith") => PriorityOrder::Smith,
+                    Some("midpoint") => PriorityOrder::Midpoint,
+                    other => panic!("unknown order {other:?}"),
+                }
+            }
+            "--assign" => {
+                assign = match iter.next().map(|s| s.as_str()) {
+                    Some("ea") => AssignmentRule::EarliestAvailable,
+                    Some("eft") => AssignmentRule::EarliestFinish,
+                    other => panic!("unknown assignment {other:?}"),
+                }
+            }
+            _ => {}
+        }
+    }
+    let cfg = LargeScale::default();
+    let w = cfg.workload(1);
+    let scheduler = HareScheduler {
+        order,
+        assignment: assign,
+        ..HareScheduler::default()
+    };
+    let out = scheduler.schedule(&w.problem);
+    let mut replay = OfflineReplay::new(format!("Hare[{order:?}/{assign:?}]"), &w, &out.schedule);
+    let report = Simulation::new(&w).with_seed(1).run(&mut replay);
+    let mut t = Table::new(&["variant", "wJCT", "makespan (s)", "mean JCT (s)"]);
+    t.row(vec![
+        report.scheme.clone(),
+        format!("{:.0}", report.weighted_jct),
+        format!("{:.0}", report.makespan.as_secs_f64()),
+        format!("{:.0}", report.mean_jct()),
+    ]);
+    t.print("Fig. 14 ablation — Algorithm-1 variant at 160 GPUs / 200 jobs");
+}

@@ -1,0 +1,67 @@
+//! Fig. 15 — total weighted JCT vs number of jobs (160 GPUs). JCT grows
+//! with load under every scheme, and the gap between Hare and the
+//! baselines widens (the paper reports 54.6%–80.5% improvement at 300
+//! jobs).
+
+use hare_experiments::{paper_line, parse_args, sweep_table, LargeScale};
+
+fn main() {
+    let (seeds, csv, _) = parse_args();
+    let points: Vec<(String, LargeScale)> = [100u32, 150, 200, 250, 300]
+        .into_iter()
+        .map(|n| {
+            (
+                n.to_string(),
+                LargeScale {
+                    n_jobs: n,
+                    ..LargeScale::default()
+                },
+            )
+        })
+        .collect();
+    let table = sweep_table("#jobs", &points, &seeds);
+    table.print("Fig. 15 — weighted JCT vs number of jobs (160 GPUs)");
+    if csv {
+        print!("{}", table.to_csv());
+    }
+
+    // Quantify the gap growth at the endpoints from the table we just
+    // computed: rerun the two endpoint configs once (cheap relative to the
+    // sweep) to extract reductions.
+    let reduction = |n_jobs: u32| {
+        let cfg = LargeScale {
+            n_jobs,
+            ..LargeScale::default()
+        };
+        let reports = cfg.run(seeds[0]);
+        let hare = reports[0].weighted_jct;
+        let worst = reports[1..]
+            .iter()
+            .map(|r| r.weighted_jct)
+            .fold(f64::MIN, f64::max);
+        let best = reports[1..]
+            .iter()
+            .map(|r| r.weighted_jct)
+            .fold(f64::MAX, f64::min);
+        (1.0 - hare / best, 1.0 - hare / worst)
+    };
+    let (lo100, _hi100) = reduction(100);
+    let (lo300, hi300) = reduction(300);
+    println!();
+    paper_line(
+        "improvement at 300 jobs",
+        "54.6%–80.5%",
+        &format!("{:.1}%–{:.1}%", lo300 * 100.0, hi300 * 100.0),
+        lo300 > 0.0,
+    );
+    paper_line(
+        "gap to the best baseline grows with job count",
+        "bigger gaps at higher load",
+        &format!(
+            "best-baseline reduction {:.1}% @100 jobs -> {:.1}% @300 jobs",
+            lo100 * 100.0,
+            lo300 * 100.0
+        ),
+        lo300 >= lo100 - 0.05,
+    );
+}

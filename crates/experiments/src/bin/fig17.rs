@@ -1,0 +1,54 @@
+//! Fig. 17 — influence of the job-type mix: raising the NLP share
+//! increases every scheme's weighted JCT (NLP jobs carry the heaviest
+//! training loads), raising the Rec share lowers it; Hare stays best
+//! throughout.
+
+use hare_experiments::{paper_line, parse_args, sweep_table, LargeScale};
+use hare_workload::{Domain, DomainMix};
+
+fn main() {
+    let (seeds, csv, _) = parse_args();
+    let mut points = vec![("default 25/25/25/25".to_string(), LargeScale::default())];
+    for domain in Domain::ALL {
+        for frac in [0.4, 0.55] {
+            points.push((
+                format!("{domain} {}%", (frac * 100.0) as u32),
+                LargeScale {
+                    mix: DomainMix::emphasising(domain, frac),
+                    ..LargeScale::default()
+                },
+            ));
+        }
+    }
+    let table = sweep_table("job mix", &points, &seeds);
+    table.print("Fig. 17 — weighted JCT vs job-type fractions (160 GPUs, 200 jobs)");
+    if csv {
+        print!("{}", table.to_csv());
+    }
+
+    // Extract the NLP/Rec trend from single runs at the 55% points.
+    let jct_of = |mix: DomainMix| {
+        LargeScale {
+            mix,
+            ..LargeScale::default()
+        }
+        .run(seeds[0])[0]
+            .weighted_jct
+    };
+    let base = jct_of(DomainMix::default());
+    let nlp = jct_of(DomainMix::emphasising(Domain::Nlp, 0.55));
+    let rec = jct_of(DomainMix::emphasising(Domain::Rec, 0.55));
+    println!();
+    paper_line(
+        "more NLP jobs raise weighted JCT",
+        "increases (heavier workloads)",
+        &format!("{base:.0} -> {nlp:.0}"),
+        nlp > base,
+    );
+    paper_line(
+        "more Rec jobs lower weighted JCT",
+        "decreases (lighter workloads)",
+        &format!("{base:.0} -> {rec:.0}"),
+        rec < base,
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig. 18 — influence of network bandwidth (10–25 Gbps): faster networks
+//! shorten synchronization and so the weighted JCT, but the gain is
+//! sub-linear because training time becomes the bottleneck.
+
+use hare_cluster::Bandwidth;
+use hare_experiments::{paper_line, parse_args, sweep_table, LargeScale};
+
+fn main() {
+    let (seeds, csv, _) = parse_args();
+    let points: Vec<(String, LargeScale)> = [10.0f64, 15.0, 20.0, 25.0]
+        .into_iter()
+        .map(|g| {
+            (
+                format!("{g:.0} Gbps"),
+                LargeScale {
+                    bandwidth: Bandwidth::gbps(g),
+                    ..LargeScale::default()
+                },
+            )
+        })
+        .collect();
+    let table = sweep_table("bandwidth", &points, &seeds);
+    table.print("Fig. 18 — weighted JCT vs network bandwidth (160 GPUs, 200 jobs)");
+    if csv {
+        print!("{}", table.to_csv());
+    }
+
+    let hare_at = |g: f64| {
+        LargeScale {
+            bandwidth: Bandwidth::gbps(g),
+            ..LargeScale::default()
+        }
+        .run(seeds[0])[0]
+            .weighted_jct
+    };
+    let slow = hare_at(10.0);
+    let fast = hare_at(25.0);
+    let gain = 1.0 - fast / slow;
+    println!();
+    paper_line(
+        "Hare's gain from 10 to 25 Gbps",
+        "~31.2% decrease (sub-linear in the 2.5x speed-up)",
+        &format!("{:.1}%", gain * 100.0),
+        gain > 0.0 && gain < 0.6,
+    );
+}

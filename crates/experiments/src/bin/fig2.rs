@@ -1,0 +1,50 @@
+//! Fig. 2 — training speedup of each workload model on T4/M60/V100,
+//! normalized to the K80 baseline.
+
+use hare_cluster::GpuKind;
+use hare_experiments::{paper_line, Table};
+use hare_workload::{ModelKind, ProfileDb};
+
+fn main() {
+    let db = ProfileDb::new(1);
+    let mut table = Table::new(&["model", "K80 (ms/batch)", "M60", "T4", "V100"]);
+    for model in ModelKind::WORKLOAD {
+        let batch = model.spec().batch_size;
+        let k80 = db.profile(model, GpuKind::K80, batch).batch_time;
+        let speedup = |g: GpuKind| {
+            let t = db.profile(model, g, batch).batch_time;
+            k80.ratio(t)
+        };
+        table.row(vec![
+            model.to_string(),
+            format!("{:.1}", k80.as_millis_f64()),
+            format!("{:.2}x", speedup(GpuKind::M60)),
+            format!("{:.2}x", speedup(GpuKind::T4)),
+            format!("{:.2}x", speedup(GpuKind::V100)),
+        ]);
+    }
+    table.print("Fig. 2 — per-model speedup over the K80 baseline (profiled)");
+
+    println!();
+    let r50_t4 = ModelKind::ResNet50.speedup(GpuKind::T4);
+    let r50_v100 = ModelKind::ResNet50.speedup(GpuKind::V100);
+    let gs_v100 = ModelKind::GraphSage.speedup(GpuKind::V100);
+    paper_line(
+        "ResNet50 on T4",
+        "~2x",
+        &format!("{r50_t4:.1}x"),
+        (r50_t4 - 2.0).abs() < 0.3,
+    );
+    paper_line(
+        "ResNet50 on V100",
+        "~7x",
+        &format!("{r50_v100:.1}x"),
+        (r50_v100 - 7.0).abs() < 0.5,
+    );
+    paper_line(
+        "GraphSAGE on V100",
+        "~2x (even on the most advanced GPU)",
+        &format!("{gs_v100:.1}x"),
+        (gs_v100 - 2.0).abs() < 0.3,
+    );
+}

@@ -1,0 +1,84 @@
+//! Fig. 4 — relaxed vs strict scale-fixed synchronization.
+//!
+//! Three running tasks release their GPUs at 2 s, 3 s and 6 s; a new job
+//! with synchronization scale 3 arrives. Strict scale-fixed waits for all
+//! three GPUs (start 6 s); Hare's relaxed scheme starts immediately on the
+//! earliest GPU and stacks two tasks there, completing earlier at the same
+//! parallelism (same gradient count per round).
+
+use hare_cluster::{SimDuration, SimTime};
+use hare_core::{find_gang_slot, JobInfo, SchedProblem};
+use hare_experiments::{paper_line, Table};
+
+fn main() {
+    // GPUs free at 2, 3, 6 seconds; the new job's tasks take 1.5 s each.
+    let avail = [
+        SimTime::from_secs(2),
+        SimTime::from_secs(3),
+        SimTime::from_secs(6),
+    ];
+    let task = SimDuration::from_millis(1500);
+
+    // Strict: wait for 3 simultaneously free GPUs.
+    let (strict_start, gang) = find_gang_slot(&avail, 3, SimTime::ZERO);
+    let strict_done = strict_start + task;
+
+    // Relaxed: earliest-finish assignment over the same GPUs, allowing
+    // stacking (the scheduler machinery, not a hand computation).
+    let p = SchedProblem::new(
+        3,
+        vec![JobInfo {
+            weight: 1.0,
+            arrival: SimTime::ZERO,
+            rounds: 1,
+            sync_scale: 3,
+            train: vec![task; 3],
+            sync: vec![SimDuration::ZERO; 3],
+        }],
+    );
+    let mut phi = avail.to_vec();
+    let placed = hare_core::relaxed_round_assign(&p, 0, SimTime::ZERO, &mut phi);
+    let relaxed_done = placed
+        .iter()
+        .map(|&(start, gpu)| start + p.jobs[0].train[gpu])
+        .max()
+        .unwrap();
+
+    let mut table = Table::new(&["scheme", "round start", "round done", "placement"]);
+    table.row(vec![
+        "strict scale-fixed".into(),
+        strict_start.to_string(),
+        strict_done.to_string(),
+        format!("gang on {gang:?}"),
+    ]);
+    table.row(vec![
+        "relaxed scale-fixed (Hare)".into(),
+        placed.iter().map(|p| p.0).min().unwrap().to_string(),
+        relaxed_done.to_string(),
+        format!(
+            "{:?}",
+            placed
+                .iter()
+                .map(|&(s, g)| (g, s.as_secs_f64()))
+                .collect::<Vec<_>>()
+        ),
+    ]);
+    table.print("Fig. 4 — start/completion of a new 3-task round");
+
+    println!();
+    paper_line(
+        "relaxed completes earlier than strict at equal parallelism",
+        "earlier completion (Fig. 4b)",
+        &format!("{relaxed_done} vs {strict_done}"),
+        relaxed_done < strict_done,
+    );
+    paper_line(
+        "two tasks share the early GPU sequentially",
+        "tasks stacked on GPU1",
+        &format!(
+            "{} tasks on gpu0",
+            placed.iter().filter(|&&(_, g)| g == 0).count()
+        ),
+        placed.iter().filter(|&&(_, g)| g == 0).count() == 2,
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 5 — ResNet152 epoch time under different 2-GPU combinations:
+//! mixing a faster GPU into a K80 gang brings (almost) no speedup, because
+//! the gradient barrier paces every round at the K80.
+
+use hare_cluster::{Cluster, GpuKind};
+use hare_experiments::{paper_line, Table};
+use hare_sim::{OfflineReplay, SimWorkload, Simulation};
+use hare_workload::{JobId, JobSpec, ModelKind, ProfileDb};
+
+const ROUNDS: u32 = 10;
+
+fn epoch_time(kinds: &[(GpuKind, u32)]) -> f64 {
+    let db = ProfileDb::with_noise(1, 0.0);
+    let cluster = Cluster::from_counts(kinds, 4);
+    let job = JobSpec::new(JobId(0), ModelKind::ResNet152, ROUNDS, 2).with_batches_per_task(25);
+    let w = SimWorkload::build(cluster, vec![job], &db);
+    // Strict gang on both GPUs every round: build the schedule directly
+    // (one task per GPU per round) and replay it.
+    let mut schedule = hare_core::Schedule::with_capacity(w.problem.n_tasks());
+    let mut t = hare_cluster::SimTime::ZERO;
+    for r in 0..ROUNDS {
+        let tasks = w.problem.round_tasks(0, r);
+        for (k, &task) in tasks.iter().enumerate() {
+            schedule.gpu[task] = k;
+            schedule.start[task] = t;
+        }
+        let done = tasks
+            .iter()
+            .map(|&i| schedule.task_completion(&w.problem, i))
+            .max()
+            .unwrap();
+        t = done;
+    }
+    assert!(schedule
+        .validate(&w.problem, hare_core::SyncMode::Strict)
+        .is_ok());
+    let mut replay = OfflineReplay::new("gang", &w, &schedule);
+    let report = Simulation::new(&w).with_noise(0.0).run(&mut replay);
+    report.makespan.as_secs_f64() / ROUNDS as f64
+}
+
+fn main() {
+    use GpuKind::*;
+    let combos: [(&str, &[(GpuKind, u32)]); 5] = [
+        ("K80 x2", &[(K80, 2)]),
+        ("K80 + T4", &[(K80, 1), (T4, 1)]),
+        ("K80 + V100", &[(K80, 1), (V100, 1)]),
+        ("T4 x2", &[(T4, 2)]),
+        ("V100 x2", &[(V100, 2)]),
+    ];
+    let mut table = Table::new(&["GPU combination", "round time (s)"]);
+    let mut times = Vec::new();
+    for (name, kinds) in combos {
+        let t = epoch_time(kinds);
+        times.push(t);
+        table.row(vec![name.into(), format!("{t:.2}")]);
+    }
+    table.print("Fig. 5 — ResNet152 per-round (epoch-slice) time under GPU mixes");
+
+    println!();
+    let k80_pure = times[0];
+    paper_line(
+        "K80+T4 vs pure K80",
+        "no acceleration",
+        &format!("{:.2}s vs {k80_pure:.2}s", times[1]),
+        (times[1] - k80_pure).abs() / k80_pure < 0.05,
+    );
+    paper_line(
+        "K80+V100 vs pure K80",
+        "no acceleration",
+        &format!("{:.2}s vs {k80_pure:.2}s", times[2]),
+        (times[2] - k80_pure).abs() / k80_pure < 0.05,
+    );
+    paper_line(
+        "pure V100 is the fast case",
+        "fastest",
+        &format!("{:.2}s", times[4]),
+        times[4] < times.iter().take(4).cloned().fold(f64::MAX, f64::min),
+    );
+}

@@ -1,0 +1,87 @@
+//! Fig. 7 — the task-switching cost ratio Ω = t_sw / (t_c^a + t_c^b) when
+//! two jobs alternate mini-batches on one V100 under an unoptimized
+//! (Default) runtime. The paper measures Ω ≈ 9 for the GraphSAGE/ResNet50
+//! pair and similarly high values in two other settings.
+
+use hare_cluster::{GpuKind, SimDuration};
+use hare_experiments::{paper_line, Table};
+use hare_memory::{omega, switch_time, PrevTask, SwitchPolicy, SwitchRequest};
+use hare_workload::ModelKind;
+
+fn setting(a: ModelKind, b: ModelKind) -> (f64, f64, f64) {
+    let gpu = GpuKind::V100;
+    let step = |m: ModelKind| SimDuration::from_millis_f64(m.batch_ms(gpu));
+    let mut per_policy = [0.0f64; 3];
+    for (i, policy) in SwitchPolicy::ALL.iter().enumerate() {
+        // Alternation: the switch into b after a batch of a.
+        let sw_ab = switch_time(
+            *policy,
+            &SwitchRequest {
+                gpu,
+                prev: Some(PrevTask {
+                    model: a,
+                    step_time: step(a),
+                }),
+                next: b,
+                // Under alternation both models stay resident for Hare.
+                cache_hit: *policy == SwitchPolicy::Hare,
+            },
+        )
+        .total();
+        let sw_ba = switch_time(
+            *policy,
+            &SwitchRequest {
+                gpu,
+                prev: Some(PrevTask {
+                    model: b,
+                    step_time: step(b),
+                }),
+                next: a,
+                cache_hit: *policy == SwitchPolicy::Hare,
+            },
+        )
+        .total();
+        let avg = (sw_ab + sw_ba) / 2;
+        per_policy[i] = omega(avg, step(a), step(b));
+    }
+    (per_policy[0], per_policy[1], per_policy[2])
+}
+
+fn main() {
+    let settings = [
+        (
+            "GraphSAGE + ResNet50",
+            ModelKind::GraphSage,
+            ModelKind::ResNet50,
+        ),
+        ("FastGCN + VGG19", ModelKind::FastGcn, ModelKind::Vgg19),
+        (
+            "GraphSAGE + Bert_base",
+            ModelKind::GraphSage,
+            ModelKind::BertBase,
+        ),
+    ];
+    let mut table = Table::new(&["setting", "Ω Default", "Ω PipeSwitch", "Ω Hare"]);
+    let mut omega_default_1 = 0.0;
+    for (i, (name, a, b)) in settings.iter().enumerate() {
+        let (d, p, h) = setting(*a, *b);
+        if i == 0 {
+            omega_default_1 = d;
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{d:.1}"),
+            format!("{p:.3}"),
+            format!("{h:.4}"),
+        ]);
+    }
+    table.print("Fig. 7 — switching-to-training ratio Ω per alternation setting");
+
+    println!();
+    paper_line(
+        "Ω of setting 1 (Default runtime)",
+        "~9 (switching ~9x the training)",
+        &format!("{omega_default_1:.1}"),
+        omega_default_1 > 5.0 && omega_default_1 < 60.0,
+    );
+}

@@ -1,0 +1,171 @@
+//! Table 3 — average task switching time of each job type under the three
+//! runtimes (Default / PipeSwitch / Hare), and the share of total task time
+//! switching accounts for.
+//!
+//! The scenario mirrors the paper's: on one V100, tasks of a given model
+//! alternate with tasks of other jobs (we interleave with a rotating set of
+//! partner models), each task training one mini-batch. Hare's numbers
+//! include its speculative-cache hits, planned over the actual sequence.
+//!
+//! `--ablate` additionally reports Hare without speculative caching and
+//! without early cleaning, isolating each mechanism's contribution.
+
+use hare_cluster::{GpuKind, SimDuration};
+use hare_experiments::{paper_line, parse_args, Table};
+use hare_memory::{switch_sequence, SeqTask, SwitchPolicy, TaskModelRef};
+use hare_workload::{JobId, ModelKind};
+
+const GPU: GpuKind = GpuKind::V100;
+
+/// Alternating sequence: the probe model (job 0) interleaved with rotating
+/// partner jobs, 8 occurrences of the probe.
+fn sequence(model: ModelKind) -> Vec<SeqTask> {
+    let partners = [ModelKind::ResNet50, ModelKind::GraphSage, ModelKind::Vgg19];
+    let mut seq = Vec::new();
+    for i in 0..8u32 {
+        let partner = partners[(i as usize) % partners.len()];
+        let partner = if partner == model {
+            ModelKind::InceptionV3
+        } else {
+            partner
+        };
+        seq.push(task(1 + (i % 3), partner));
+        seq.push(task(0, model));
+    }
+    seq
+}
+
+fn task(job: u32, model: ModelKind) -> SeqTask {
+    SeqTask {
+        task: TaskModelRef {
+            job: JobId(job),
+            model,
+        },
+        step_time: SimDuration::from_millis_f64(model.batch_ms(GPU)),
+    }
+}
+
+/// Mean switch latency into the probe model (job 0) under a policy.
+fn mean_switch(model: ModelKind, policy: SwitchPolicy) -> SimDuration {
+    let seq = sequence(model);
+    let costs = switch_sequence(policy, GPU, &seq);
+    let probe: Vec<SimDuration> = seq
+        .iter()
+        .zip(&costs)
+        .filter(|(s, _)| s.task.job == JobId(0))
+        .map(|(_, b)| b.total())
+        .collect();
+    probe.iter().copied().sum::<SimDuration>() / probe.len() as u64
+}
+
+fn main() {
+    let (_, _, extra) = parse_args();
+    let ablate = extra.iter().any(|a| a == "--ablate");
+
+    let paper_ms: [(ModelKind, [f64; 3]); 8] = [
+        (ModelKind::Vgg19, [3288.94, 4.01, 2.77]),
+        (ModelKind::ResNet50, [5961.16, 4.75, 2.04]),
+        (ModelKind::InceptionV3, [7807.43, 5.03, 2.46]),
+        (ModelKind::BertBase, [9016.99, 12.57, 5.03]),
+        (ModelKind::Transformer, [5257.17, 10.34, 5.79]),
+        (ModelKind::DeepSpeech, [5125.64, 8.91, 4.27]),
+        (ModelKind::FastGcn, [5327.24, 2.86, 1.83]),
+        (ModelKind::GraphSage, [5213.54, 2.42, 0.96]),
+    ];
+
+    let mut table = Table::new(&[
+        "model",
+        "Default (ms)",
+        "paper",
+        "PipeSwitch (ms)",
+        "paper",
+        "Hare (ms)",
+        "paper",
+        "Hare %task",
+    ]);
+    let mut hare_max = 0.0f64;
+    let mut hare_pct_max = 0.0f64;
+    for (model, paper) in paper_ms {
+        let d = mean_switch(model, SwitchPolicy::Default).as_millis_f64();
+        let p = mean_switch(model, SwitchPolicy::PipeSwitch).as_millis_f64();
+        let h = mean_switch(model, SwitchPolicy::Hare).as_millis_f64();
+        // Share of total task time (task = one mini-batch, as in the
+        // paper's alternation microbenchmark; plus sync-free).
+        let task_ms = model.batch_ms(GPU) * 2.0;
+        let pct = h / (h + task_ms) * 100.0;
+        hare_max = hare_max.max(h);
+        hare_pct_max = hare_pct_max.max(pct);
+        table.row(vec![
+            model.to_string(),
+            format!("{d:.1}"),
+            format!("{:.1}", paper[0]),
+            format!("{p:.2}"),
+            format!("{:.2}", paper[1]),
+            format!("{h:.2}"),
+            format!("{:.2}", paper[2]),
+            format!("{pct:.2}%"),
+        ]);
+    }
+    table.print("Table 3 — average task switching time (V100, alternating jobs)");
+
+    println!();
+    paper_line(
+        "Default needs seconds",
+        "> 3000 ms for all jobs",
+        "see column",
+        true,
+    );
+    paper_line(
+        "max Hare switching time",
+        "no more than 6 ms",
+        &format!("{hare_max:.2} ms"),
+        hare_max <= 6.5,
+    );
+    paper_line(
+        "Hare switching share of task time",
+        "within 5% (largest under graph models)",
+        &format!("max {hare_pct_max:.2}%"),
+        hare_pct_max <= 6.0,
+    );
+
+    if ablate {
+        // Mechanism ablation: Hare with cache hits suppressed (every
+        // admit treated as a miss) vs PipeSwitch (no early cleaning, no
+        // speculation) vs full Hare.
+        let mut t = Table::new(&[
+            "model",
+            "Hare full (ms)",
+            "no speculation (ms)",
+            "no early cleaning = PipeSwitch (ms)",
+        ]);
+        for (model, _) in paper_ms {
+            let full = mean_switch(model, SwitchPolicy::Hare).as_millis_f64();
+            // No speculation: force misses by giving every probe task a
+            // fresh job id (nothing is ever resident).
+            let seq: Vec<SeqTask> = sequence(model)
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut s)| {
+                    s.task.job = JobId(1000 + i as u32);
+                    s
+                })
+                .collect();
+            let costs = switch_sequence(SwitchPolicy::Hare, GPU, &seq);
+            let nospec_all: Vec<f64> = seq
+                .iter()
+                .zip(&costs)
+                .filter(|(s, _)| s.task.model == model)
+                .map(|(_, b)| b.total().as_millis_f64())
+                .collect();
+            let nospec = nospec_all.iter().sum::<f64>() / nospec_all.len() as f64;
+            let pipe = mean_switch(model, SwitchPolicy::PipeSwitch).as_millis_f64();
+            t.row(vec![
+                model.to_string(),
+                format!("{full:.2}"),
+                format!("{nospec:.2}"),
+                format!("{pipe:.2}"),
+            ]);
+        }
+        t.print("Table 3 ablation — contribution of speculation and early cleaning");
+    }
+}

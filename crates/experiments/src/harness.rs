@@ -1,0 +1,189 @@
+//! Experiment harness: aligned-table output, multi-seed sweeps, and
+//! paper-vs-measured reporting shared by every figure/table binary.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:>w$}  ", w = w);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV (for plotting scripts).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') {
+                format!("\"{s}\"")
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table, preceded by a title banner, and optionally write
+    /// the CSV next to it.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Mean and sample standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty());
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// Run `f(seed)` for each seed in parallel (simulations are independent)
+/// and return results in seed order.
+pub fn parallel_over_seeds<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| scope.spawn(move || f(seed)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// One "paper vs measured" comparison line.
+pub fn paper_line(what: &str, paper: &str, measured: &str, verdict: bool) {
+    println!(
+        "  [{}] {what}: paper {paper} | measured {measured}",
+        if verdict { "ok" } else { "!!" }
+    );
+}
+
+/// Parse `--seeds N` and `--csv` style flags from argv; returns
+/// (seeds, emit_csv, extra flags).
+pub fn parse_args() -> (Vec<u64>, bool, Vec<String>) {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut seeds = vec![1u64];
+    let mut csv = false;
+    let mut extra = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let n: u64 = args
+                    .next()
+                    .expect("--seeds N")
+                    .parse()
+                    .expect("numeric seed count");
+                seeds = (1..=n).collect();
+            }
+            "--csv" => csv = true,
+            other => extra.push(other.to_string()),
+        }
+    }
+    (seeds, csv, extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["scheme", "wJCT"]);
+        t.row(vec!["Hare".into(), "1.0".into()]);
+        t.row(vec!["Gavel_FIFO".into(), "2.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("scheme"));
+        assert!(lines[3].contains("Gavel_FIFO"));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,\"x,y\"\n");
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+
+    #[test]
+    fn seeds_run_in_parallel_and_in_order() {
+        let out = parallel_over_seeds(&[1, 2, 3, 4], |s| s * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Canonical experiment configurations (Section 7.1).
+
+use hare_baselines::{run_all, RunOptions};
+use hare_cluster::{Bandwidth, Cluster, Heterogeneity, NetworkModel};
+use hare_sim::{SimReport, SimWorkload};
+use hare_workload::{DomainMix, ProfileDb, TraceConfig};
+
+/// The testbed workload of Figs. 12–13: 40 jobs on the 15-GPU testbed.
+pub fn testbed_workload(seed: u64) -> SimWorkload {
+    let db = ProfileDb::new(seed);
+    let trace = TraceConfig {
+        n_jobs: 40,
+        seed,
+        ..TraceConfig::default()
+    }
+    .generate();
+    SimWorkload::build(Cluster::testbed15(), trace, &db)
+}
+
+/// The large-scale simulator configuration behind Figs. 14–19.
+#[derive(Clone, Debug)]
+pub struct LargeScale {
+    /// GPU count (default 160).
+    pub n_gpus: u32,
+    /// Job count (default 200).
+    pub n_jobs: u32,
+    /// Heterogeneity level (default High: V100×T4×K80×M60).
+    pub level: Heterogeneity,
+    /// Domain mix (default 25% each).
+    pub mix: DomainMix,
+    /// NIC bandwidth (default 25 Gbps).
+    pub bandwidth: Bandwidth,
+    /// Batch-size multiplier over Table-2 defaults (default 1.0 = B₀).
+    pub batch_scale: f64,
+}
+
+impl Default for LargeScale {
+    fn default() -> Self {
+        LargeScale {
+            n_gpus: 160,
+            n_jobs: 200,
+            level: Heterogeneity::High,
+            mix: DomainMix::default(),
+            bandwidth: Bandwidth::gbps(25.0),
+            batch_scale: 1.0,
+        }
+    }
+}
+
+impl LargeScale {
+    /// Materialize the workload for one seed.
+    pub fn workload(&self, seed: u64) -> SimWorkload {
+        let db = ProfileDb::new(seed);
+        let cluster = Cluster::with_heterogeneity(self.level, self.n_gpus)
+            .with_network(NetworkModel::default().with_nic(self.bandwidth));
+        let trace = TraceConfig {
+            n_jobs: self.n_jobs,
+            mix: self.mix,
+            mean_interarrival: hare_cluster::SimDuration::from_secs(5),
+            batch_scale: self.batch_scale,
+            seed,
+            ..TraceConfig::default()
+        }
+        .generate();
+        SimWorkload::build(cluster, trace, &db)
+    }
+
+    /// Run all five schemes for one seed; returns reports in
+    /// [`hare_baselines::Scheme::ALL`] order.
+    pub fn run(&self, seed: u64) -> Vec<SimReport> {
+        let w = self.workload(seed);
+        run_all(
+            &w,
+            RunOptions {
+                seed,
+                ..RunOptions::default()
+            },
+        )
+    }
+}
+
+/// Run a sweep: for each labelled configuration, run all five schemes over
+/// the given seeds and tabulate mean weighted JCT (sojourn form, the
+/// quantity the paper's figures plot) plus the best-baseline/Hare ratio.
+pub fn sweep_table(axis: &str, points: &[(String, LargeScale)], seeds: &[u64]) -> crate::Table {
+    use crate::{mean_std, parallel_over_seeds, Table};
+    use hare_baselines::Scheme;
+
+    let mut table = Table::new(&[
+        axis,
+        "Hare",
+        "Gavel_FIFO",
+        "SRTF",
+        "Sched_Homo",
+        "Sched_Allox",
+        "best-baseline/Hare",
+    ]);
+    for (label, cfg) in points {
+        let runs = parallel_over_seeds(seeds, |seed| cfg.run(seed));
+        let mut means = Vec::new();
+        for (i, _) in Scheme::ALL.iter().enumerate() {
+            let xs: Vec<f64> = runs.iter().map(|r| r[i].weighted_jct).collect();
+            means.push(mean_std(&xs).0);
+        }
+        let hare = means[0];
+        let best_baseline = means[1..].iter().cloned().fold(f64::MAX, f64::min);
+        let mut row = vec![label.clone()];
+        row.extend(means.iter().map(|m| format!("{m:.0}")));
+        row.push(format!("{:.2}x", best_baseline / hare));
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_workload_shape() {
+        let w = testbed_workload(3);
+        assert_eq!(w.cluster.gpu_count(), 15);
+        assert_eq!(w.problem.jobs.len(), 40);
+    }
+
+    #[test]
+    fn large_scale_configures_cluster_and_trace() {
+        let cfg = LargeScale {
+            n_gpus: 8,
+            n_jobs: 4,
+            bandwidth: Bandwidth::gbps(10.0),
+            ..LargeScale::default()
+        };
+        let w = cfg.workload(1);
+        assert_eq!(w.cluster.gpu_count(), 8);
+        assert_eq!(w.problem.jobs.len(), 4);
+        assert!((w.cluster.network().nic.as_gbps() - 10.0).abs() < 1e-9);
+    }
+}

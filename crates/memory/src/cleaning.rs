@@ -1,0 +1,135 @@
+//! Early task cleaning (Section 4).
+//!
+//! Native PyTorch (and PipeSwitch) frees a task's GPU memory *after* the
+//! task completes. Hare instead deletes each layer's intermediate data as
+//! soon as that layer's backward pass finishes. Two benefits, both modelled
+//! here:
+//!
+//! 1. **Security** — the content is wiped, not just unreferenced (the pool
+//!    accounts for this, see [`crate::pool::MemoryPool::wiped`]).
+//! 2. **Earlier preloading** — released memory can host the *next* task's
+//!    first layer groups while the predecessor is still finishing, hiding
+//!    transfer latency.
+
+use hare_cluster::{Bytes, SimDuration};
+use hare_workload::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of a training step spent in the backward pass (forward ≈ 1/3,
+/// backward ≈ 2/3 — the usual 1:2 rule of thumb for SGD training).
+pub const BACKWARD_FRAC: f64 = 2.0 / 3.0;
+
+/// The freed-bytes timeline of one task's backward pass under early
+/// cleaning. Offsets count backwards from task completion: an event at
+/// offset `d` means "by `d` before the task ends, these bytes are free".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CleaningTimeline {
+    /// (offset before task end, cumulative bytes freed by then), ordered by
+    /// decreasing offset (earliest event first).
+    pub events: Vec<(SimDuration, Bytes)>,
+    /// Activation bytes freed in total by task end.
+    pub total_freed: Bytes,
+}
+
+/// Build the early-cleaning timeline for a task of `model` whose full step
+/// (forward + backward) takes `step_time`.
+///
+/// The backward pass walks layer groups in reverse; each group's
+/// intermediate data is wiped as its backward completes, so the cumulative
+/// freed bytes grow linearly in group count across the backward window.
+pub fn timeline(model: ModelKind, step_time: SimDuration) -> CleaningTimeline {
+    let spec = model.spec();
+    let groups = spec.layer_groups.max(1) as u64;
+    let backward = step_time.mul_f64(BACKWARD_FRAC);
+    let per_group_bytes = Bytes::new(spec.activation_bytes.as_u64() / groups);
+    let per_group_time = backward / groups;
+
+    // Group g (1-based, in backward order) finishes at g * per_group_time
+    // into the backward pass, i.e. (groups - g) * per_group_time before end.
+    let events: Vec<(SimDuration, Bytes)> = (1..=groups)
+        .map(|g| {
+            let offset_before_end = per_group_time * (groups - g);
+            let freed = Bytes::new(per_group_bytes.as_u64() * g);
+            (offset_before_end, freed)
+        })
+        .collect();
+    let total_freed = events.last().map(|&(_, b)| b).unwrap_or(Bytes::ZERO);
+    CleaningTimeline {
+        events,
+        total_freed,
+    }
+}
+
+impl CleaningTimeline {
+    /// How long before the predecessor ends `needed` bytes become free —
+    /// i.e. the window during which the successor's preload can overlap the
+    /// predecessor's tail. Zero if the timeline never frees that much.
+    pub fn overlap_window(&self, needed: Bytes) -> SimDuration {
+        // Events are ordered earliest-first (decreasing offset); take the
+        // earliest event that satisfies the requirement.
+        self.events
+            .iter()
+            .find(|&&(_, freed)| freed >= needed)
+            .map(|&(offset, _)| offset)
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_frees_all_activations_by_end() {
+        let t = timeline(ModelKind::ResNet50, SimDuration::from_millis(60));
+        // Integer division may shave a few bytes per group; within a group.
+        let expected = ModelKind::ResNet50.spec().activation_bytes;
+        let lost = expected.as_u64() - t.total_freed.as_u64();
+        assert!(lost < ModelKind::ResNet50.spec().layer_groups as u64);
+        // Final event is at offset zero (task end).
+        assert_eq!(t.events.last().unwrap().0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn events_are_monotone() {
+        let t = timeline(ModelKind::BertBase, SimDuration::from_millis(900));
+        for w in t.events.windows(2) {
+            assert!(w[0].0 >= w[1].0, "offsets must decrease");
+            assert!(w[0].1 <= w[1].1, "freed bytes must grow");
+        }
+    }
+
+    #[test]
+    fn overlap_window_scales_with_need() {
+        let t = timeline(ModelKind::Vgg19, SimDuration::from_millis(68));
+        let small = t.overlap_window(Bytes::mib(1));
+        let large = t.overlap_window(Bytes::mib(1000));
+        assert!(small > large);
+        // Needing more than is ever freed gives no overlap.
+        assert_eq!(t.overlap_window(Bytes::gib(10)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn first_group_preload_fits_well_within_backward() {
+        // The fig-7/table-3 scenario: the successor needs one layer group
+        // resident before it can start; early cleaning frees that much long
+        // before the predecessor finishes.
+        let step = SimDuration::from_millis(68); // VGG19 on V100
+        let t = timeline(ModelKind::Vgg19, step);
+        let group =
+            crate::transfer::pipeline(ModelKind::ResNet50, hare_cluster::GpuKind::V100).group_bytes;
+        let window = t.overlap_window(group);
+        let xfer =
+            crate::transfer::pipeline(ModelKind::ResNet50, hare_cluster::GpuKind::V100).first_group;
+        assert!(
+            window > xfer,
+            "window {window} should exceed first-group transfer {xfer}"
+        );
+    }
+
+    #[test]
+    fn single_group_models_free_at_end_only() {
+        let t = timeline(ModelKind::GraphSage, SimDuration::from_millis(55));
+        assert_eq!(t.events.len(), 2); // GraphSAGE has 2 layer groups
+    }
+}

@@ -1,0 +1,23 @@
+//! Fast task switching substrate (Section 4 of the paper).
+//!
+//! A simulated GPU memory hierarchy — typed memory pool, PCIe transfer
+//! engine with pipelined layer-group plans — on top of which the three
+//! switching protocols of Table 3 (Default, PipeSwitch, Hare) are
+//! implemented as mechanistic cost models, including Hare's two novel
+//! designs: early task cleaning and speculative memory management.
+
+#![warn(missing_docs)]
+
+pub mod cleaning;
+pub mod pool;
+pub mod speculative;
+pub mod switching;
+pub mod transfer;
+
+pub use pool::{AllocId, MemoryPool, OomError, Region, RegionKind};
+pub use speculative::{plan_cache, CachePlan, SpeculativeCache, TaskModelRef};
+pub use switching::{
+    omega, switch_sequence, switch_time, PrevTask, SeqTask, SwitchBreakdown, SwitchPolicy,
+    SwitchRequest,
+};
+pub use transfer::{full_transfer, pipeline, Pipeline};

@@ -1,0 +1,794 @@
+//! The trace-driven discrete-event simulator (Section 7.1).
+//!
+//! The engine executes a [`SimWorkload`] under a [`Policy`], charging
+//!
+//! * realized task durations — the expected (profiled) time perturbed by
+//!   per-task noise at the Fig.-11-calibrated level,
+//! * task-switching latency from the `hare-memory` protocol state machines
+//!   (with a live speculative cache per GPU under the Hare protocol),
+//! * gradient-synchronization barriers from the per-job parameter servers
+//!   over the contended network model.
+//!
+//! Runs are bit-for-bit deterministic in (workload, policy, seed); the
+//! paper's testbed-vs-simulator comparison (Fig. 12) is reproduced by
+//! comparing a full-fidelity run against [`planned_report`] — the
+//! scheduler's own noise-free expectation.
+
+use crate::build::SimWorkload;
+use crate::event::{Event, EventQueue};
+use crate::metrics::{GpuReport, SimReport, UtilSpan};
+use crate::policy::{Policy, SimView};
+use crate::ps::ParameterServer;
+use crate::storage::CheckpointStore;
+use hare_cluster::{SimDuration, SimTime};
+use hare_core::Schedule;
+use hare_memory::{PrevTask, SpeculativeCache, SwitchPolicy, SwitchRequest, TaskModelRef};
+use hare_workload::gaussian;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct Simulation<'a> {
+    workload: &'a SimWorkload,
+    switch_policy: SwitchPolicy,
+    noise_frac: f64,
+    seed: u64,
+    record_timelines: bool,
+    failures: Vec<(SimTime, usize)>,
+    storage: CheckpointStore,
+}
+
+impl<'a> Simulation<'a> {
+    /// A full-fidelity simulation: Hare switching, ±2% duration noise.
+    pub fn new(workload: &'a SimWorkload) -> Self {
+        Simulation {
+            workload,
+            switch_policy: SwitchPolicy::Hare,
+            noise_frac: 0.02,
+            seed: 0,
+            record_timelines: false,
+            failures: Vec::new(),
+            storage: CheckpointStore::default(),
+        }
+    }
+
+    /// Select the task-switching protocol charged at each switch.
+    pub fn with_switch_policy(mut self, p: SwitchPolicy) -> Self {
+        self.switch_policy = p;
+        self
+    }
+
+    /// Set the realized-duration noise level (0 = exact expected times).
+    pub fn with_noise(mut self, frac: f64) -> Self {
+        assert!((0.0..0.5).contains(&frac));
+        self.noise_frac = frac;
+        self
+    }
+
+    /// Set the noise seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Record per-GPU utilization timelines (Figs. 3/6/8); costs memory.
+    pub fn with_timelines(mut self) -> Self {
+        self.record_timelines = true;
+        self
+    }
+
+    /// Replace the shared checkpoint store (Fig. 9's HDFS): first access
+    /// of a job on a machine fetches its checkpoint at the store's shared
+    /// bandwidth; later accesses hit the machine-local copy.
+    pub fn with_storage(mut self, storage: CheckpointStore) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Inject a permanent GPU failure at `at` (failure injection): the GPU
+    /// leaves service forever; a task running there is re-executed
+    /// elsewhere (its gradient had not reached the PS). The policy is
+    /// notified through [`crate::policy::Policy::on_gpu_failure`].
+    pub fn with_gpu_failure(mut self, at: SimTime, gpu: usize) -> Self {
+        assert!(gpu < self.workload.cluster.gpu_count());
+        self.failures.push((at, gpu));
+        self
+    }
+
+    /// Run a policy to completion and report.
+    pub fn run(&self, policy: &mut dyn Policy) -> SimReport {
+        Engine::new(self, policy).run()
+    }
+}
+
+/// What a GPU is working on right now.
+#[derive(Copy, Clone, Debug)]
+struct Current {
+    task: usize,
+    /// End of training (MAX while still switching).
+    train_end: SimTime,
+    /// Accounted busy/effective-busy to roll back on failure.
+    busy: SimDuration,
+    effective: SimDuration,
+}
+
+/// Task lifecycle.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum TaskState {
+    Pending,
+    Ready,
+    Running,
+    Done,
+}
+
+struct Engine<'a, 'b> {
+    cfg: &'a Simulation<'a>,
+    policy: &'b mut dyn Policy,
+    queue: EventQueue,
+    task_state: Vec<TaskState>,
+    ready: BTreeSet<usize>,
+    idle: BTreeSet<usize>,
+    /// Last task that ran on each GPU (for switch costs).
+    prev_task: Vec<Option<usize>>,
+    /// When the current switch+train occupation began, per GPU.
+    occupied_since: Vec<SimTime>,
+    caches: Vec<SpeculativeCache>,
+    ps: Vec<ParameterServer>,
+    arrived: Vec<bool>,
+    synced_rounds: Vec<u32>,
+    completion: Vec<Option<SimTime>>,
+    jobs_done: usize,
+    /// Jobs with a synchronization barrier currently in flight (for
+    /// cross-job network contention).
+    active_syncs: u32,
+    /// Permanently failed GPUs.
+    failed: Vec<bool>,
+    /// Checkpoint store state.
+    store: CheckpointStore,
+    /// GPUs whose in-flight switch includes a storage fetch.
+    fetching: Vec<bool>,
+    active_fetches: u32,
+    /// Task currently occupying each GPU, with its training end time and
+    /// accounted durations (for failure rollback).
+    current: Vec<Option<Current>>,
+    gpus: Vec<GpuReport>,
+    timelines: Option<Vec<Vec<UtilSpan>>>,
+    now: SimTime,
+}
+
+impl<'a, 'b> Engine<'a, 'b> {
+    fn new(cfg: &'a Simulation<'a>, policy: &'b mut dyn Policy) -> Self {
+        let w = cfg.workload;
+        let n_gpus = w.cluster.gpu_count();
+        let n_jobs = w.problem.jobs.len();
+        let mut queue = EventQueue::new();
+        for (job, info) in w.problem.jobs.iter().enumerate() {
+            queue.push(info.arrival, Event::JobArrival { job });
+        }
+        for &(at, gpu) in &cfg.failures {
+            queue.push(at, Event::GpuFailure { gpu });
+        }
+        let ps = w
+            .problem
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, info)| {
+                ParameterServer::new(
+                    j,
+                    info.sync_scale,
+                    info.rounds,
+                    w.specs[j].model.spec().param_bytes,
+                )
+            })
+            .collect();
+        Engine {
+            cfg,
+            policy,
+            queue,
+            task_state: vec![TaskState::Pending; w.problem.n_tasks()],
+            ready: BTreeSet::new(),
+            idle: (0..n_gpus).collect(),
+            prev_task: vec![None; n_gpus],
+            occupied_since: vec![SimTime::ZERO; n_gpus],
+            caches: w
+                .cluster
+                .gpus()
+                .iter()
+                .map(|g| SpeculativeCache::new(g.kind))
+                .collect(),
+            ps,
+            arrived: vec![false; n_jobs],
+            synced_rounds: vec![0; n_jobs],
+            completion: vec![None; n_jobs],
+            jobs_done: 0,
+            active_syncs: 0,
+            failed: vec![false; n_gpus],
+            store: cfg.storage.clone(),
+            fetching: vec![false; n_gpus],
+            active_fetches: 0,
+            current: vec![None; n_gpus],
+            gpus: vec![GpuReport::default(); n_gpus],
+            timelines: cfg.record_timelines.then(|| vec![Vec::new(); n_gpus]),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        let n_jobs = self.cfg.workload.problem.jobs.len();
+        while self.jobs_done < n_jobs {
+            let Some((t, event)) = self.queue.pop() else {
+                panic!(
+                    "simulation deadlock at {}: {}/{} jobs done, {} ready tasks, {} idle GPUs — \
+                     the policy stopped dispatching",
+                    self.now,
+                    self.jobs_done,
+                    n_jobs,
+                    self.ready.len(),
+                    self.idle.len()
+                );
+            };
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.handle(event);
+            self.dispatch();
+        }
+        self.report()
+    }
+
+    fn handle(&mut self, event: Event) {
+        let w = self.cfg.workload;
+        match event {
+            Event::JobArrival { job } => {
+                self.arrived[job] = true;
+                for i in w.problem.round_tasks(job, 0) {
+                    debug_assert_eq!(self.task_state[i], TaskState::Pending);
+                    self.task_state[i] = TaskState::Ready;
+                    self.ready.insert(i);
+                }
+            }
+            Event::SwitchDone { task, gpu } => {
+                if self.fetching[gpu] {
+                    self.fetching[gpu] = false;
+                    self.active_fetches -= 1;
+                }
+                if self.failed[gpu] {
+                    return; // stale event of a failed GPU; task was requeued
+                }
+                // Training begins; realized duration = expected × noise.
+                let expected = w.problem.train(task, gpu);
+                let realized = self.realized(task, expected);
+                self.gpus[gpu].busy += realized;
+                let model = w.task_model(task);
+                let kind = w.cluster.gpus()[gpu].kind;
+                self.gpus[gpu].effective_busy += realized.mul_f64(model.utilization(kind));
+                if let Some(tl) = &mut self.timelines {
+                    tl[gpu].push(UtilSpan {
+                        from: self.occupied_since[gpu],
+                        to: self.now,
+                        level: 0.0, // switching
+                    });
+                    tl[gpu].push(UtilSpan {
+                        from: self.now,
+                        to: self.now + realized,
+                        level: model.utilization(kind),
+                    });
+                }
+                if let Some(cur) = &mut self.current[gpu] {
+                    debug_assert_eq!(cur.task, task);
+                    cur.train_end = self.now + realized;
+                    cur.busy = realized;
+                    cur.effective = realized.mul_f64(model.utilization(kind));
+                }
+                self.queue
+                    .push(self.now + realized, Event::TrainDone { task, gpu });
+            }
+            Event::TrainDone { task, gpu } => {
+                if self.failed[gpu] {
+                    return; // stale event of a failed GPU; task was requeued
+                }
+                self.current[gpu] = None;
+                self.task_state[task] = TaskState::Done;
+                self.prev_task[gpu] = Some(task);
+                self.idle.insert(gpu);
+                let job = w.problem.tasks[task].job;
+                let machine = w.cluster.gpus()[gpu].machine;
+                if let Some(outcome) = self.ps[job].push_gradient_contended(
+                    self.now,
+                    machine,
+                    w.cluster.network(),
+                    self.active_syncs,
+                ) {
+                    self.active_syncs += 1;
+                    self.queue.push(
+                        outcome.done_at,
+                        Event::SyncDone {
+                            job,
+                            round: outcome.round,
+                        },
+                    );
+                }
+            }
+            Event::GpuFailure { gpu } => {
+                if self.failed[gpu] {
+                    return;
+                }
+                self.failed[gpu] = true;
+                self.idle.remove(&gpu);
+                if self.fetching[gpu] {
+                    self.fetching[gpu] = false;
+                    self.active_fetches -= 1;
+                }
+                // A running task is lost: roll back the un-run part of its
+                // accounting and return it to the ready set (its gradient
+                // never reached the PS, so the PS state is untouched).
+                let mut requeued = Vec::new();
+                if let Some(cur) = self.current[gpu].take() {
+                    if cur.train_end != SimTime::MAX {
+                        // Training had started; remove the portion that
+                        // will never execute.
+                        let unrun = cur.train_end.saturating_since(self.now);
+                        let frac = unrun.ratio(cur.busy).min(1.0);
+                        self.gpus[gpu].busy -= cur.busy.mul_f64(frac);
+                        self.gpus[gpu].effective_busy -= cur.effective.mul_f64(frac);
+                    }
+                    self.task_state[cur.task] = TaskState::Ready;
+                    self.ready.insert(cur.task);
+                    requeued.push(cur.task);
+                }
+                self.policy.on_gpu_failure(gpu, &requeued);
+            }
+            Event::SyncDone { job, round } => {
+                debug_assert_eq!(self.synced_rounds[job], round);
+                self.active_syncs -= 1;
+                self.synced_rounds[job] = round + 1;
+                if round + 1 == w.problem.jobs[job].rounds {
+                    self.completion[job] = Some(self.now);
+                    self.jobs_done += 1;
+                    // The job will never run again: release its cached
+                    // models and garbage-collect its checkpoints.
+                    for cache in &mut self.caches {
+                        cache.retire_job(hare_workload::JobId(job as u32));
+                    }
+                    self.store.evict_job(job);
+                } else {
+                    for i in w.problem.round_tasks(job, round + 1) {
+                        debug_assert_eq!(self.task_state[i], TaskState::Pending);
+                        self.task_state[i] = TaskState::Ready;
+                        self.ready.insert(i);
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        loop {
+            if self.ready.is_empty() || self.idle.is_empty() {
+                return;
+            }
+            let ready: Vec<usize> = self.ready.iter().copied().collect();
+            let idle: Vec<usize> = self.idle.iter().copied().collect();
+            let view = SimView {
+                now: self.now,
+                workload: self.cfg.workload,
+                ready: &ready,
+                idle_gpus: &idle,
+                synced_rounds: &self.synced_rounds,
+                arrived: &self.arrived,
+            };
+            let assignments = self.policy.dispatch(&view);
+            if assignments.is_empty() {
+                return;
+            }
+            for (task, gpu) in assignments {
+                assert!(
+                    self.ready.remove(&task),
+                    "policy dispatched non-ready task {task}"
+                );
+                assert!(
+                    self.idle.remove(&gpu),
+                    "policy dispatched to non-idle GPU {gpu}"
+                );
+                self.start_task(task, gpu);
+            }
+        }
+    }
+
+    fn start_task(&mut self, task: usize, gpu: usize) {
+        let w = self.cfg.workload;
+        self.task_state[task] = TaskState::Running;
+        let job = w.problem.tasks[task].job;
+        let model = w.task_model(task);
+        let kind = w.cluster.gpus()[gpu].kind;
+
+        // Consecutive tasks of the same job share the GPU context and the
+        // resident model (Section 3: "several consecutive tasks on a GPU
+        // belong to the same job and they share the same GPU context,
+        // leading to low switching overhead") — under every runtime. Only
+        // a dispatch round-trip is charged, and it is not counted as a
+        // task switch.
+        self.current[gpu] = Some(Current {
+            task,
+            train_end: SimTime::MAX,
+            busy: SimDuration::ZERO,
+            effective: SimDuration::ZERO,
+        });
+        if self.prev_task[gpu].map(|t| w.problem.tasks[t].job) == Some(job) {
+            if self.cfg.switch_policy == SwitchPolicy::Hare {
+                // Keep the cache bookkeeping consistent (always a hit).
+                let hit = self.caches[gpu].admit(TaskModelRef {
+                    job: hare_workload::JobId(job as u32),
+                    model,
+                });
+                debug_assert!(hit, "same-job successor must be resident");
+            }
+            let sw = SimDuration::from_micros(500);
+            self.gpus[gpu].switching += sw;
+            self.occupied_since[gpu] = self.now;
+            self.queue
+                .push(self.now + sw, Event::SwitchDone { task, gpu });
+            return;
+        }
+
+        let cache_hit = match self.cfg.switch_policy {
+            SwitchPolicy::Hare => self.caches[gpu].admit(TaskModelRef {
+                job: hare_workload::JobId(job as u32),
+                model,
+            }),
+            _ => false,
+        };
+        let prev = self.prev_task[gpu].map(|t| PrevTask {
+            model: w.task_model(t),
+            step_time: w.step_time(t, gpu),
+        });
+        let breakdown = hare_memory::switch_time(
+            self.cfg.switch_policy,
+            &SwitchRequest {
+                gpu: kind,
+                prev,
+                next: model,
+                cache_hit,
+            },
+        );
+        // First touch of this job on the machine pulls its checkpoint from
+        // the shared store (Fig. 9's HDFS); later touches are machine-local.
+        let machine = w.cluster.gpus()[gpu].machine;
+        let fetch = self.store.access(
+            job,
+            machine,
+            w.specs[job].model.spec().param_bytes,
+            self.active_fetches,
+        );
+        if !fetch.is_zero() {
+            self.fetching[gpu] = true;
+            self.active_fetches += 1;
+        }
+        let sw = breakdown.total() + fetch;
+        self.gpus[gpu].switching += sw;
+        self.gpus[gpu].switch_count += 1;
+        if cache_hit {
+            self.gpus[gpu].cache_hits += 1;
+        }
+        self.occupied_since[gpu] = self.now;
+        self.queue
+            .push(self.now + sw, Event::SwitchDone { task, gpu });
+    }
+
+    /// Deterministic per-task noisy duration.
+    fn realized(&self, task: usize, expected: SimDuration) -> SimDuration {
+        if self.cfg.noise_frac == 0.0 {
+            return expected;
+        }
+        let mut rng = SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(task as u64),
+        );
+        let factor = (1.0 + gaussian(&mut rng) * self.cfg.noise_frac).max(0.5);
+        expected.mul_f64(factor)
+    }
+
+    fn report(self) -> SimReport {
+        let w = self.cfg.workload;
+        let completion: Vec<SimTime> = self
+            .completion
+            .iter()
+            .map(|c| c.expect("all jobs complete"))
+            .collect();
+        let jct: Vec<SimDuration> = completion
+            .iter()
+            .zip(&w.problem.jobs)
+            .map(|(&c, j)| c.saturating_since(j.arrival))
+            .collect();
+        let weights: Vec<f64> = w.problem.jobs.iter().map(|j| j.weight).collect();
+        let weighted_completion = completion
+            .iter()
+            .zip(&weights)
+            .map(|(c, w)| c.as_secs_f64() * w)
+            .sum();
+        let weighted_jct = jct
+            .iter()
+            .zip(&weights)
+            .map(|(d, w)| d.as_secs_f64() * w)
+            .sum();
+        SimReport {
+            scheme: self.policy.name(),
+            makespan: completion.iter().copied().max().expect("jobs"),
+            completion,
+            jct,
+            weights,
+            weighted_completion,
+            weighted_jct,
+            gpus: self.gpus,
+            storage_fetched: self.store.fetched(),
+            storage_local_hits: self.store.local_hits(),
+            timelines: self.timelines,
+        }
+    }
+}
+
+/// The scheduler's own expectation of a schedule (no noise, no switching,
+/// uncontended sync estimates) packaged as a [`SimReport`] — the
+/// "simulator" column of the paper's Fig.-12 accuracy comparison.
+pub fn planned_report(workload: &SimWorkload, schedule: &Schedule, name: &str) -> SimReport {
+    let p = &workload.problem;
+    let completion: Vec<SimTime> = (0..p.jobs.len())
+        .map(|n| schedule.job_completion(p, n))
+        .collect();
+    let jct: Vec<SimDuration> = completion
+        .iter()
+        .zip(&p.jobs)
+        .map(|(&c, j)| c.saturating_since(j.arrival))
+        .collect();
+    let weights: Vec<f64> = p.jobs.iter().map(|j| j.weight).collect();
+    let busy = schedule.busy_time(p);
+    SimReport {
+        scheme: name.to_string(),
+        makespan: schedule.makespan(p),
+        weighted_completion: schedule.weighted_completion(p),
+        weighted_jct: schedule.weighted_jct(p),
+        completion,
+        jct,
+        weights,
+        gpus: busy
+            .into_iter()
+            .map(|b| GpuReport {
+                busy: b,
+                effective_busy: b,
+                ..GpuReport::default()
+            })
+            .collect(),
+        storage_fetched: hare_cluster::Bytes::ZERO,
+        storage_local_hits: 0,
+        timelines: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::OfflineReplay;
+    use hare_cluster::Cluster;
+    use hare_workload::{testbed_trace, ProfileDb};
+
+    fn workload(n_jobs: usize) -> SimWorkload {
+        let db = ProfileDb::with_noise(1, 0.0);
+        let mut trace = testbed_trace(11);
+        trace.truncate(n_jobs);
+        SimWorkload::build(Cluster::testbed15(), trace, &db)
+    }
+
+    fn run_hare(w: &SimWorkload, noise: f64, seed: u64) -> SimReport {
+        let out = hare_core::hare_schedule(&w.problem);
+        let mut replay = OfflineReplay::new("Hare", w, &out.schedule);
+        Simulation::new(w)
+            .with_noise(noise)
+            .with_seed(seed)
+            .run(&mut replay)
+    }
+
+    #[test]
+    fn completes_all_jobs() {
+        let w = workload(6);
+        let report = run_hare(&w, 0.02, 3);
+        assert_eq!(report.completion.len(), 6);
+        assert_eq!(report.jct.len(), 6);
+        assert!(report.weighted_completion > 0.0);
+        for (c, job) in report.completion.iter().zip(&w.problem.jobs) {
+            assert!(*c >= job.arrival);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = workload(5);
+        let a = run_hare(&w, 0.02, 42);
+        let b = run_hare(&w, 0.02, 42);
+        assert_eq!(a, b);
+        let c = run_hare(&w, 0.02, 43);
+        assert_ne!(a.weighted_completion, c.weighted_completion);
+    }
+
+    #[test]
+    fn noise_free_run_tracks_plan_closely() {
+        // The paper's Fig.-12 check: simulator vs testbed within 5%. With
+        // noise off, the only divergence from the plan is switching cost
+        // and sync contention.
+        let w = workload(8);
+        let out = hare_core::hare_schedule(&w.problem);
+        let planned = planned_report(&w, &out.schedule, "plan");
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let simulated = Simulation::new(&w).with_noise(0.0).run(&mut replay);
+        let gap = (simulated.weighted_completion - planned.weighted_completion).abs()
+            / planned.weighted_completion;
+        assert!(gap < 0.05, "plan-vs-sim gap {gap:.3} exceeds 5%");
+    }
+
+    #[test]
+    fn switching_protocol_changes_overhead() {
+        let w = workload(6);
+        let run = |policy| {
+            let out = hare_core::hare_schedule(&w.problem);
+            let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+            Simulation::new(&w)
+                .with_noise(0.0)
+                .with_switch_policy(policy)
+                .run(&mut replay)
+        };
+        let hare = run(SwitchPolicy::Hare);
+        let pipe = run(SwitchPolicy::PipeSwitch);
+        let default = run(SwitchPolicy::Default);
+        assert!(hare.total_switching() < pipe.total_switching());
+        assert!(pipe.total_switching() < default.total_switching());
+        // Default's multi-second switches must hurt completion times.
+        assert!(default.weighted_completion > hare.weighted_completion);
+        // Hare's speculative cache actually hits.
+        let (switches, hits) = hare.switch_stats();
+        assert!(switches > 0);
+        assert!(hits > 0, "expected cache hits across rounds");
+    }
+
+    #[test]
+    fn timelines_cover_busy_time() {
+        let w = workload(4);
+        let out = hare_core::hare_schedule(&w.problem);
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_timelines()
+            .run(&mut replay);
+        let tl = report.timelines.as_ref().expect("timelines recorded");
+        for (g, spans) in tl.iter().enumerate() {
+            let train_time: SimDuration = spans
+                .iter()
+                .filter(|s| s.level > 0.0)
+                .map(|s| s.to - s.from)
+                .sum();
+            assert_eq!(
+                train_time, report.gpus[g].busy,
+                "GPU {g} timeline disagrees with busy accounting"
+            );
+            for w2 in spans.windows(2) {
+                assert!(w2[0].to <= w2[1].from, "overlapping spans on GPU {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn work_conservation_with_zero_noise() {
+        // With noise off, each GPU's accounted busy time must equal the
+        // sum of the expected training times of the tasks placed on it.
+        let w = workload(6);
+        let out = hare_core::hare_schedule(&w.problem);
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let report = Simulation::new(&w).with_noise(0.0).run(&mut replay);
+        let total_busy: SimDuration = report.gpus.iter().map(|g| g.busy).sum();
+        // The replayed placement can differ from the plan, but total work
+        // across GPUs of the same kind is conserved... compute directly
+        // from the simulation's own placement via the timeline-free
+        // identity: every task ran exactly once somewhere, so total busy
+        // must sit between the min-kind and max-kind serializations.
+        let min_total: SimDuration = (0..w.problem.n_tasks())
+            .map(|i| {
+                (0..w.cluster.gpu_count())
+                    .map(|g| w.problem.train(i, g))
+                    .min()
+                    .unwrap()
+            })
+            .sum();
+        let max_total: SimDuration = (0..w.problem.n_tasks())
+            .map(|i| {
+                (0..w.cluster.gpu_count())
+                    .map(|g| w.problem.train(i, g))
+                    .max()
+                    .unwrap()
+            })
+            .sum();
+        assert!(total_busy >= min_total && total_busy <= max_total);
+        // And replay preserves the planned placement exactly, so equality
+        // with the plan's busy time holds per GPU.
+        assert_eq!(
+            report.gpus.iter().map(|g| g.busy).collect::<Vec<_>>(),
+            out.schedule.busy_time(&w.problem)
+        );
+    }
+
+    #[test]
+    fn gpu_failure_is_survived_by_replay() {
+        let w = workload(6);
+        let out = hare_core::hare_schedule(&w.problem);
+        let baseline = {
+            let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+            Simulation::new(&w).with_noise(0.0).run(&mut replay)
+        };
+        // Kill the busiest GPU shortly into the run.
+        let victim = out
+            .schedule
+            .busy_time(&w.problem)
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| **b)
+            .map(|(g, _)| g)
+            .unwrap();
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let failed = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_gpu_failure(SimTime::from_secs(30), victim)
+            .run(&mut replay);
+        // All jobs still complete; losing a GPU cannot help.
+        assert_eq!(failed.completion.len(), 6);
+        assert!(failed.weighted_completion >= baseline.weighted_completion);
+        // The dead GPU did no work after the failure beyond what it had
+        // completed: its busy time is at most the baseline's.
+        assert!(failed.gpus[victim].busy <= baseline.gpus[victim].busy);
+    }
+
+    #[test]
+    fn failure_of_idle_gpu_only_removes_capacity() {
+        let w = workload(5);
+        let out = hare_core::hare_schedule(&w.problem);
+        // Fail a GPU before anything arrives on it.
+        let idle_victim = 14; // the last M60 sees little early work
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_gpu_failure(SimTime::ZERO, idle_victim)
+            .run(&mut replay);
+        assert_eq!(report.completion.len(), 5);
+        assert!(report.gpus[idle_victim].busy.is_zero());
+    }
+
+    #[test]
+    fn failures_are_deterministic() {
+        let w = workload(6);
+        let run = || {
+            let out = hare_core::hare_schedule(&w.problem);
+            let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+            Simulation::new(&w)
+                .with_seed(9)
+                .with_gpu_failure(SimTime::from_secs(10), 0)
+                .with_gpu_failure(SimTime::from_secs(50), 3)
+                .run(&mut replay)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn arrivals_gate_execution() {
+        let w = workload(5);
+        let report = run_hare(&w, 0.0, 0);
+        // No job may complete before its arrival + its critical path.
+        for (n, job) in w.problem.jobs.iter().enumerate() {
+            let min_round = job.train.iter().min().unwrap();
+            let lower = job.arrival + *min_round * job.rounds as u64;
+            assert!(
+                report.completion[n] >= lower,
+                "job {n} completed impossibly early"
+            );
+        }
+    }
+}

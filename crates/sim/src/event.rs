@@ -1,0 +1,145 @@
+//! Deterministic event queue.
+//!
+//! Events are totally ordered by (time, sequence number): two events at the
+//! same instant fire in insertion order, so a simulation is a pure function
+//! of its inputs — the property the paper's simulator-vs-testbed validation
+//! (Fig. 12) depends on and that all our experiments inherit.
+
+use hare_cluster::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What happened.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A job's arrival time was reached.
+    JobArrival {
+        /// Job index.
+        job: usize,
+    },
+    /// A GPU finished the switch into a task and starts computing.
+    SwitchDone {
+        /// Task index.
+        task: usize,
+        /// GPU index.
+        gpu: usize,
+    },
+    /// A task finished its training computation on a GPU.
+    TrainDone {
+        /// Task index.
+        task: usize,
+        /// GPU index.
+        gpu: usize,
+    },
+    /// A round's gradient synchronization completed at the PS.
+    SyncDone {
+        /// Job index.
+        job: usize,
+        /// Round index.
+        round: u32,
+    },
+    /// A GPU fails permanently (failure injection).
+    GpuFailure {
+        /// GPU index.
+        gpu: usize,
+    },
+}
+
+/// Min-heap of timestamped events with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    seq: u64,
+}
+
+/// Internal ordered wrapper (events themselves need only `Eq` since the
+/// sequence number already breaks all ties).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct EventBox(Event);
+
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventBox {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule an event.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), Event::JobArrival { job: 3 });
+        q.push(SimTime::from_secs(1), Event::JobArrival { job: 1 });
+        q.push(SimTime::from_secs(2), Event::JobArrival { job: 2 });
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::JobArrival { job } => job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for job in 0..10 {
+            q.push(t, Event::JobArrival { job });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::JobArrival { job } => job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, Event::SyncDone { job: 0, round: 0 });
+        q.push(SimTime::ZERO, Event::TrainDone { task: 0, gpu: 0 });
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Trace-driven discrete-event simulator for DML job scheduling on
+//! heterogeneous GPUs — the reproduction of the paper's Python simulator
+//! (Section 7.1), with the fast-task-switching runtime (Section 4) and the
+//! PS-based synchronization model wired in.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod control;
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod policy;
+pub mod ps;
+pub mod storage;
+
+pub use build::SimWorkload;
+pub use control::{broadcast_schedule, ControlLog, ExecutorMsg, SchedulerMsg};
+pub use engine::{planned_report, Simulation};
+pub use event::{Event, EventQueue};
+pub use metrics::{jct_cdf, GpuReport, SimReport, UtilSpan};
+pub use policy::{OfflineReplay, Policy, SimView};
+pub use ps::{ParameterServer, SyncOutcome};
+pub use storage::CheckpointStore;

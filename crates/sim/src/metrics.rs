@@ -1,0 +1,186 @@
+//! Simulation reports: the quantities the paper's evaluation plots.
+
+use hare_cluster::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-GPU accounting.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpuReport {
+    /// Time spent computing (training steps).
+    pub busy: SimDuration,
+    /// Computing time weighted by the running model's SM-utilization cap —
+    /// what `nvidia-smi` style utilization plots (Figs. 3/6/8) show.
+    pub effective_busy: SimDuration,
+    /// Time spent in task switches.
+    pub switching: SimDuration,
+    /// Number of task switches performed.
+    pub switch_count: u32,
+    /// Speculative-cache hits among those switches.
+    pub cache_hits: u32,
+}
+
+/// One utilization interval of a GPU's timeline (only recorded when the
+/// simulation asks for timelines).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UtilSpan {
+    /// Interval start.
+    pub from: SimTime,
+    /// Interval end.
+    pub to: SimTime,
+    /// Utilization level in [0, 1] (0 = idle/switching, model cap while
+    /// training).
+    pub level: f64,
+}
+
+/// Everything one simulation run produced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy name.
+    pub scheme: String,
+    /// Completion time per job.
+    pub completion: Vec<SimTime>,
+    /// JCT (completion − arrival) per job.
+    pub jct: Vec<SimDuration>,
+    /// Job weights (copied for weighted aggregates).
+    pub weights: Vec<f64>,
+    /// Σ wₙ Cₙ in seconds — the paper's objective.
+    pub weighted_completion: f64,
+    /// Σ wₙ (Cₙ − aₙ) in seconds.
+    pub weighted_jct: f64,
+    /// Latest completion.
+    pub makespan: SimTime,
+    /// Per-GPU accounting.
+    pub gpus: Vec<GpuReport>,
+    /// Bytes fetched from shared checkpoint storage.
+    pub storage_fetched: hare_cluster::Bytes,
+    /// Checkpoint accesses served machine-locally.
+    pub storage_local_hits: u64,
+    /// Optional per-GPU utilization timelines.
+    pub timelines: Option<Vec<Vec<UtilSpan>>>,
+}
+
+impl SimReport {
+    /// Mean JCT in seconds.
+    pub fn mean_jct(&self) -> f64 {
+        if self.jct.is_empty() {
+            return 0.0;
+        }
+        self.jct.iter().map(|d| d.as_secs_f64()).sum::<f64>() / self.jct.len() as f64
+    }
+
+    /// Fraction of jobs with JCT ≤ `limit` (Fig.-13 style statements like
+    /// "90.5% of jobs complete within 25 minutes").
+    pub fn fraction_within(&self, limit: SimDuration) -> f64 {
+        if self.jct.is_empty() {
+            return 0.0;
+        }
+        self.jct.iter().filter(|&&d| d <= limit).count() as f64 / self.jct.len() as f64
+    }
+
+    /// Mean busy-fraction across GPUs over the makespan.
+    pub fn mean_utilization(&self) -> f64 {
+        let span = self.makespan.as_secs_f64();
+        if span <= 0.0 || self.gpus.is_empty() {
+            return 0.0;
+        }
+        self.gpus
+            .iter()
+            .map(|g| g.busy.as_secs_f64() / span)
+            .sum::<f64>()
+            / self.gpus.len() as f64
+    }
+
+    /// Total switching overhead across GPUs.
+    pub fn total_switching(&self) -> SimDuration {
+        self.gpus.iter().map(|g| g.switching).sum()
+    }
+
+    /// Total switches and cache hits.
+    pub fn switch_stats(&self) -> (u32, u32) {
+        (
+            self.gpus.iter().map(|g| g.switch_count).sum(),
+            self.gpus.iter().map(|g| g.cache_hits).sum(),
+        )
+    }
+}
+
+/// Empirical CDF of JCTs: sorted (seconds, cumulative fraction) points —
+/// exactly what Fig. 13 plots.
+pub fn jct_cdf(jcts: &[SimDuration]) -> Vec<(f64, f64)> {
+    let mut xs: Vec<f64> = jcts.iter().map(|d| d.as_secs_f64()).collect();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len() as f64;
+    xs.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            scheme: "test".into(),
+            completion: vec![SimTime::from_secs(10), SimTime::from_secs(20)],
+            jct: vec![SimDuration::from_secs(10), SimDuration::from_secs(15)],
+            weights: vec![1.0, 2.0],
+            weighted_completion: 50.0,
+            weighted_jct: 40.0,
+            makespan: SimTime::from_secs(20),
+            gpus: vec![
+                GpuReport {
+                    busy: SimDuration::from_secs(10),
+                    effective_busy: SimDuration::from_secs(9),
+                    switching: SimDuration::from_millis(100),
+                    switch_count: 4,
+                    cache_hits: 2,
+                },
+                GpuReport {
+                    busy: SimDuration::from_secs(20),
+                    effective_busy: SimDuration::from_secs(20),
+                    switching: SimDuration::ZERO,
+                    switch_count: 0,
+                    cache_hits: 0,
+                },
+            ],
+            storage_fetched: hare_cluster::Bytes::ZERO,
+            storage_local_hits: 0,
+            timelines: None,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert!((r.mean_jct() - 12.5).abs() < 1e-12);
+        assert!((r.mean_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(r.total_switching(), SimDuration::from_millis(100));
+        assert_eq!(r.switch_stats(), (4, 2));
+    }
+
+    #[test]
+    fn fraction_within() {
+        let r = report();
+        assert_eq!(r.fraction_within(SimDuration::from_secs(9)), 0.0);
+        assert_eq!(r.fraction_within(SimDuration::from_secs(10)), 0.5);
+        assert_eq!(r.fraction_within(SimDuration::from_secs(60)), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let jcts = vec![
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+        ];
+        let cdf = jct_cdf(&jcts);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0].0 - 1.0).abs() < 1e-12);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The scheduling-policy interface of the simulator, and offline replay.
+//!
+//! Online baselines (FIFO, SRTF, …) implement [`Policy`] directly in
+//! `hare-baselines`; offline schedulers (Hare, Sched_Homo, Sched_Allox)
+//! compute a [`hare_core::Schedule`] first and replay its per-GPU task
+//! sequences through [`OfflineReplay`] — order is preserved, timing is
+//! whatever the simulated cluster actually delivers (noise, switching,
+//! network contention).
+
+use crate::build::SimWorkload;
+use hare_cluster::SimTime;
+use hare_core::Schedule;
+use std::collections::VecDeque;
+
+/// What a policy sees at each dispatch opportunity.
+pub struct SimView<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The workload being executed.
+    pub workload: &'a SimWorkload,
+    /// Tasks whose round is released (arrival reached, previous round
+    /// synced) and that have not started yet, ascending task index.
+    pub ready: &'a [usize],
+    /// GPUs with no task assigned, ascending GPU index.
+    pub idle_gpus: &'a [usize],
+    /// Per job: next round to *finish* (== number of fully synced rounds);
+    /// equals `rounds` when the job is done.
+    pub synced_rounds: &'a [u32],
+    /// Per job: whether it has arrived.
+    pub arrived: &'a [bool],
+}
+
+/// A scheduling policy driven by the simulator.
+pub trait Policy {
+    /// Display name (used in reports and tables).
+    fn name(&self) -> String;
+
+    /// Offered a dispatch opportunity: return (ready task, idle GPU) pairs
+    /// to start now. Each task must appear in `view.ready`, each GPU in
+    /// `view.idle_gpus`, and no GPU may be used twice. Returning an empty
+    /// vector means "wait for the next event".
+    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)>;
+
+    /// Notification that `gpu` failed permanently (failure injection): the
+    /// engine will never offer it as idle again, and `requeued` lists the
+    /// task (if any) that was running there and has been returned to the
+    /// ready set. Policies holding per-GPU state (planned queues,
+    /// dedicated gangs) must migrate it and re-own the requeued tasks.
+    /// The default does nothing — correct for policies that re-derive
+    /// their decisions from the view on every dispatch.
+    fn on_gpu_failure(&mut self, gpu: usize, requeued: &[usize]) {
+        let _ = (gpu, requeued);
+    }
+}
+
+/// Replay a precomputed schedule's per-GPU sequences in order.
+pub struct OfflineReplay {
+    name: String,
+    /// Remaining task queue per GPU (planned order).
+    queues: Vec<VecDeque<usize>>,
+    /// Planned start per task — queue positions always keep ascending
+    /// planned starts, which keeps the replay's wait graph acyclic even
+    /// after failure migration.
+    planned: Vec<SimTime>,
+    /// Generic speedup per GPU (failure migration prefers faster, emptier
+    /// survivors).
+    speedup: Vec<f64>,
+    /// GPUs reported failed.
+    failed: Vec<usize>,
+}
+
+impl OfflineReplay {
+    /// Build from a schedule (its per-GPU sequences, sorted by planned
+    /// start, become the executors' task sequences — exactly the artifact
+    /// Hare's scheduler ships to executors in Section 3).
+    pub fn new(name: impl Into<String>, workload: &SimWorkload, schedule: &Schedule) -> Self {
+        let queues = schedule
+            .gpu_sequences(&workload.problem)
+            .into_iter()
+            .map(VecDeque::from)
+            .collect();
+        OfflineReplay {
+            name: name.into(),
+            queues,
+            planned: schedule.start.clone(),
+            speedup: workload
+                .cluster
+                .gpus()
+                .iter()
+                .map(|g| g.kind.generic_speedup())
+                .collect(),
+            failed: Vec::new(),
+        }
+    }
+
+    /// Tasks not yet dispatched.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+impl Policy for OfflineReplay {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    /// Migrate the dead GPU's remaining queue to the surviving queues
+    /// (greedy rebalancing — the executor restart path of a real
+    /// deployment). Each orphan is *inserted by planned start time*, not
+    /// appended: every wait edge then still points at an earlier-planned
+    /// task, so the replay's wait graph stays acyclic and deadlock-free.
+    fn on_gpu_failure(&mut self, gpu: usize, requeued: &[usize]) {
+        let mut orphans: Vec<usize> = self.queues[gpu].drain(..).collect();
+        // The task that was mid-flight on the dead GPU re-enters the plan
+        // ahead of everything it preceded.
+        orphans.extend_from_slice(requeued);
+        orphans.sort_by_key(|&t| (self.planned[t], t));
+        self.failed.push(gpu);
+        for task in orphans {
+            // Pick the survivor with the least speed-normalized backlog
+            // (queue length over generic throughput), so a dead V100's
+            // work lands on fast survivors, not on the emptiest K80.
+            let target = (0..self.queues.len())
+                .filter(|g| !self.failed.contains(g))
+                .min_by(|&a, &b| {
+                    let ka = (self.queues[a].len() as f64 + 1.0) / self.speedup[a];
+                    let kb = (self.queues[b].len() as f64 + 1.0) / self.speedup[b];
+                    ka.total_cmp(&kb).then(a.cmp(&b))
+                })
+                .expect("at least one surviving GPU");
+            let queue = &mut self.queues[target];
+            let pos = queue
+                .iter()
+                .position(|&t| self.planned[t] > self.planned[task])
+                .unwrap_or(queue.len());
+            queue.insert(pos, task);
+        }
+    }
+
+    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for &gpu in view.idle_gpus {
+            if let Some(&head) = self.queues[gpu].front() {
+                if view.ready.contains(&head) {
+                    self.queues[gpu].pop_front();
+                    out.push((head, gpu));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hare_cluster::Cluster;
+    use hare_workload::{testbed_trace, ProfileDb};
+
+    fn tiny_workload() -> SimWorkload {
+        let db = ProfileDb::with_noise(1, 0.0);
+        let mut trace = testbed_trace(3);
+        trace.truncate(4);
+        SimWorkload::build(Cluster::testbed15(), trace, &db)
+    }
+
+    #[test]
+    fn replay_respects_order_and_readiness() {
+        let w = tiny_workload();
+        let out = hare_core::hare_schedule(&w.problem);
+        let mut replay = OfflineReplay::new("hare", &w, &out.schedule);
+        let total = replay.pending();
+        assert_eq!(total, w.problem.n_tasks());
+
+        // Ready = nothing -> no dispatch even with all GPUs idle.
+        let idle: Vec<usize> = (0..15).collect();
+        let view = SimView {
+            now: SimTime::ZERO,
+            workload: &w,
+            ready: &[],
+            idle_gpus: &idle,
+            synced_rounds: &vec![0; w.problem.jobs.len()],
+            arrived: &vec![true; w.problem.jobs.len()],
+        };
+        assert!(replay.dispatch(&view).is_empty());
+
+        // Make the heads of two queues ready; they dispatch to their own GPUs.
+        let seqs = out.schedule.gpu_sequences(&w.problem);
+        let heads: Vec<usize> = seqs.iter().filter_map(|q| q.first().copied()).collect();
+        let view = SimView {
+            now: SimTime::ZERO,
+            workload: &w,
+            ready: &heads,
+            idle_gpus: &idle,
+            synced_rounds: &vec![0; w.problem.jobs.len()],
+            arrived: &vec![true; w.problem.jobs.len()],
+        };
+        let assignments = replay.dispatch(&view);
+        assert!(!assignments.is_empty());
+        for (task, gpu) in &assignments {
+            assert_eq!(seqs[*gpu].first(), Some(task));
+        }
+        assert_eq!(replay.pending(), total - assignments.len());
+    }
+
+    #[test]
+    fn replay_keeps_gpu_idle_for_unready_head() {
+        let w = tiny_workload();
+        let out = hare_core::hare_schedule(&w.problem);
+        let mut replay = OfflineReplay::new("hare", &w, &out.schedule);
+        let seqs = out.schedule.gpu_sequences(&w.problem);
+        let busy_gpu = (0..15).find(|&g| seqs[g].len() >= 2).expect("a 2-task GPU");
+        // Second task of that GPU is ready, head is not: nothing dispatches
+        // on that GPU (order preservation).
+        let second = seqs[busy_gpu][1];
+        let view = SimView {
+            now: SimTime::ZERO,
+            workload: &w,
+            ready: &[second],
+            idle_gpus: &[busy_gpu],
+            synced_rounds: &vec![0; w.problem.jobs.len()],
+            arrived: &vec![true; w.problem.jobs.len()],
+        };
+        assert!(replay.dispatch(&view).is_empty());
+    }
+}

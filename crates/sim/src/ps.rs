@@ -1,0 +1,189 @@
+//! Per-job parameter servers.
+//!
+//! Each DML job gets its own `Hare_Parameter_Server` (Section 6): workers
+//! push gradients as they finish a task, and the round's synchronization
+//! completes when the slowest worker's push+pull finishes. The transfer
+//! times come from the cluster's [`hare_cluster::NetworkModel`], so
+//! colocated workers contend for their machine's NIC exactly as in the
+//! Fig.-18 bandwidth study.
+
+use hare_cluster::{Bytes, MachineId, NetworkModel, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Synchronization state of one job.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParameterServer {
+    job: usize,
+    param_bytes: Bytes,
+    sync_scale: u32,
+    rounds: u32,
+    /// Round currently collecting gradients.
+    round: u32,
+    /// (train finish time, worker machine) of this round's pushes.
+    pushes: Vec<(SimTime, MachineId)>,
+}
+
+/// Completion record of one round's synchronization.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncOutcome {
+    /// The round that synchronized.
+    pub round: u32,
+    /// When the slowest worker finished push+pull (the barrier the next
+    /// round waits for).
+    pub done_at: SimTime,
+    /// True when this was the job's final round.
+    pub job_complete: bool,
+}
+
+impl ParameterServer {
+    /// A PS for a job with `sync_scale` workers per round and `rounds`
+    /// rounds, shipping `param_bytes` of FP32 parameters.
+    pub fn new(job: usize, sync_scale: u32, rounds: u32, param_bytes: Bytes) -> Self {
+        assert!(sync_scale > 0 && rounds > 0);
+        ParameterServer {
+            job,
+            param_bytes,
+            sync_scale,
+            rounds,
+            round: 0,
+            pushes: Vec::with_capacity(sync_scale as usize),
+        }
+    }
+
+    /// Job this PS belongs to.
+    pub fn job(&self) -> usize {
+        self.job
+    }
+
+    /// Round currently collecting gradients.
+    pub fn current_round(&self) -> u32 {
+        self.round
+    }
+
+    /// A worker finished training a task of the current round at `at` on
+    /// `machine`. When this was the round's last push, returns the sync
+    /// outcome and advances to the next round.
+    pub fn push_gradient(
+        &mut self,
+        at: SimTime,
+        machine: MachineId,
+        net: &NetworkModel,
+    ) -> Option<SyncOutcome> {
+        self.push_gradient_contended(at, machine, net, 0)
+    }
+
+    /// Like [`ParameterServer::push_gradient`], with `extra_flows` other
+    /// jobs' gradient flows contending on the network (the engine passes
+    /// the number of concurrently synchronizing jobs).
+    pub fn push_gradient_contended(
+        &mut self,
+        at: SimTime,
+        machine: MachineId,
+        net: &NetworkModel,
+        extra_flows: u32,
+    ) -> Option<SyncOutcome> {
+        assert!(
+            self.round < self.rounds,
+            "push after job {} completed",
+            self.job
+        );
+        self.pushes.push((at, machine));
+        assert!(
+            self.pushes.len() <= self.sync_scale as usize,
+            "job {}: more pushes than workers in round {}",
+            self.job,
+            self.round
+        );
+        if self.pushes.len() < self.sync_scale as usize {
+            return None;
+        }
+
+        // All gradients of the round are in: each worker's sync spans
+        // [train finish, finish + its transfer time], and the barrier is
+        // the slowest worker.
+        let machines: Vec<MachineId> = self.pushes.iter().map(|&(_, m)| m).collect();
+        let times = net.round_sync_times_contended(self.param_bytes, &machines, extra_flows);
+        let done_at = self
+            .pushes
+            .iter()
+            .zip(&times)
+            .map(|(&(t, _), &d)| t + d)
+            .max()
+            .expect("non-empty round");
+
+        let round = self.round;
+        self.round += 1;
+        self.pushes.clear();
+        Some(SyncOutcome {
+            round,
+            done_at,
+            job_complete: self.round == self.rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel::default()
+    }
+
+    #[test]
+    fn barrier_waits_for_all_workers() {
+        let mut ps = ParameterServer::new(0, 3, 2, Bytes::mib(100));
+        let n = net();
+        assert!(ps
+            .push_gradient(SimTime::from_secs(1), MachineId(0), &n)
+            .is_none());
+        assert!(ps
+            .push_gradient(SimTime::from_secs(2), MachineId(1), &n)
+            .is_none());
+        let out = ps
+            .push_gradient(SimTime::from_secs(5), MachineId(2), &n)
+            .expect("third push completes the round");
+        assert_eq!(out.round, 0);
+        assert!(!out.job_complete);
+        assert!(out.done_at > SimTime::from_secs(5));
+        assert_eq!(ps.current_round(), 1);
+    }
+
+    #[test]
+    fn final_round_flags_completion() {
+        let mut ps = ParameterServer::new(3, 1, 1, Bytes::mib(10));
+        let out = ps
+            .push_gradient(SimTime::from_secs(4), MachineId(0), &net())
+            .unwrap();
+        assert!(out.job_complete);
+    }
+
+    #[test]
+    fn colocated_workers_sync_slower() {
+        let n = net();
+        let run = |machines: [MachineId; 2]| {
+            let mut ps = ParameterServer::new(0, 2, 1, Bytes::mib(200));
+            ps.push_gradient(SimTime::ZERO, machines[0], &n);
+            ps.push_gradient(SimTime::ZERO, machines[1], &n)
+                .unwrap()
+                .done_at
+        };
+        let spread = run([MachineId(0), MachineId(1)]);
+        let packed = run([MachineId(0), MachineId(0)]);
+        assert!(packed > spread, "NIC sharing must slow the barrier");
+    }
+
+    #[test]
+    #[should_panic(expected = "push after job")]
+    fn extra_push_panics() {
+        let mut ps = ParameterServer::new(0, 1, 2, Bytes::mib(1));
+        let n = net();
+        // Round 0 completes on the first push; a stray second push for the
+        // same round would be a simulator bug... but push_gradient advances
+        // rounds, so emulate the bug by pushing three times for 2 rounds of
+        // 1 worker: the third push targets a finished job.
+        ps.push_gradient(SimTime::ZERO, MachineId(0), &n);
+        ps.push_gradient(SimTime::ZERO, MachineId(0), &n);
+        ps.push_gradient(SimTime::ZERO, MachineId(0), &n);
+    }
+}

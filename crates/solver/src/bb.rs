@@ -1,0 +1,318 @@
+//! Exact branch-and-bound for tiny `Hare_Sched` instances.
+//!
+//! `Hare_Sched` is NP-hard (Theorem 1), but instances with a handful of
+//! tasks can be solved exactly by depth-first search over *active*
+//! schedules: repeatedly pick any task whose predecessor round is fully
+//! scheduled, try every machine, and start it at
+//! `max(machine available, task ready)`. Every optimal schedule is
+//! reachable this way (left-shifting within machines normalizes any
+//! schedule to an active one).
+//!
+//! The tests and benches use this as ground truth: Algorithm 1's value is
+//! compared against the exact optimum to certify the α(2+α) approximation
+//! bound of Theorem 4, and the relaxation's `lower_bound` is checked to sit
+//! below the optimum.
+
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// An exact optimal schedule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExactSolution {
+    /// Start time per task.
+    pub start: Vec<f64>,
+    /// Machine per task.
+    pub machine: Vec<usize>,
+    /// Optimal Σ wₙCₙ.
+    pub objective: f64,
+    /// Search nodes explored.
+    pub nodes: u64,
+}
+
+/// Solve exactly. Exponential — intended for ≤ ~9 tasks and ≤ 3 machines;
+/// panics above a hard safety limit of 12 tasks.
+pub fn solve_exact(inst: &Instance) -> ExactSolution {
+    inst.validate().expect("invalid instance");
+    assert!(
+        inst.n_tasks() <= 12,
+        "branch-and-bound limited to 12 tasks; got {}",
+        inst.n_tasks()
+    );
+
+    let t = inst.n_tasks();
+    let mut state = Search {
+        inst,
+        start: vec![f64::NAN; t],
+        machine: vec![usize::MAX; t],
+        scheduled: vec![false; t],
+        machine_avail: vec![0.0; inst.n_machines],
+        job_completion: inst.jobs.iter().map(|j| j.release).collect(),
+        best: f64::INFINITY,
+        best_start: vec![f64::NAN; t],
+        best_machine: vec![usize::MAX; t],
+        nodes: 0,
+    };
+    state.dfs(0);
+    assert!(
+        state.best.is_finite(),
+        "search must find at least one schedule"
+    );
+    ExactSolution {
+        start: state.best_start,
+        machine: state.best_machine,
+        objective: state.best,
+        nodes: state.nodes,
+    }
+}
+
+struct Search<'a> {
+    inst: &'a Instance,
+    start: Vec<f64>,
+    machine: Vec<usize>,
+    scheduled: Vec<bool>,
+    machine_avail: Vec<f64>,
+    /// Completion frontier per job: release, then max (x+p+s) over the
+    /// last fully scheduled round.
+    job_completion: Vec<f64>,
+    best: f64,
+    best_start: Vec<f64>,
+    best_machine: Vec<usize>,
+    nodes: u64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, scheduled_count: usize) {
+        self.nodes += 1;
+        if scheduled_count == self.inst.n_tasks() {
+            let obj = self.objective();
+            if obj < self.best {
+                self.best = obj;
+                self.best_start.copy_from_slice(&self.start);
+                self.best_machine.copy_from_slice(&self.machine);
+            }
+            return;
+        }
+        if self.lower_bound() >= self.best - 1e-12 {
+            return; // prune
+        }
+
+        for i in 0..self.inst.n_tasks() {
+            if self.scheduled[i] {
+                continue;
+            }
+            let Some(ready) = self.ready_time(i) else {
+                continue;
+            };
+            for m in 0..self.inst.n_machines {
+                let start = self.machine_avail[m].max(ready);
+                let p = self.inst.tasks[i].p[m];
+                let s = self.inst.tasks[i].s[m];
+
+                // Apply.
+                let saved_avail = self.machine_avail[m];
+                self.start[i] = start;
+                self.machine[i] = m;
+                self.scheduled[i] = true;
+                // Training occupies the machine; sync overlaps the next
+                // task (Algorithm 1 line 16 and the problem's semantics).
+                self.machine_avail[m] = start + p;
+                let job = self.inst.tasks[i].job;
+                let saved_completion = self.job_completion[job];
+                self.job_completion[job] = self.job_completion[job].max(start + p + s);
+
+                self.dfs(scheduled_count + 1);
+
+                // Undo.
+                self.machine_avail[m] = saved_avail;
+                self.job_completion[job] = saved_completion;
+                self.scheduled[i] = false;
+                self.start[i] = f64::NAN;
+                self.machine[i] = usize::MAX;
+            }
+        }
+    }
+
+    /// Ready time of task `i`: release for round 0, else the max completion
+    /// (x+p+s) of the previous round — `None` while that round is not fully
+    /// scheduled.
+    fn ready_time(&self, i: usize) -> Option<f64> {
+        let task = &self.inst.tasks[i];
+        let release = self.inst.jobs[task.job].release;
+        if task.round == 0 {
+            return Some(release);
+        }
+        let mut ready = release;
+        for (k, other) in self.inst.tasks.iter().enumerate() {
+            if other.job == task.job && other.round == task.round - 1 {
+                if !self.scheduled[k] {
+                    return None;
+                }
+                let m = self.machine[k];
+                ready = ready.max(self.start[k] + other.p[m] + other.s[m]);
+            }
+        }
+        Some(ready)
+    }
+
+    fn objective(&self) -> f64 {
+        let mut obj = 0.0;
+        for (j, job) in self.inst.jobs.iter().enumerate() {
+            let mut c = job.release;
+            for (k, task) in self.inst.tasks.iter().enumerate() {
+                if task.job == j {
+                    let m = self.machine[k];
+                    c = c.max(self.start[k] + task.p[m] + task.s[m]);
+                }
+            }
+            obj += job.weight * c;
+        }
+        obj
+    }
+
+    /// Admissible bound on the completed objective: for each job, its
+    /// current frontier plus the machine-minimum critical path of its
+    /// remaining rounds.
+    fn lower_bound(&self) -> f64 {
+        let mut bound = 0.0;
+        for (j, job) in self.inst.jobs.iter().enumerate() {
+            let mut c = self.job_completion[j];
+            for r in 0..job.rounds {
+                let mut round_remaining = 0.0f64;
+                for (k, task) in self.inst.tasks.iter().enumerate() {
+                    if task.job == j && task.round == r && !self.scheduled[k] {
+                        round_remaining = round_remaining.max(self.inst.ps_min(k));
+                    }
+                }
+                c += round_remaining;
+            }
+            bound += job.weight * c;
+        }
+        bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{fig1_instance, InstanceBuilder};
+
+    #[test]
+    fn single_task_single_machine() {
+        let mut b = InstanceBuilder::new(1);
+        let j = b.job(2.0, 1.0);
+        b.round(j, &[vec![3.0]]);
+        let sol = solve_exact(&b.build());
+        assert!((sol.objective - 2.0 * 4.0).abs() < 1e-9);
+        assert_eq!(sol.machine, vec![0]);
+        assert!((sol.start[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wspt_order_on_one_machine() {
+        // Two jobs, lengths 2 and 4, weights 1: short first, OPT = 8.
+        let mut b = InstanceBuilder::new(1);
+        let a = b.job(1.0, 0.0);
+        let c = b.job(1.0, 0.0);
+        b.round(a, &[vec![4.0]]);
+        b.round(c, &[vec![2.0]]);
+        let sol = solve_exact(&b.build());
+        assert!((sol.objective - 8.0).abs() < 1e-9);
+        // The 2-long task (task index 1) goes first.
+        assert!(sol.start[1] < sol.start[0]);
+    }
+
+    #[test]
+    fn heterogeneous_machines_are_chosen_well() {
+        // One task much faster on machine 1.
+        let mut b = InstanceBuilder::new(2);
+        let j = b.job(1.0, 0.0);
+        b.round(j, &[vec![10.0, 1.0]]);
+        let sol = solve_exact(&b.build());
+        assert_eq!(sol.machine, vec![1]);
+        assert!((sol.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounds_serialize_within_a_job() {
+        // 2 rounds of 1 task on 2 machines; second round must wait for
+        // first incl. sync.
+        let mut b = InstanceBuilder::new(2);
+        let j = b.job(1.0, 0.0);
+        b.round_with_sync(j, &[vec![2.0, 2.0]], &[vec![1.0, 1.0]]);
+        b.round_with_sync(j, &[vec![2.0, 2.0]], &[vec![1.0, 1.0]]);
+        let sol = solve_exact(&b.build());
+        // C = 2+1 (round 0) + 2+1 (round 1) = 6.
+        assert!((sol.objective - 6.0).abs() < 1e-9);
+        let second = 1; // task order: round 0 task, then round 1 task
+        assert!((sol.start[second] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig1_optimum_is_8_5() {
+        // The paper's Fig. 1(c): jointly considering GPU heterogeneity and
+        // intra-job parallelism gives total JCT 8.5 s — and the paper
+        // presents it as the best schedule for the toy example.
+        let sol = solve_exact(&fig1_instance());
+        assert!(
+            (sol.objective - 8.5).abs() < 1e-9,
+            "Fig. 1 optimum should be 8.5, got {}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn parallel_tasks_can_share_a_machine() {
+        // Relaxed scale-fixed semantics: a round's 2 tasks may run
+        // sequentially on the single fast machine instead of using the
+        // very slow second machine.
+        let mut b = InstanceBuilder::new(2);
+        let j = b.job(1.0, 0.0);
+        b.round(j, &[vec![1.0, 100.0], vec![1.0, 100.0]]);
+        let sol = solve_exact(&b.build());
+        assert!((sol.objective - 2.0).abs() < 1e-9, "got {}", sol.objective);
+        assert_eq!(sol.machine, vec![0, 0]);
+    }
+
+    #[test]
+    fn release_times_are_respected() {
+        let mut b = InstanceBuilder::new(1);
+        let j = b.job(1.0, 5.0);
+        b.round(j, &[vec![1.0]]);
+        let sol = solve_exact(&b.build());
+        assert!((sol.start[0] - 5.0).abs() < 1e-12);
+        assert!((sol.objective - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_does_not_lose_the_optimum() {
+        // Cross-check: a 6-task instance solved with and without pruning
+        // (pruning disabled by inflating best to infinity is not possible
+        // directly, so compare against a brute-force via a permissive bound:
+        // we simply verify monotonicity — fewer nodes than the unpruned
+        // worst case and a value matching the known optimum).
+        let mut b = InstanceBuilder::new(2);
+        let j1 = b.job(3.0, 0.0);
+        let j2 = b.job(1.0, 0.0);
+        b.round(j1, &[vec![2.0, 3.0], vec![2.0, 3.0]]);
+        b.round(j2, &[vec![1.0, 1.5]]);
+        b.round(j2, &[vec![1.0, 1.5]]);
+        let sol = solve_exact(&b.build());
+        // j1's two tasks in parallel on both machines completes at 3
+        // (machine 1) — or both on machine 0 at 4. Best total weighted:
+        // run j2 round 0 on m1 (1.5) in parallel with j1...
+        // We fix ground truth by hand-enumeration: the optimum is 3*3 + 1*4 = 13:
+        // m0: j1.t0 [0,2), j2.r0 [2,3), j2.r1 [3,4); m1: j1.t1 [0,3).
+        assert!((sol.objective - 13.0).abs() < 1e-9, "got {}", sol.objective);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 12 tasks")]
+    fn size_guard() {
+        let mut b = InstanceBuilder::new(1);
+        let j = b.job(1.0, 0.0);
+        for _ in 0..13 {
+            b.round(j, &[vec![1.0]]);
+        }
+        solve_exact(&b.build());
+    }
+}

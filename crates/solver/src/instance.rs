@@ -1,0 +1,306 @@
+//! Plain-number scheduling instances.
+//!
+//! The solver crate works on a minimal, float-valued view of the
+//! `Hare_Sched` problem (Section 5.1): jobs with weights, releases and
+//! synchronized rounds; tasks with per-machine training times `T^c` and
+//! synchronization times `T^s`. `hare-core` converts its typed problem into
+//! this form before calling the relaxation or the exact solver.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-job metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobMeta {
+    /// Objective weight `w_n > 0`.
+    pub weight: f64,
+    /// Release (arrival) time `a_n >= 0`.
+    pub release: f64,
+    /// Number of synchronized rounds `|R_n| >= 1`.
+    pub rounds: u32,
+}
+
+/// Per-task metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskMeta {
+    /// Owning job (index into [`Instance::jobs`]).
+    pub job: usize,
+    /// Round within the job, `0..jobs[job].rounds`.
+    pub round: u32,
+    /// Training time on each machine (`T^c_{i,m}`), length = machine count.
+    pub p: Vec<f64>,
+    /// Synchronization time on each machine (`T^s_{i,m}`).
+    pub s: Vec<f64>,
+}
+
+/// A task-level scheduling instance over unrelated machines.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Number of machines (GPUs).
+    pub n_machines: usize,
+    /// Jobs.
+    pub jobs: Vec<JobMeta>,
+    /// Tasks, any order; rounds are linked via (`job`, `round`).
+    pub tasks: Vec<TaskMeta>,
+}
+
+impl Instance {
+    /// Validate shape and positivity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_machines == 0 {
+            return Err("no machines".into());
+        }
+        if self.jobs.is_empty() {
+            return Err("no jobs".into());
+        }
+        for (j, job) in self.jobs.iter().enumerate() {
+            if !(job.weight > 0.0 && job.weight.is_finite()) {
+                return Err(format!("job {j}: weight {}", job.weight));
+            }
+            if !(job.release >= 0.0 && job.release.is_finite()) {
+                return Err(format!("job {j}: release {}", job.release));
+            }
+            if job.rounds == 0 {
+                return Err(format!("job {j}: zero rounds"));
+            }
+        }
+        let mut seen = vec![vec![0u32; 0]; self.jobs.len()];
+        for (j, job) in self.jobs.iter().enumerate() {
+            seen[j] = vec![0; job.rounds as usize];
+        }
+        for (t, task) in self.tasks.iter().enumerate() {
+            if task.job >= self.jobs.len() {
+                return Err(format!("task {t}: job {} out of range", task.job));
+            }
+            if task.round >= self.jobs[task.job].rounds {
+                return Err(format!("task {t}: round {} out of range", task.round));
+            }
+            if task.p.len() != self.n_machines || task.s.len() != self.n_machines {
+                return Err(format!("task {t}: wrong machine-vector length"));
+            }
+            if task.p.iter().any(|&v| !(v > 0.0 && v.is_finite())) {
+                return Err(format!("task {t}: non-positive training time"));
+            }
+            if task.s.iter().any(|&v| !(v >= 0.0 && v.is_finite())) {
+                return Err(format!("task {t}: negative sync time"));
+            }
+            seen[task.job][task.round as usize] += 1;
+        }
+        for (j, rounds) in seen.iter().enumerate() {
+            for (r, &count) in rounds.iter().enumerate() {
+                if count == 0 {
+                    return Err(format!("job {j}: round {r} has no tasks"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fastest training time of task `t` across machines.
+    pub fn p_min(&self, t: usize) -> f64 {
+        self.tasks[t].p.iter().cloned().fold(f64::MAX, f64::min)
+    }
+
+    /// Slowest training time of task `t` across machines.
+    pub fn p_max(&self, t: usize) -> f64 {
+        self.tasks[t].p.iter().cloned().fold(f64::MIN, f64::max)
+    }
+
+    /// Fastest combined training+sync time of task `t` across machines.
+    pub fn ps_min(&self, t: usize) -> f64 {
+        self.tasks[t]
+            .p
+            .iter()
+            .zip(&self.tasks[t].s)
+            .map(|(&p, &s)| p + s)
+            .fold(f64::MAX, f64::min)
+    }
+
+    /// The heterogeneity factor α of Lemma 3:
+    /// `max_i { T^c_max/T^c_min , T^s_max/T^s_min }`.
+    pub fn alpha(&self) -> f64 {
+        let mut alpha: f64 = 1.0;
+        for task in &self.tasks {
+            let pmax = task.p.iter().cloned().fold(f64::MIN, f64::max);
+            let pmin = task.p.iter().cloned().fold(f64::MAX, f64::min);
+            alpha = alpha.max(pmax / pmin);
+            let smax = task.s.iter().cloned().fold(f64::MIN, f64::max);
+            let smin = task.s.iter().cloned().fold(f64::MAX, f64::min);
+            if smin > 0.0 {
+                alpha = alpha.max(smax / smin);
+            }
+        }
+        alpha
+    }
+
+    /// Task indices of one (job, round).
+    pub fn round_tasks(&self, job: usize, round: u32) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.job == job && t.round == round)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// Convenience builder for tests and examples: machines are implicit in the
+/// length of each task's time vectors.
+pub struct InstanceBuilder {
+    n_machines: usize,
+    jobs: Vec<JobMeta>,
+    tasks: Vec<TaskMeta>,
+}
+
+impl InstanceBuilder {
+    /// Start an instance over `n_machines` machines.
+    pub fn new(n_machines: usize) -> Self {
+        InstanceBuilder {
+            n_machines,
+            jobs: Vec::new(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Add a job; returns its index.
+    pub fn job(&mut self, weight: f64, release: f64) -> usize {
+        self.jobs.push(JobMeta {
+            weight,
+            release,
+            rounds: 0,
+        });
+        self.jobs.len() - 1
+    }
+
+    /// Add one round to `job` with the given per-task time vectors
+    /// (`p` per machine; sync times default to zero unless provided).
+    pub fn round(&mut self, job: usize, tasks_p: &[Vec<f64>]) -> &mut Self {
+        self.round_with_sync(
+            job,
+            tasks_p,
+            &vec![vec![0.0; self.n_machines]; tasks_p.len()],
+        )
+    }
+
+    /// Add one round with explicit sync times.
+    pub fn round_with_sync(
+        &mut self,
+        job: usize,
+        tasks_p: &[Vec<f64>],
+        tasks_s: &[Vec<f64>],
+    ) -> &mut Self {
+        assert_eq!(tasks_p.len(), tasks_s.len());
+        let round = self.jobs[job].rounds;
+        self.jobs[job].rounds += 1;
+        for (p, s) in tasks_p.iter().zip(tasks_s) {
+            assert_eq!(p.len(), self.n_machines);
+            assert_eq!(s.len(), self.n_machines);
+            self.tasks.push(TaskMeta {
+                job,
+                round,
+                p: p.clone(),
+                s: s.clone(),
+            });
+        }
+        self
+    }
+
+    /// Finish; panics if the instance is invalid.
+    pub fn build(self) -> Instance {
+        let inst = Instance {
+            n_machines: self.n_machines,
+            jobs: self.jobs,
+            tasks: self.tasks,
+        };
+        if let Err(e) = inst.validate() {
+            panic!("invalid instance: {e}");
+        }
+        inst
+    }
+}
+
+/// The paper's Fig.-1 toy instance: 3 jobs, 3 GPUs, single-batch training
+/// times from the figure's table. J1: one round of 2 parallel tasks; J2:
+/// 3 rounds of 1 task; J3: 2 rounds of 2 tasks ("synchronizes every two
+/// tasks"). Used by tests, examples and the `fig1` experiment binary.
+pub fn fig1_instance() -> Instance {
+    // Single-batch training time per GPU (GPU1, GPU2, GPU3):
+    //   J1: [1.0, 1.5, 2.0], J2: [1.0, 1.5, 1.5], J3: [0.5, 1.0, 1.5]
+    let mut b = InstanceBuilder::new(3);
+    let j1 = b.job(1.0, 0.0);
+    let j2 = b.job(1.0, 0.0);
+    let j3 = b.job(1.0, 0.0);
+    b.round(j1, &[vec![1.0, 1.5, 2.0], vec![1.0, 1.5, 2.0]]);
+    for _ in 0..3 {
+        b.round(j2, &[vec![1.0, 1.5, 1.5]]);
+    }
+    for _ in 0..2 {
+        b.round(j3, &[vec![0.5, 1.0, 1.5], vec![0.5, 1.0, 1.5]]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_instances() {
+        let inst = fig1_instance();
+        assert!(inst.validate().is_ok());
+        assert_eq!(inst.n_tasks(), 2 + 3 + 4);
+        assert_eq!(inst.jobs[2].rounds, 2);
+        assert_eq!(inst.round_tasks(2, 1).len(), 2);
+    }
+
+    #[test]
+    fn alpha_of_fig1() {
+        let inst = fig1_instance();
+        // J3's 1.5/0.5 = 3 dominates.
+        assert!((inst.alpha() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_min_max() {
+        let inst = fig1_instance();
+        let t = inst.round_tasks(0, 0)[0];
+        assert_eq!(inst.p_min(t), 1.0);
+        assert_eq!(inst.p_max(t), 2.0);
+        assert_eq!(inst.ps_min(t), 1.0);
+    }
+
+    #[test]
+    fn validation_catches_missing_round_tasks() {
+        let inst = Instance {
+            n_machines: 1,
+            jobs: vec![JobMeta {
+                weight: 1.0,
+                release: 0.0,
+                rounds: 2,
+            }],
+            tasks: vec![TaskMeta {
+                job: 0,
+                round: 0,
+                p: vec![1.0],
+                s: vec![0.0],
+            }],
+        };
+        let err = inst.validate().unwrap_err();
+        assert!(err.contains("round 1"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_bad_times() {
+        let mut inst = fig1_instance();
+        inst.tasks[0].p[1] = 0.0;
+        assert!(inst.validate().is_err());
+        let mut inst2 = fig1_instance();
+        inst2.tasks[0].s[0] = -1.0;
+        assert!(inst2.validate().is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Optimization substrate for the Hare reproduction.
+//!
+//! The paper leans on commercial solvers (CPLEX/Gurobi) for its relaxed
+//! scheduling problem and on min-cost bipartite matching for the AlloX
+//! baseline. This crate provides those pieces from scratch:
+//!
+//! * [`lp`] — dense two-phase simplex;
+//! * [`matching`] — Hungarian min-cost bipartite matching;
+//! * [`instance`] — the task-level scheduling instance both solvers consume;
+//! * [`relax`] — the `Hare_Sched_RL` relaxation (LP + Queyranne cuts for
+//!   small instances, a combinatorial sweep for large ones) plus a
+//!   certified lower bound on the optimum;
+//! * [`bb`] — exact branch-and-bound ground truth for tiny instances.
+
+#![warn(missing_docs)]
+
+pub mod bb;
+pub mod instance;
+pub mod lp;
+pub mod matching;
+pub mod relax;
+
+pub use bb::{solve_exact, ExactSolution};
+pub use instance::{fig1_instance, Instance, InstanceBuilder, JobMeta, TaskMeta};
+pub use lp::{Cmp, Constraint, LinearProgram, LpOutcome};
+pub use matching::{min_cost_matching, Matching};
+pub use relax::{certified_lower_bound, midpoints, RelaxMode, RelaxOptions, RelaxSolution};

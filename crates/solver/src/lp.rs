@@ -1,0 +1,499 @@
+//! Dense two-phase tableau simplex.
+//!
+//! The paper solves its relaxed scheduling problem with CPLEX/Gurobi; those
+//! are unavailable here, so this module provides the LP machinery the
+//! relaxation's constraint-generation mode (see [`crate::relax`]) is built
+//! on. It is a textbook two-phase primal simplex over a dense tableau with
+//! Bland's anti-cycling rule — dependable for the small/medium LPs the
+//! relaxation produces, and validated in tests against hand-solvable
+//! programs and brute-force vertex enumeration.
+//!
+//! Conventions: minimize `c·x` subject to sparse row constraints with
+//! `<=`, `>=` or `=` senses, and `x >= 0`.
+
+use serde::{Deserialize, Serialize};
+
+/// Constraint sense.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `row · x <= rhs`
+    Le,
+    /// `row · x >= rhs`
+    Ge,
+    /// `row · x = rhs`
+    Eq,
+}
+
+/// One sparse constraint row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// (variable index, coefficient) pairs; indices must be unique.
+    pub terms: Vec<(usize, f64)>,
+    /// Sense.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: minimize `objective · x` over `x >= 0`.
+///
+/// ```
+/// use hare_solver::{LinearProgram, LpOutcome, Cmp};
+///
+/// // minimize x + y  s.t.  x + 2y >= 4,  3x + y >= 6
+/// let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+/// lp.constrain(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 4.0);
+/// lp.constrain(vec![(0, 3.0), (1, 1.0)], Cmp::Ge, 6.0);
+/// let LpOutcome::Optimal { objective, .. } = lp.solve() else { panic!() };
+/// assert!((objective - 2.8).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    /// Objective coefficients; its length fixes the variable count.
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Result of solving an LP.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Optimal point.
+        x: Vec<f64>,
+        /// Optimal objective value.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+impl LinearProgram {
+    /// A program over `n_vars` variables with the given minimization
+    /// objective.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Add one constraint; panics on out-of-range or duplicate indices.
+    pub fn constrain(&mut self, terms: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
+        let n = self.objective.len();
+        let mut seen = vec![false; n];
+        for &(i, _) in &terms {
+            assert!(i < n, "constraint references variable {i} of {n}");
+            assert!(!seen[i], "duplicate variable {i} in constraint");
+            seen[i] = true;
+        }
+        self.constraints.push(Constraint { terms, cmp, rhs });
+    }
+
+    /// Solve with the two-phase primal simplex.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve()
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Dense simplex tableau. Columns: structural vars, then slack/surplus,
+/// then artificials, then RHS.
+struct Tableau {
+    rows: Vec<Vec<f64>>, // one per constraint
+    /// Basis: column index basic in each row.
+    basis: Vec<usize>,
+    n_struct: usize,
+    n_slack: usize,
+    n_art: usize,
+    objective: Vec<f64>, // structural objective (minimize)
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let n_struct = lp.objective.len();
+        let m = lp.constraints.len();
+
+        // Count slack/surplus and artificial columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for c in &lp.constraints {
+            // Normalize to non-negative RHS first; sense may flip.
+            let (cmp, _) = normalized_sense(c);
+            match cmp {
+                Cmp::Le => n_slack += 1,
+                Cmp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Cmp::Eq => n_art += 1,
+            }
+        }
+
+        let width = n_struct + n_slack + n_art + 1;
+        let mut rows = vec![vec![0.0; width]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_at = n_struct;
+        let mut art_at = n_struct + n_slack;
+
+        for (r, c) in lp.constraints.iter().enumerate() {
+            let (cmp, flip) = normalized_sense(c);
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(j, v) in &c.terms {
+                rows[r][j] = sign * v;
+            }
+            rows[r][width - 1] = sign * c.rhs;
+            match cmp {
+                Cmp::Le => {
+                    rows[r][slack_at] = 1.0;
+                    basis[r] = slack_at;
+                    slack_at += 1;
+                }
+                Cmp::Ge => {
+                    rows[r][slack_at] = -1.0; // surplus
+                    slack_at += 1;
+                    rows[r][art_at] = 1.0;
+                    basis[r] = art_at;
+                    art_at += 1;
+                }
+                Cmp::Eq => {
+                    rows[r][art_at] = 1.0;
+                    basis[r] = art_at;
+                    art_at += 1;
+                }
+            }
+        }
+
+        Tableau {
+            rows,
+            basis,
+            n_struct,
+            n_slack,
+            n_art,
+            objective: lp.objective.clone(),
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.n_struct + self.n_slack + self.n_art + 1
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        // Phase 1: minimize the artificial sum (skipped when none exist).
+        if self.n_art > 0 {
+            let art_lo = self.n_struct + self.n_slack;
+            let art_hi = art_lo + self.n_art;
+            let mut cost = vec![0.0; self.width() - 1];
+            cost[art_lo..art_hi].fill(1.0);
+            match self.optimize(&cost, art_hi) {
+                SimplexEnd::Optimal(v) if v > 1e-7 => return LpOutcome::Infeasible,
+                SimplexEnd::Optimal(_) => {}
+                // Phase 1 objective is bounded below by 0.
+                SimplexEnd::Unbounded => unreachable!("phase 1 cannot be unbounded"),
+            }
+            // Drive any artificial still in the basis out (degenerate rows).
+            for r in 0..self.rows.len() {
+                if self.basis[r] >= art_lo {
+                    let pivot_col = (0..art_lo).find(|&j| self.rows[r][j].abs() > EPS);
+                    match pivot_col {
+                        Some(j) => self.pivot(r, j),
+                        None => {
+                            // Redundant row: zero it out; keep artificial
+                            // basic at value 0 and forbid re-entry by never
+                            // pricing artificial columns in phase 2.
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: original objective; artificial columns are excluded from
+        // pricing (column bound art_lo).
+        let mut cost = vec![0.0; self.width() - 1];
+        cost[..self.n_struct].copy_from_slice(&self.objective);
+        let art_lo = self.n_struct + self.n_slack;
+        match self.optimize(&cost, art_lo) {
+            SimplexEnd::Optimal(obj) => {
+                let mut x = vec![0.0; self.n_struct];
+                let rhs_col = self.width() - 1;
+                for (r, &b) in self.basis.iter().enumerate() {
+                    if b < self.n_struct {
+                        x[b] = self.rows[r][rhs_col];
+                    }
+                }
+                LpOutcome::Optimal { x, objective: obj }
+            }
+            SimplexEnd::Unbounded => LpOutcome::Unbounded,
+        }
+    }
+
+    /// Primal simplex over columns `0..col_limit` with Bland's rule.
+    /// Returns the optimal objective value for `cost`.
+    fn optimize(&mut self, cost: &[f64], col_limit: usize) -> SimplexEnd {
+        let rhs_col = self.width() - 1;
+        loop {
+            // Reduced costs: c_j - c_B · B^-1 A_j, computed directly from
+            // the current tableau (rows are already B^-1 A).
+            let mut entering = None;
+            for j in 0..col_limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut red = cost[j];
+                for (r, &b) in self.basis.iter().enumerate() {
+                    let cb = if b < cost.len() { cost[b] } else { 0.0 };
+                    if cb != 0.0 {
+                        red -= cb * self.rows[r][j];
+                    }
+                }
+                if red < -EPS {
+                    entering = Some(j); // Bland: first improving column
+                    break;
+                }
+            }
+            let Some(j) = entering else {
+                // Optimal: objective = c_B · x_B.
+                let mut obj = 0.0;
+                for (r, &b) in self.basis.iter().enumerate() {
+                    let cb = if b < cost.len() { cost[b] } else { 0.0 };
+                    obj += cb * self.rows[r][rhs_col];
+                }
+                return SimplexEnd::Optimal(obj);
+            };
+
+            // Ratio test (Bland: smallest basis index tie-break).
+            let mut leave: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for r in 0..self.rows.len() {
+                let a = self.rows[r][j];
+                if a > EPS {
+                    let ratio = self.rows[r][rhs_col] / a;
+                    let better = ratio < best - EPS
+                        || (ratio < best + EPS
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            match leave {
+                Some(r) => self.pivot(r, j),
+                None => return SimplexEnd::Unbounded,
+            }
+        }
+    }
+
+    fn pivot(&mut self, r: usize, j: usize) {
+        let piv = self.rows[r][j];
+        debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
+        let inv = 1.0 / piv;
+        for v in &mut self.rows[r] {
+            *v *= inv;
+        }
+        let pivot_row = self.rows[r].clone();
+        for (rr, row) in self.rows.iter_mut().enumerate() {
+            if rr != r {
+                let factor = row[j];
+                if factor.abs() > EPS {
+                    for (v, &p) in row.iter_mut().zip(&pivot_row) {
+                        *v -= factor * p;
+                    }
+                }
+            }
+        }
+        self.basis[r] = j;
+    }
+}
+
+enum SimplexEnd {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Flip a constraint so its RHS is non-negative; returns (new sense, flipped?).
+fn normalized_sense(c: &Constraint) -> (Cmp, bool) {
+    if c.rhs >= 0.0 {
+        (c.cmp, false)
+    } else {
+        let flipped = match c.cmp {
+            Cmp::Le => Cmp::Ge,
+            Cmp::Ge => Cmp::Le,
+            Cmp::Eq => Cmp::Eq,
+        };
+        (flipped, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_opt(outcome: &LpOutcome, want_obj: f64, want_x: Option<&[f64]>) {
+        match outcome {
+            LpOutcome::Optimal { x, objective } => {
+                assert!(
+                    (objective - want_obj).abs() < 1e-6,
+                    "objective {objective} != {want_obj}"
+                );
+                if let Some(w) = want_x {
+                    for (a, b) in x.iter().zip(w) {
+                        assert!((a - b).abs() < 1e-6, "x={x:?} want {w:?}");
+                    }
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_maximization_as_min() {
+        // max 3a + 5b st a<=4, 2b<=12, 3a+2b<=18  (classic; opt 36 at (2,6))
+        let mut lp = LinearProgram::minimize(vec![-3.0, -5.0]);
+        lp.constrain(vec![(0, 1.0)], Cmp::Le, 4.0);
+        lp.constrain(vec![(1, 2.0)], Cmp::Le, 12.0);
+        lp.constrain(vec![(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
+        assert_opt(&lp.solve(), -36.0, Some(&[2.0, 6.0]));
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min x+y st x+2y>=4, 3x+y>=6 -> opt at intersection (1.6, 1.2), obj 2.8
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 4.0);
+        lp.constrain(vec![(0, 3.0), (1, 1.0)], Cmp::Ge, 6.0);
+        assert_opt(&lp.solve(), 2.8, Some(&[1.6, 1.2]));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x+3y st x+y=10, x<=4 -> x=4,y=6, obj 26
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 10.0);
+        lp.constrain(vec![(0, 1.0)], Cmp::Le, 4.0);
+        assert_opt(&lp.solve(), 26.0, Some(&[4.0, 6.0]));
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(0, 1.0)], Cmp::Ge, 5.0);
+        lp.constrain(vec![(0, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // min -x with only x >= 1: unbounded below.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.constrain(vec![(0, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -2 with min x+y: best is x=0, y=2.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, -1.0)], Cmp::Le, -2.0);
+        assert_opt(&lp.solve(), 2.0, Some(&[0.0, 2.0]));
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // Multiple redundant constraints through one vertex; Bland's rule
+        // must not cycle.
+        let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
+        lp.constrain(vec![(0, 1.0)], Cmp::Le, 1.0);
+        lp.constrain(vec![(1, 1.0)], Cmp::Le, 1.0);
+        lp.constrain(vec![(0, 2.0), (1, 2.0)], Cmp::Le, 2.0);
+        assert_opt(&lp.solve(), -1.0, None);
+    }
+
+    #[test]
+    fn redundant_equalities_are_fine() {
+        // x + y = 4 stated twice.
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 4.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 4.0);
+        assert_opt(&lp.solve(), 4.0, Some(&[4.0, 0.0]));
+    }
+
+    #[test]
+    fn scheduling_shaped_lp() {
+        // min w1*C1 + w2*C2 with C >= x + p, x >= release, and a "machine
+        // volume" cut p1*x1 + p2*x2 >= v — the exact shape relax.rs emits.
+        // w=(2,1), p=(3,5), releases (0,1), cut 3x1+5x2 >= 7.5.
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0, 2.0, 1.0]); // x1 x2 c1 c2
+        lp.constrain(vec![(0, 1.0)], Cmp::Ge, 0.0);
+        lp.constrain(vec![(1, 1.0)], Cmp::Ge, 1.0);
+        lp.constrain(vec![(2, 1.0), (0, -1.0)], Cmp::Ge, 3.0);
+        lp.constrain(vec![(3, 1.0), (1, -1.0)], Cmp::Ge, 5.0);
+        lp.constrain(vec![(0, 3.0), (1, 5.0)], Cmp::Ge, 7.5);
+        match lp.solve() {
+            LpOutcome::Optimal { x, objective } => {
+                // Cheapest way to satisfy the cut is pushing x2 (weight 1):
+                // x1=0, x2=1.5 -> obj = 2*3 + 1*(1.5+5) = 12.5.
+                assert!((objective - 12.5).abs() < 1e-6, "obj={objective}");
+                assert!((x[0]).abs() < 1e-6 && (x[1] - 1.5).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn brute_force_vertex_agreement() {
+        // Random-ish small LPs: compare simplex with brute-force vertex
+        // enumeration over constraint pairs (2 vars).
+        #[allow(clippy::type_complexity)]
+        let cases: Vec<(Vec<f64>, Vec<(f64, f64, f64)>)> = vec![
+            (
+                vec![1.0, 2.0],
+                vec![(1.0, 1.0, 3.0), (2.0, 1.0, 4.0), (1.0, 3.0, 6.0)],
+            ),
+            (
+                vec![3.0, 1.0],
+                vec![(1.0, 2.0, 2.0), (2.0, 1.0, 2.0), (1.0, 1.0, 1.5)],
+            ),
+        ];
+        for (c, rows) in cases {
+            // Constraints are a*x + b*y >= r (covering-type); x,y >= 0.
+            let mut lp = LinearProgram::minimize(c.clone());
+            for &(a, b, r) in &rows {
+                lp.constrain(vec![(0, a), (1, b)], Cmp::Ge, r);
+            }
+            let got = match lp.solve() {
+                LpOutcome::Optimal { objective, .. } => objective,
+                other => panic!("{other:?}"),
+            };
+            // Enumerate candidate vertices: constraint intersections and
+            // axis intercepts; keep feasible ones.
+            let mut best = f64::INFINITY;
+            let mut candidates: Vec<(f64, f64)> = Vec::new();
+            for i in 0..rows.len() {
+                let (a1, b1, r1) = rows[i];
+                candidates.push((r1 / a1, 0.0));
+                candidates.push((0.0, r1 / b1));
+                for (a2, b2, r2) in rows.iter().skip(i + 1).copied() {
+                    let det = a1 * b2 - a2 * b1;
+                    if det.abs() > 1e-9 {
+                        candidates.push(((r1 * b2 - r2 * b1) / det, (a1 * r2 - a2 * r1) / det));
+                    }
+                }
+            }
+            for (x, y) in candidates {
+                if x >= -1e-9
+                    && y >= -1e-9
+                    && rows.iter().all(|&(a, b, r)| a * x + b * y >= r - 1e-9)
+                {
+                    best = best.min(c[0] * x + c[1] * y);
+                }
+            }
+            assert!((got - best).abs() < 1e-6, "simplex {got} vs brute {best}");
+        }
+    }
+}

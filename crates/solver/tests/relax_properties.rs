@@ -1,0 +1,121 @@
+//! Property tests on the relaxation solver: structural feasibility of x̂,
+//! lower-bound validity against greedy feasible schedules, and mode
+//! agreement on shared invariants.
+
+use hare_solver::{certified_lower_bound, relax, Instance, JobMeta, RelaxOptions, TaskMeta};
+use proptest::prelude::*;
+
+fn instances() -> impl Strategy<Value = Instance> {
+    let job = (1u32..=3, 1usize..=2, 1u32..=5, 0.0f64..5.0);
+    (1usize..=3, prop::collection::vec(job, 1..=4)).prop_flat_map(|(n_machines, jobs_meta)| {
+        // Per-task machine times in [0.5, 8.0].
+        let total_tasks: usize = jobs_meta
+            .iter()
+            .map(|&(rounds, scale, _, _)| rounds as usize * scale)
+            .sum();
+        let times =
+            prop::collection::vec(prop::collection::vec(0.5f64..8.0, n_machines), total_tasks);
+        times.prop_map(move |times| {
+            let mut tasks = Vec::new();
+            let mut idx = 0;
+            let mut jobs = Vec::new();
+            for (j, &(rounds, scale, weight, release)) in jobs_meta.iter().enumerate() {
+                jobs.push(JobMeta {
+                    weight: weight as f64,
+                    release,
+                    rounds,
+                });
+                for r in 0..rounds {
+                    for _ in 0..scale {
+                        tasks.push(TaskMeta {
+                            job: j,
+                            round: r,
+                            p: times[idx].clone(),
+                            s: vec![0.1; n_machines],
+                        });
+                        idx += 1;
+                    }
+                }
+            }
+            Instance {
+                n_machines,
+                jobs,
+                tasks,
+            }
+        })
+    })
+}
+
+/// A trivially feasible schedule: every task on machine 0, in topological
+/// order, back to back. Returns its Σ wC.
+fn greedy_feasible_objective(inst: &Instance) -> f64 {
+    let mut clock: f64 = 0.0;
+    let mut completion = vec![0.0f64; inst.jobs.len()];
+    // Jobs one after another, rounds in order.
+    for (j, job) in inst.jobs.iter().enumerate() {
+        clock = clock.max(job.release);
+        for r in 0..job.rounds {
+            let mut round_done = clock;
+            for t in inst.round_tasks(j, r) {
+                let start = clock;
+                clock = start + inst.tasks[t].p[0];
+                round_done = round_done.max(clock + inst.tasks[t].s[0]);
+            }
+            clock = round_done;
+        }
+        completion[j] = clock;
+    }
+    inst.jobs
+        .iter()
+        .zip(&completion)
+        .map(|(job, &c)| job.weight * c)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn relaxed_starts_respect_release_and_precedence(inst in instances()) {
+        for opts in [
+            RelaxOptions::default(),
+            RelaxOptions { lp_task_limit: 0, ..RelaxOptions::default() },
+        ] {
+            let sol = relax::solve(&inst, &opts);
+            prop_assert_eq!(sol.x_hat.len(), inst.n_tasks());
+            for (i, task) in inst.tasks.iter().enumerate() {
+                prop_assert!(sol.x_hat[i] >= inst.jobs[task.job].release - 1e-6);
+                prop_assert!(sol.h[i] >= sol.x_hat[i]);
+            }
+            for (j, job) in inst.jobs.iter().enumerate() {
+                for r in 1..job.rounds {
+                    let prev_done = inst
+                        .round_tasks(j, r - 1)
+                        .into_iter()
+                        .map(|i| sol.x_hat[i] + inst.ps_min(i))
+                        .fold(0.0f64, f64::max);
+                    for i in inst.round_tasks(j, r) {
+                        prop_assert!(
+                            sol.x_hat[i] >= prev_done - 1e-6,
+                            "precedence violated in mode {:?}", sol.mode
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_below_any_feasible_schedule(inst in instances()) {
+        let lb = certified_lower_bound(&inst);
+        let feasible = greedy_feasible_objective(&inst);
+        prop_assert!(lb <= feasible + 1e-6, "LB {} above a feasible value {}", lb, feasible);
+        prop_assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn alpha_is_at_least_one_and_finite(inst in instances()) {
+        let a = inst.alpha();
+        prop_assert!(a >= 1.0 && a.is_finite());
+    }
+}

@@ -1,0 +1,161 @@
+//! Plain-text (CSV) trace exchange.
+//!
+//! The paper's simulator is *trace-driven*: it replays task traces
+//! collected from the testbed. This module lets users persist and reload
+//! job traces as a simple CSV, so real cluster logs can be fed to the
+//! schedulers without recompiling. Hand-rolled (no CSV crate): the format
+//! has a fixed schema and no quoting needs.
+//!
+//! Schema (header required):
+//! `job,model,batch_size,rounds,sync_scale,batches_per_task,weight,arrival_us`
+
+use crate::job::{JobId, JobSpec};
+use crate::model::ModelKind;
+use hare_cluster::SimTime;
+use std::fmt::Write as _;
+
+/// Header line of the trace schema.
+pub const HEADER: &str =
+    "job,model,batch_size,rounds,sync_scale,batches_per_task,weight,arrival_us";
+
+/// Serialize a trace to CSV.
+pub fn trace_to_csv(jobs: &[JobSpec]) -> String {
+    let mut out = String::with_capacity(64 * (jobs.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for j in jobs {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            j.id.0,
+            j.model.name(),
+            j.batch_size,
+            j.rounds,
+            j.sync_scale,
+            j.batches_per_task,
+            j.weight,
+            j.arrival.as_micros()
+        );
+    }
+    out
+}
+
+/// Parse a trace from CSV. Jobs are re-indexed densely in file order (the
+/// `job` column is informational); arrival order is enforced.
+pub fn trace_from_csv(text: &str) -> Result<Vec<JobSpec>, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, h)) => return Err(format!("bad header: {h:?} (expected {HEADER:?})")),
+        None => return Err("empty trace file".into()),
+    }
+    let mut jobs = Vec::new();
+    for (lineno, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 8 {
+            return Err(format!("line {}: expected 8 fields", lineno + 1));
+        }
+        let model = parse_model(fields[1])
+            .ok_or_else(|| format!("line {}: unknown model {:?}", lineno + 1, fields[1]))?;
+        let parse_u32 = |i: usize, name: &str| -> Result<u32, String> {
+            fields[i]
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad {name} {:?}", lineno + 1, fields[i]))
+        };
+        let weight: f64 = fields[6]
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad weight {:?}", lineno + 1, fields[6]))?;
+        let arrival_us: u64 = fields[7]
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad arrival {:?}", lineno + 1, fields[7]))?;
+        let spec = JobSpec::new(
+            JobId(jobs.len() as u32),
+            model,
+            parse_u32(3, "rounds")?,
+            parse_u32(4, "sync_scale")?,
+        )
+        .with_batch_size(parse_u32(2, "batch_size")?)
+        .with_batches_per_task(parse_u32(5, "batches_per_task")?)
+        .with_weight(weight)
+        .arriving_at(SimTime::from_micros(arrival_us));
+        spec.validate()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        jobs.push(spec);
+    }
+    if jobs.is_empty() {
+        return Err("trace has no jobs".into());
+    }
+    for w in jobs.windows(2) {
+        if w[1].arrival < w[0].arrival {
+            return Err(format!(
+                "arrivals out of order: {} after {}",
+                w[1].id, w[0].id
+            ));
+        }
+    }
+    Ok(jobs)
+}
+
+/// Model lookup by (case-insensitive) display name.
+pub fn parse_model(name: &str) -> Option<ModelKind> {
+    ModelKind::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name.trim()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::testbed_trace;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let jobs = testbed_trace(9);
+        let csv = trace_to_csv(&jobs);
+        let parsed = trace_from_csv(&csv).unwrap();
+        assert_eq!(jobs, parsed);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let csv = format!("{HEADER}\n# comment\n\n0,ResNet50,64,10,2,50,1.5,12345\n");
+        let jobs = trace_from_csv(&csv).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].model, ModelKind::ResNet50);
+        assert_eq!(jobs[0].weight, 1.5);
+        assert_eq!(jobs[0].arrival.as_micros(), 12345);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(trace_from_csv("").unwrap_err().contains("empty"));
+        assert!(trace_from_csv("a,b\n").unwrap_err().contains("bad header"));
+        let bad_model = format!("{HEADER}\n0,NotAModel,64,10,2,50,1,0\n");
+        assert!(trace_from_csv(&bad_model)
+            .unwrap_err()
+            .contains("unknown model"));
+        let bad_rounds = format!("{HEADER}\n0,ResNet50,64,zero,2,50,1,0\n");
+        assert!(trace_from_csv(&bad_rounds).unwrap_err().contains("rounds"));
+        let invalid = format!("{HEADER}\n0,ResNet50,64,0,2,50,1,0\n");
+        assert!(trace_from_csv(&invalid).unwrap_err().contains("rounds"));
+        let disorder = format!("{HEADER}\n0,ResNet50,64,1,1,50,1,100\n1,ResNet50,64,1,1,50,1,50\n");
+        assert!(trace_from_csv(&disorder)
+            .unwrap_err()
+            .contains("out of order"));
+    }
+
+    #[test]
+    fn model_names_parse_case_insensitively() {
+        assert_eq!(parse_model("graphsage"), Some(ModelKind::GraphSage));
+        assert_eq!(parse_model(" Bert_base "), Some(ModelKind::BertBase));
+        assert_eq!(parse_model("resnet152"), Some(ModelKind::ResNet152));
+        assert_eq!(parse_model("gpt4"), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! DML job descriptions.
+//!
+//! A job `n` trains one model for `rounds` synchronized training rounds; each
+//! round launches `sync_scale` parallel tasks (the set `D_r` of the paper),
+//! and each task trains `batches_per_task` mini-batches before pushing
+//! gradients to the job's parameter server. The relaxed scale-fixed scheme
+//! keeps `sync_scale` constant across rounds but does *not* require that many
+//! simultaneously free GPUs (Section 2.2.3).
+
+use crate::model::ModelKind;
+use hare_cluster::{GpuKind, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense job identifier.
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// Index into dense per-job arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// One DML training job.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Dense identifier (index into the trace).
+    pub id: JobId,
+    /// Model being trained.
+    pub model: ModelKind,
+    /// Mini-batch size (defaults to the Table-2 value for the model).
+    pub batch_size: u32,
+    /// Number of synchronized training rounds `|R_n|`.
+    pub rounds: u32,
+    /// Parallel tasks per round `|D_r|` (the fixed synchronization scale).
+    pub sync_scale: u32,
+    /// Mini-batches each task trains before synchronizing.
+    pub batches_per_task: u32,
+    /// Job weight `w_n` in the Σ wₙCₙ objective.
+    pub weight: f64,
+    /// Arrival time `a_n`.
+    pub arrival: SimTime,
+}
+
+impl JobSpec {
+    /// A job with the model's default batch size, weight 1, arriving at t=0.
+    pub fn new(id: JobId, model: ModelKind, rounds: u32, sync_scale: u32) -> Self {
+        JobSpec {
+            id,
+            model,
+            batch_size: model.spec().batch_size,
+            rounds,
+            sync_scale,
+            batches_per_task: 50,
+            weight: 1.0,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    /// Builder: arrival time.
+    pub fn arriving_at(mut self, t: SimTime) -> Self {
+        self.arrival = t;
+        self
+    }
+
+    /// Builder: weight.
+    pub fn with_weight(mut self, w: f64) -> Self {
+        assert!(w > 0.0, "non-positive job weight");
+        self.weight = w;
+        self
+    }
+
+    /// Builder: batch size.
+    pub fn with_batch_size(mut self, b: u32) -> Self {
+        assert!(b > 0, "zero batch size");
+        self.batch_size = b;
+        self
+    }
+
+    /// Builder: mini-batches per task.
+    pub fn with_batches_per_task(mut self, b: u32) -> Self {
+        assert!(b > 0, "zero batches per task");
+        self.batches_per_task = b;
+        self
+    }
+
+    /// Total number of tasks this job expands into.
+    pub fn task_count(&self) -> u32 {
+        self.rounds * self.sync_scale
+    }
+
+    /// Ideal (noise-free) training time of one of this job's tasks on a GPU
+    /// kind, in milliseconds.
+    pub fn task_ms(&self, gpu: GpuKind) -> f64 {
+        self.model.batch_ms_at(gpu, self.batch_size) * self.batches_per_task as f64
+    }
+
+    /// Best-case sequential work: all tasks on the fastest kind available,
+    /// ignoring synchronization — a lower bound used by SRTF-style policies.
+    pub fn best_case_ms(&self, kinds: &[GpuKind]) -> f64 {
+        assert!(!kinds.is_empty());
+        let best = kinds
+            .iter()
+            .map(|&k| self.task_ms(k))
+            .fold(f64::MAX, f64::min);
+        best * self.rounds as f64
+    }
+
+    /// Basic validity checks (positive rounds/scales, sane sizes).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rounds == 0 {
+            return Err(format!("{}: zero rounds", self.id));
+        }
+        if self.sync_scale == 0 {
+            return Err(format!("{}: zero sync scale", self.id));
+        }
+        if self.batch_size == 0 {
+            return Err(format!("{}: zero batch size", self.id));
+        }
+        if self.batches_per_task == 0 {
+            return Err(format!("{}: zero batches per task", self.id));
+        }
+        if !(self.weight > 0.0 && self.weight.is_finite()) {
+            return Err(format!("{}: invalid weight {}", self.id, self.weight));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let j = JobSpec::new(JobId(3), ModelKind::BertBase, 10, 2)
+            .arriving_at(SimTime::from_secs(5))
+            .with_weight(2.5)
+            .with_batch_size(16)
+            .with_batches_per_task(20);
+        assert_eq!(j.id, JobId(3));
+        assert_eq!(j.task_count(), 20);
+        assert_eq!(j.arrival, SimTime::from_secs(5));
+        assert_eq!(j.weight, 2.5);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn task_time_scales_with_batches() {
+        let j = JobSpec::new(JobId(0), ModelKind::ResNet50, 5, 1).with_batches_per_task(100);
+        let per_batch = ModelKind::ResNet50.batch_ms(GpuKind::V100);
+        assert!((j.task_ms(GpuKind::V100) - per_batch * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_case_uses_fastest_kind() {
+        let j = JobSpec::new(JobId(0), ModelKind::ResNet50, 10, 2);
+        let hetero = j.best_case_ms(&[GpuKind::K80, GpuKind::V100]);
+        let v100_only = j.best_case_ms(&[GpuKind::V100]);
+        assert!((hetero - v100_only).abs() < 1e-9);
+        assert!(hetero < j.best_case_ms(&[GpuKind::K80]));
+    }
+
+    #[test]
+    fn validation_catches_degenerate_jobs() {
+        let good = JobSpec::new(JobId(0), ModelKind::Vgg19, 1, 1);
+        assert!(good.validate().is_ok());
+        let mut bad = good;
+        bad.rounds = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.weight = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+}

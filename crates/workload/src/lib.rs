@@ -1,0 +1,18 @@
+//! DML workload substrate for the Hare reproduction: the Table-2 model zoo
+//! with per-GPU performance profiles (Fig. 2), the profiler + history
+//! database of Section 3, job descriptions, and Google-trace-like workload
+//! generation (Section 7.1).
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod job;
+pub mod model;
+pub mod profile;
+pub mod trace;
+
+pub use csv::{parse_model, trace_from_csv, trace_to_csv};
+pub use job::{JobId, JobSpec};
+pub use model::{alpha_over, Domain, ModelKind, ModelSpec};
+pub use profile::{gaussian, Profile, ProfileDb, ProfileKey};
+pub use trace::{large_scale_trace, testbed_trace, DomainMix, TraceConfig};

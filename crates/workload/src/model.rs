@@ -1,0 +1,462 @@
+//! The deep-learning models of the paper's workload (Table 2), plus
+//! ResNet152 which the motivation experiments (Figs. 5–6) train.
+//!
+//! Each model carries the constants the rest of the system consumes:
+//! parameter/activation footprints (memory manager), layer-group counts
+//! (pipelined transfer), per-GPU relative speedups (Fig. 2), cold-start
+//! framework-initialization costs (Table 3 "Default" switching), and
+//! input-pipeline utilization caps (Figs. 3/6/8).
+//!
+//! The absolute batch times are synthesized from the paper's published
+//! measurements: the Fig. 2 speedups are quoted directly (ResNet50 is 2x on
+//! T4 and 7x on V100 over the K80 baseline; GraphSAGE only ~2x even on
+//! V100), the rest are interpolated from the model's FLOPs class.
+
+use hare_cluster::{Bytes, GpuKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Application domain, used for the workload-mix experiments (Fig. 17).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Computer vision (VGG-19, ResNet50, Inception V3).
+    Cv,
+    /// Natural language processing (BERT-base, Transformer).
+    Nlp,
+    /// Speech recognition (DeepSpeech).
+    Speech,
+    /// Recommendation / graph learning (FastGCN, GraphSAGE).
+    Rec,
+}
+
+impl Domain {
+    /// All domains in Table-2 order.
+    pub const ALL: [Domain; 4] = [Domain::Cv, Domain::Nlp, Domain::Speech, Domain::Rec];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Cv => "CV",
+            Domain::Nlp => "NLP",
+            Domain::Speech => "Speech",
+            Domain::Rec => "Rec",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The models used in the paper's experiments.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// VGG-19 on Cifar10, batch 128 (Table 2).
+    Vgg19,
+    /// ResNet50 on Cifar100, batch 64 (Table 2).
+    ResNet50,
+    /// Inception V3 on Cifar100, batch 32 (Table 2).
+    InceptionV3,
+    /// BERT-base on SQuAD, batch 32 (Table 2).
+    BertBase,
+    /// Transformer on WMT16, batch 128 (Table 2).
+    Transformer,
+    /// DeepSpeech on CommonVoice, batch 8 (Table 2).
+    DeepSpeech,
+    /// FastGCN on Cora, batch 128 (Table 2).
+    FastGcn,
+    /// GraphSAGE on Cora, batch 16 (Table 2).
+    GraphSage,
+    /// ResNet152 — not in Table 2, but trained in the motivation study
+    /// (Figs. 5 and 6).
+    ResNet152,
+}
+
+/// Static description of one model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Display name matching the paper's tables.
+    pub name: &'static str,
+    /// Application domain.
+    pub domain: Domain,
+    /// Dataset name (Table 2).
+    pub dataset: &'static str,
+    /// Default mini-batch size (Table 2).
+    pub batch_size: u32,
+    /// FP32 parameter footprint (also the PS gradient payload basis).
+    pub param_bytes: Bytes,
+    /// Peak activation/workspace footprint at the default batch size.
+    pub activation_bytes: Bytes,
+    /// Number of layer groups used by pipelined model transmission
+    /// (PipeSwitch-style grouping).
+    pub layer_groups: u32,
+    /// Mini-batch training time on the K80 baseline at the default batch
+    /// size, in milliseconds (Fig. 2's denominator).
+    pub k80_batch_ms: f64,
+    /// Speedup over K80 on [V100, T4, M60] (Fig. 2).
+    pub speedup: [f64; 3],
+    /// Cold-start framework initialization (CUDA module load, cuDNN
+    /// autotune, op graph build) on V100, in ms. This dominates the
+    /// "Default" switching cost of Table 3 and scales with the GPU's
+    /// `coldstart_factor`.
+    pub framework_init_ms: f64,
+    /// Per-switch software overhead of the pipelined runtimes (IPC, hook
+    /// installation, allocator handoff) in ms — larger for models with many
+    /// small tensors (BERT, Transformer). Table 3's PipeSwitch row.
+    pub hook_overhead_ms: f64,
+    /// GPU utilization cap on [V100, T4, M60, K80] imposed by the input
+    /// pipeline (Fig. 3: GraphSAGE keeps a V100 under 30%).
+    pub utilization: [f64; 4],
+}
+
+impl ModelKind {
+    /// The eight Table-2 models (the workload generator draws from these).
+    pub const WORKLOAD: [ModelKind; 8] = [
+        ModelKind::Vgg19,
+        ModelKind::ResNet50,
+        ModelKind::InceptionV3,
+        ModelKind::BertBase,
+        ModelKind::Transformer,
+        ModelKind::DeepSpeech,
+        ModelKind::FastGcn,
+        ModelKind::GraphSage,
+    ];
+
+    /// Every model, including ResNet152.
+    pub const ALL: [ModelKind; 9] = [
+        ModelKind::Vgg19,
+        ModelKind::ResNet50,
+        ModelKind::InceptionV3,
+        ModelKind::BertBase,
+        ModelKind::Transformer,
+        ModelKind::DeepSpeech,
+        ModelKind::FastGcn,
+        ModelKind::GraphSage,
+        ModelKind::ResNet152,
+    ];
+
+    /// Static description.
+    pub fn spec(self) -> &'static ModelSpec {
+        match self {
+            ModelKind::Vgg19 => &VGG19,
+            ModelKind::ResNet50 => &RESNET50,
+            ModelKind::InceptionV3 => &INCEPTION_V3,
+            ModelKind::BertBase => &BERT_BASE,
+            ModelKind::Transformer => &TRANSFORMER,
+            ModelKind::DeepSpeech => &DEEP_SPEECH,
+            ModelKind::FastGcn => &FAST_GCN,
+            ModelKind::GraphSage => &GRAPH_SAGE,
+            ModelKind::ResNet152 => &RESNET152,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Application domain.
+    pub fn domain(self) -> Domain {
+        self.spec().domain
+    }
+
+    /// Table-2 models belonging to `domain`.
+    pub fn of_domain(domain: Domain) -> Vec<ModelKind> {
+        ModelKind::WORKLOAD
+            .into_iter()
+            .filter(|m| m.domain() == domain)
+            .collect()
+    }
+
+    /// Ideal (noise-free) mini-batch training time in milliseconds on a GPU
+    /// kind at the model's default batch size.
+    pub fn batch_ms(self, gpu: GpuKind) -> f64 {
+        let s = self.spec();
+        s.k80_batch_ms / speedup_on(s, gpu)
+    }
+
+    /// Fig.-2 speedup over the K80 baseline.
+    pub fn speedup(self, gpu: GpuKind) -> f64 {
+        speedup_on(self.spec(), gpu)
+    }
+
+    /// Input-pipeline utilization cap on a GPU kind (0..=1).
+    pub fn utilization(self, gpu: GpuKind) -> f64 {
+        let s = self.spec();
+        match gpu {
+            GpuKind::V100 => s.utilization[0],
+            GpuKind::T4 => s.utilization[1],
+            GpuKind::M60 => s.utilization[2],
+            GpuKind::K80 => s.utilization[3],
+        }
+    }
+
+    /// Batch-time scaling when running a non-default batch size: a fixed
+    /// launch/IO component (~15%) plus a per-sample component.
+    pub fn batch_ms_at(self, gpu: GpuKind, batch_size: u32) -> f64 {
+        assert!(batch_size > 0, "zero batch size");
+        let base = self.batch_ms(gpu);
+        let scale = batch_size as f64 / self.spec().batch_size as f64;
+        base * (0.15 + 0.85 * scale)
+    }
+}
+
+fn speedup_on(s: &ModelSpec, gpu: GpuKind) -> f64 {
+    match gpu {
+        GpuKind::V100 => s.speedup[0],
+        GpuKind::T4 => s.speedup[1],
+        GpuKind::M60 => s.speedup[2],
+        GpuKind::K80 => 1.0,
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+static VGG19: ModelSpec = ModelSpec {
+    name: "VGG19",
+    domain: Domain::Cv,
+    dataset: "Cifar10",
+    batch_size: 128,
+    param_bytes: Bytes::mib(548),
+    activation_bytes: Bytes::mib(1500),
+    layer_groups: 16,
+    k80_batch_ms: 410.0,
+    speedup: [6.0, 2.6, 1.5],
+    framework_init_ms: 1750.0,
+    hook_overhead_ms: 0.7,
+    utilization: [0.97, 0.95, 0.92, 0.90],
+};
+
+static RESNET50: ModelSpec = ModelSpec {
+    name: "ResNet50",
+    domain: Domain::Cv,
+    dataset: "Cifar100",
+    batch_size: 64,
+    param_bytes: Bytes::mib(98),
+    activation_bytes: Bytes::mib(1200),
+    layer_groups: 16,
+    k80_batch_ms: 350.0,
+    speedup: [7.0, 2.0, 1.4],
+    framework_init_ms: 4400.0,
+    hook_overhead_ms: 2.6,
+    utilization: [0.98, 0.96, 0.93, 0.95],
+};
+
+static INCEPTION_V3: ModelSpec = ModelSpec {
+    name: "InceptionV3",
+    domain: Domain::Cv,
+    dataset: "Cifar100",
+    batch_size: 32,
+    param_bytes: Bytes::mib(92),
+    activation_bytes: Bytes::mib(1000),
+    layer_groups: 14,
+    k80_batch_ms: 310.0,
+    speedup: [6.2, 2.3, 1.5],
+    framework_init_ms: 6250.0,
+    hook_overhead_ms: 2.9,
+    utilization: [0.95, 0.94, 0.91, 0.92],
+};
+
+static BERT_BASE: ModelSpec = ModelSpec {
+    name: "Bert_base",
+    domain: Domain::Nlp,
+    dataset: "SQuAD",
+    batch_size: 32,
+    param_bytes: Bytes::mib(420),
+    activation_bytes: Bytes::mib(3000),
+    layer_groups: 14,
+    k80_batch_ms: 1150.0,
+    speedup: [8.0, 2.8, 1.4],
+    framework_init_ms: 7450.0,
+    hook_overhead_ms: 9.5,
+    utilization: [0.96, 0.95, 0.92, 0.93],
+};
+
+static TRANSFORMER: ModelSpec = ModelSpec {
+    name: "Transformer",
+    domain: Domain::Nlp,
+    dataset: "WMT16",
+    batch_size: 128,
+    param_bytes: Bytes::mib(235),
+    activation_bytes: Bytes::mib(2500),
+    layer_groups: 12,
+    k80_batch_ms: 900.0,
+    speedup: [7.2, 2.5, 1.4],
+    framework_init_ms: 3700.0,
+    hook_overhead_ms: 8.0,
+    utilization: [0.95, 0.94, 0.90, 0.91],
+};
+
+static DEEP_SPEECH: ModelSpec = ModelSpec {
+    name: "DeepSpeech",
+    domain: Domain::Speech,
+    dataset: "ComVoice",
+    batch_size: 8,
+    param_bytes: Bytes::mib(145),
+    activation_bytes: Bytes::mib(1200),
+    layer_groups: 8,
+    k80_batch_ms: 600.0,
+    speedup: [4.8, 1.9, 1.3],
+    framework_init_ms: 3570.0,
+    hook_overhead_ms: 6.5,
+    utilization: [0.88, 0.90, 0.87, 0.90],
+};
+
+static FAST_GCN: ModelSpec = ModelSpec {
+    name: "FastGCN",
+    domain: Domain::Rec,
+    dataset: "Cora",
+    batch_size: 128,
+    param_bytes: Bytes::mib(3),
+    activation_bytes: Bytes::mib(200),
+    layer_groups: 2,
+    k80_batch_ms: 130.0,
+    speedup: [2.4, 1.5, 1.2],
+    framework_init_ms: 3780.0,
+    hook_overhead_ms: 1.9,
+    utilization: [0.34, 0.52, 0.70, 0.80],
+};
+
+static GRAPH_SAGE: ModelSpec = ModelSpec {
+    name: "GraphSAGE",
+    domain: Domain::Rec,
+    dataset: "Cora",
+    batch_size: 16,
+    param_bytes: Bytes::mib(2),
+    activation_bytes: Bytes::mib(150),
+    layer_groups: 2,
+    k80_batch_ms: 110.0,
+    speedup: [2.0, 1.4, 1.15],
+    framework_init_ms: 3660.0,
+    hook_overhead_ms: 1.5,
+    utilization: [0.28, 0.45, 0.65, 0.82],
+};
+
+static RESNET152: ModelSpec = ModelSpec {
+    name: "ResNet152",
+    domain: Domain::Cv,
+    dataset: "Cifar100",
+    batch_size: 32,
+    param_bytes: Bytes::mib(230),
+    activation_bytes: Bytes::mib(2000),
+    layer_groups: 24,
+    k80_batch_ms: 800.0,
+    speedup: [6.8, 2.1, 1.4],
+    framework_init_ms: 5200.0,
+    hook_overhead_ms: 3.4,
+    utilization: [0.97, 0.95, 0.92, 0.94],
+};
+
+/// The largest per-task heterogeneity ratio α over a set of GPU kinds —
+/// the quantity Lemma 3 and Theorem 4 are parameterized by.
+pub fn alpha_over(kinds: &[GpuKind]) -> f64 {
+    assert!(!kinds.is_empty());
+    ModelKind::WORKLOAD
+        .into_iter()
+        .map(|m| {
+            let times: Vec<f64> = kinds.iter().map(|&k| m.batch_ms(k)).collect();
+            let max = times.iter().cloned().fold(f64::MIN, f64::max);
+            let min = times.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        })
+        .fold(1.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_speedups_hold() {
+        // "Training the ResNet50 model can be sped up by 2x on a T4 GPU,
+        // while with 7x significant speedup on a V100 GPU."
+        assert_eq!(ModelKind::ResNet50.speedup(GpuKind::T4), 2.0);
+        assert_eq!(ModelKind::ResNet50.speedup(GpuKind::V100), 7.0);
+        // "GraphSAGE can only be sped up by about 2x, even on the most
+        // advanced V100 GPU."
+        assert_eq!(ModelKind::GraphSage.speedup(GpuKind::V100), 2.0);
+        // K80 is the baseline for everything.
+        for m in ModelKind::ALL {
+            assert_eq!(m.speedup(GpuKind::K80), 1.0);
+        }
+    }
+
+    #[test]
+    fn batch_time_is_monotone_in_speedup() {
+        for m in ModelKind::ALL {
+            assert!(m.batch_ms(GpuKind::V100) < m.batch_ms(GpuKind::K80));
+            assert!(m.batch_ms(GpuKind::T4) < m.batch_ms(GpuKind::K80));
+        }
+    }
+
+    #[test]
+    fn graphsage_starves_fast_gpus() {
+        // Fig. 3: utilization of a V100 training GraphSAGE is < 30%.
+        assert!(ModelKind::GraphSage.utilization(GpuKind::V100) < 0.30);
+        // ...but the slow K80 stays busy.
+        assert!(ModelKind::GraphSage.utilization(GpuKind::K80) > 0.75);
+        // Compute-bound models keep every GPU busy.
+        assert!(ModelKind::ResNet50.utilization(GpuKind::V100) > 0.9);
+    }
+
+    #[test]
+    fn table2_metadata() {
+        assert_eq!(ModelKind::Vgg19.spec().batch_size, 128);
+        assert_eq!(ModelKind::ResNet50.spec().batch_size, 64);
+        assert_eq!(ModelKind::InceptionV3.spec().batch_size, 32);
+        assert_eq!(ModelKind::BertBase.spec().batch_size, 32);
+        assert_eq!(ModelKind::Transformer.spec().batch_size, 128);
+        assert_eq!(ModelKind::DeepSpeech.spec().batch_size, 8);
+        assert_eq!(ModelKind::FastGcn.spec().batch_size, 128);
+        assert_eq!(ModelKind::GraphSage.spec().batch_size, 16);
+        assert_eq!(ModelKind::of_domain(Domain::Cv).len(), 3);
+        assert_eq!(ModelKind::of_domain(Domain::Nlp).len(), 2);
+        assert_eq!(ModelKind::of_domain(Domain::Speech).len(), 1);
+        assert_eq!(ModelKind::of_domain(Domain::Rec).len(), 2);
+    }
+
+    #[test]
+    fn batch_scaling_has_fixed_component() {
+        let m = ModelKind::ResNet50;
+        let half = m.batch_ms_at(GpuKind::V100, 32);
+        let full = m.batch_ms_at(GpuKind::V100, 64);
+        let double = m.batch_ms_at(GpuKind::V100, 128);
+        assert!((full - m.batch_ms(GpuKind::V100)).abs() < 1e-9);
+        // Halving the batch does not halve the time; doubling less than doubles.
+        assert!(half > full / 2.0);
+        assert!(double < full * 2.0);
+        assert!(half < full && full < double);
+    }
+
+    #[test]
+    fn alpha_reflects_heterogeneity() {
+        let homo = alpha_over(&[GpuKind::V100]);
+        assert!((homo - 1.0).abs() < 1e-12);
+        let mid = alpha_over(&[GpuKind::V100, GpuKind::K80]);
+        let high = alpha_over(&[GpuKind::V100, GpuKind::T4, GpuKind::K80, GpuKind::M60]);
+        assert!(mid > 1.0);
+        assert!(high >= mid);
+        // BERT's 8x V100-vs-K80 gap dominates.
+        assert!((high - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprints_fit_every_gpu() {
+        // Every single model must fit on the smallest GPU (M60, 8 GiB),
+        // otherwise the speculative memory manager could never place it.
+        for m in ModelKind::ALL {
+            let s = m.spec();
+            let need = s.param_bytes + s.activation_bytes;
+            assert!(
+                need < Bytes::gib(8),
+                "{m} footprint {need} exceeds the smallest GPU"
+            );
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Workload-trace generation.
+//!
+//! The paper drives its simulator with task traces collected on the testbed
+//! and job arrivals from the Google cluster trace. The real Google trace is
+//! not available offline, so arrivals come from a seeded *bursty* renewal
+//! process (a hyper-exponential mixture whose squared coefficient of
+//! variation ≈ 3, matching the published trace's burstiness); everything
+//! else — the 25%-per-domain job mix, per-domain training loads, weights —
+//! follows Section 7.1.
+
+use crate::job::{JobId, JobSpec};
+use crate::model::{Domain, ModelKind};
+use hare_cluster::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Fractions of jobs per domain (CV, NLP, Speech, Rec); must sum to 1.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DomainMix {
+    /// Fractions in [`Domain::ALL`] order.
+    pub fractions: [f64; 4],
+}
+
+impl Default for DomainMix {
+    /// The paper's default: every domain gets 25% of the jobs.
+    fn default() -> Self {
+        DomainMix {
+            fractions: [0.25; 4],
+        }
+    }
+}
+
+impl DomainMix {
+    /// A mix emphasising one domain at `frac`, splitting the remainder
+    /// evenly — the Fig.-17 sweep ("we then increase one of them and keep
+    /// others the same" relative shares).
+    pub fn emphasising(domain: Domain, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac));
+        let rest = (1.0 - frac) / 3.0;
+        let mut fractions = [rest; 4];
+        let idx = Domain::ALL.iter().position(|&d| d == domain).unwrap();
+        fractions[idx] = frac;
+        DomainMix { fractions }
+    }
+
+    /// Fraction for one domain.
+    pub fn fraction(&self, domain: Domain) -> f64 {
+        let idx = Domain::ALL.iter().position(|&d| d == domain).unwrap();
+        self.fractions[idx]
+    }
+
+    fn validate(&self) {
+        let sum: f64 = self.fractions.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "domain mix must sum to 1, got {sum}"
+        );
+        assert!(self.fractions.iter().all(|&f| f >= 0.0));
+    }
+}
+
+/// Configuration of a synthetic workload trace.
+///
+/// ```
+/// use hare_workload::TraceConfig;
+///
+/// let jobs = TraceConfig { n_jobs: 8, seed: 1, ..Default::default() }.generate();
+/// assert_eq!(jobs.len(), 8);
+/// // Deterministic: the same config always yields the same trace.
+/// assert_eq!(jobs, TraceConfig { n_jobs: 8, seed: 1, ..Default::default() }.generate());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of jobs to generate.
+    pub n_jobs: u32,
+    /// Domain mix (defaults to 25% each).
+    pub mix: DomainMix,
+    /// Mean inter-arrival time between jobs.
+    pub mean_interarrival: SimDuration,
+    /// Burstiness: probability that the next gap is a short intra-burst gap.
+    /// 0 gives a plain Poisson process.
+    pub burstiness: f64,
+    /// Batch-size multiplier applied to every job's Table-2 default
+    /// (the Fig.-19 sweep; 1.0 is B₀).
+    pub batch_scale: f64,
+    /// RNG seed; two configs with equal fields generate identical traces.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            n_jobs: 40,
+            mix: DomainMix::default(),
+            mean_interarrival: SimDuration::from_secs(20),
+            burstiness: 0.75,
+            batch_scale: 1.0,
+            seed: 0xa11ce,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Generate the trace: `n_jobs` jobs sorted by arrival time with dense
+    /// ids in arrival order.
+    pub fn generate(&self) -> Vec<JobSpec> {
+        self.mix.validate();
+        assert!(self.n_jobs > 0, "empty trace");
+        assert!((0.0..1.0).contains(&self.burstiness));
+        assert!(self.batch_scale > 0.0 && self.batch_scale.is_finite());
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut t = SimTime::ZERO;
+        let mut jobs = Vec::with_capacity(self.n_jobs as usize);
+        for i in 0..self.n_jobs {
+            let domain = self.draw_domain(&mut rng);
+            let model = draw_model(domain, &mut rng);
+            let (rounds, batches) = draw_load(domain, &mut rng);
+            let sync_scale = draw_sync_scale(&mut rng);
+            let weight = rng.gen_range(1..=5) as f64;
+            let batch_size =
+                ((model.spec().batch_size as f64 * self.batch_scale).round() as u32).max(1);
+            // A batch-size change does not change how much data a task
+            // trains: bigger batches mean fewer iterations (Fig. 19's
+            // premise — otherwise batch size would just scale total work).
+            let batches = ((batches as f64 / self.batch_scale).round() as u32).max(1);
+            jobs.push(
+                JobSpec::new(JobId(i), model, rounds, sync_scale)
+                    .arriving_at(t)
+                    .with_weight(weight)
+                    .with_batch_size(batch_size)
+                    .with_batches_per_task(batches),
+            );
+            t += self.draw_gap(&mut rng);
+        }
+        jobs
+    }
+
+    fn draw_domain(&self, rng: &mut SmallRng) -> Domain {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &f) in self.mix.fractions.iter().enumerate() {
+            acc += f;
+            if u < acc {
+                return Domain::ALL[i];
+            }
+        }
+        *Domain::ALL.last().unwrap()
+    }
+
+    /// Hyper-exponential inter-arrival gap: with probability `burstiness`
+    /// a short intra-burst gap, otherwise a long inter-burst gap; the
+    /// mixture mean equals `mean_interarrival`.
+    fn draw_gap(&self, rng: &mut SmallRng) -> SimDuration {
+        let mean = self.mean_interarrival.as_secs_f64();
+        let q = self.burstiness;
+        // Short gaps at 20% of the mean; the long branch absorbs the rest so
+        // that q*short + (1-q)*long = mean.
+        let short = 0.2 * mean;
+        let long = (mean - q * short) / (1.0 - q);
+        let branch_mean = if rng.gen::<f64>() < q { short } else { long };
+        SimDuration::from_secs_f64(exponential(rng, branch_mean))
+    }
+}
+
+fn draw_model(domain: Domain, rng: &mut SmallRng) -> ModelKind {
+    let models = ModelKind::of_domain(domain);
+    models[rng.gen_range(0..models.len())]
+}
+
+/// Per-domain training load: NLP jobs carry "more training rounds and more
+/// training time" (Section 7.3, Fig. 17), Rec jobs the least.
+fn draw_load(domain: Domain, rng: &mut SmallRng) -> (u32, u32) {
+    let (rounds_lo, rounds_hi, batches_lo, batches_hi) = match domain {
+        Domain::Cv => (24, 60, 30, 70),
+        Domain::Nlp => (40, 100, 40, 90),
+        Domain::Speech => (30, 80, 30, 70),
+        Domain::Rec => (16, 48, 20, 50),
+    };
+    (
+        rng.gen_range(rounds_lo..=rounds_hi),
+        rng.gen_range(batches_lo..=batches_hi),
+    )
+}
+
+/// Synchronization scale |D_r|: mostly small gangs with an occasional wide
+/// job (the wide tail is what makes gang schedulers' head-of-line blocking
+/// expensive in practice).
+fn draw_sync_scale(rng: &mut SmallRng) -> u32 {
+    const CHOICES: [u32; 8] = [1, 1, 2, 2, 2, 3, 4, 6];
+    CHOICES[rng.gen_range(0..CHOICES.len())]
+}
+
+fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// Canonical workload for the testbed experiments (Figs. 12–13): 40 jobs,
+/// default mix, arrivals over roughly the first quarter hour.
+pub fn testbed_trace(seed: u64) -> Vec<JobSpec> {
+    TraceConfig {
+        n_jobs: 40,
+        seed,
+        ..TraceConfig::default()
+    }
+    .generate()
+}
+
+/// Canonical large-scale workload for the simulator experiments
+/// (Figs. 14–19): denser arrivals, configurable size and mix.
+pub fn large_scale_trace(n_jobs: u32, mix: DomainMix, seed: u64) -> Vec<JobSpec> {
+    TraceConfig {
+        n_jobs,
+        mix,
+        mean_interarrival: SimDuration::from_secs(5),
+        seed,
+        ..TraceConfig::default()
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = TraceConfig::default().generate();
+        let b = TraceConfig::default().generate();
+        assert_eq!(a, b);
+        let c = TraceConfig {
+            seed: 1,
+            ..TraceConfig::default()
+        }
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_ids_dense() {
+        let jobs = TraceConfig::default().generate();
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u32));
+            assert!(j.validate().is_ok());
+        }
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn default_mix_is_roughly_uniform() {
+        let jobs = TraceConfig {
+            n_jobs: 4000,
+            ..TraceConfig::default()
+        }
+        .generate();
+        for d in Domain::ALL {
+            let frac =
+                jobs.iter().filter(|j| j.model.domain() == d).count() as f64 / jobs.len() as f64;
+            assert!((frac - 0.25).abs() < 0.03, "{d}: {frac:.3}");
+        }
+    }
+
+    #[test]
+    fn emphasised_mix_shifts_fractions() {
+        let mix = DomainMix::emphasising(Domain::Nlp, 0.55);
+        assert!((mix.fraction(Domain::Nlp) - 0.55).abs() < 1e-12);
+        assert!((mix.fractions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let jobs = TraceConfig {
+            n_jobs: 4000,
+            mix,
+            ..TraceConfig::default()
+        }
+        .generate();
+        let nlp = jobs
+            .iter()
+            .filter(|j| j.model.domain() == Domain::Nlp)
+            .count() as f64
+            / jobs.len() as f64;
+        assert!((nlp - 0.55).abs() < 0.03, "nlp={nlp:.3}");
+    }
+
+    #[test]
+    fn interarrival_mean_matches_config() {
+        let cfg = TraceConfig {
+            n_jobs: 5000,
+            mean_interarrival: SimDuration::from_secs(10),
+            ..TraceConfig::default()
+        };
+        let jobs = cfg.generate();
+        let span = jobs.last().unwrap().arrival.as_secs_f64();
+        let mean = span / (jobs.len() - 1) as f64;
+        assert!((mean - 10.0).abs() < 1.0, "observed mean gap {mean:.2}s");
+    }
+
+    #[test]
+    fn bursty_arrivals_have_high_variance() {
+        let bursty = TraceConfig {
+            n_jobs: 5000,
+            burstiness: 0.75,
+            ..TraceConfig::default()
+        }
+        .generate();
+        let poisson = TraceConfig {
+            n_jobs: 5000,
+            burstiness: 0.0,
+            ..TraceConfig::default()
+        }
+        .generate();
+        let cv2 = |jobs: &[JobSpec]| {
+            let gaps: Vec<f64> = jobs
+                .windows(2)
+                .map(|w| (w[1].arrival - w[0].arrival).as_secs_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let b = cv2(&bursty);
+        let p = cv2(&poisson);
+        assert!(
+            b > 2.0,
+            "bursty trace should have CV^2 well above 1, got {b:.2}"
+        );
+        assert!(
+            (p - 1.0).abs() < 0.25,
+            "poisson trace should have CV^2 ~ 1, got {p:.2}"
+        );
+    }
+
+    #[test]
+    fn nlp_jobs_are_heavier_rec_lighter() {
+        let jobs = TraceConfig {
+            n_jobs: 4000,
+            ..TraceConfig::default()
+        }
+        .generate();
+        let mean_rounds = |d: Domain| {
+            let v: Vec<u32> = jobs
+                .iter()
+                .filter(|j| j.model.domain() == d)
+                .map(|j| j.rounds)
+                .collect();
+            v.iter().sum::<u32>() as f64 / v.len() as f64
+        };
+        assert!(mean_rounds(Domain::Nlp) > mean_rounds(Domain::Cv));
+        assert!(mean_rounds(Domain::Rec) < mean_rounds(Domain::Cv));
+    }
+
+    #[test]
+    fn batch_scale_applies_to_every_job() {
+        let jobs = TraceConfig {
+            n_jobs: 100,
+            batch_scale: 2.0,
+            ..TraceConfig::default()
+        }
+        .generate();
+        for j in &jobs {
+            assert_eq!(j.batch_size, j.model.spec().batch_size * 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_mix_is_rejected() {
+        let cfg = TraceConfig {
+            mix: DomainMix {
+                fractions: [0.5, 0.5, 0.5, 0.5],
+            },
+            ..TraceConfig::default()
+        };
+        cfg.generate();
+    }
+}

@@ -1,0 +1,62 @@
+//! The relaxed scale-fixed synchronization scheme (Fig. 4): how a new
+//! 3-task round starts under strict gang semantics vs Hare's relaxation,
+//! and why the relaxation keeps convergence certainty.
+//!
+//! ```sh
+//! cargo run --release --example relaxed_sync
+//! ```
+
+use hare::cluster::{SimDuration, SimTime};
+use hare::core::{find_gang_slot, relaxed_round_assign, JobInfo, SchedProblem};
+
+fn main() {
+    // Three GPUs, each finishing someone else's task at 2s, 3s and 6s.
+    let avail = vec![
+        SimTime::from_secs(2),
+        SimTime::from_secs(3),
+        SimTime::from_secs(6),
+    ];
+    println!("GPU availability: gpu0 @2s, gpu1 @3s, gpu2 @6s");
+    println!("a job with synchronization scale 3 arrives (tasks take 1.5s)\n");
+
+    // Strict scale-fixed (Tiresias/Gandiva): wait for 3 simultaneous GPUs.
+    let (start, gang) = find_gang_slot(&avail, 3, SimTime::ZERO);
+    println!(
+        "strict scale-fixed : start {start} on GPUs {gang:?}, round done {}",
+        start + SimDuration::from_millis(1500)
+    );
+
+    // Relaxed scale-fixed (Hare): same task COUNT per round (identical
+    // gradient averaging => identical convergence behaviour), flexible
+    // placement in time and space.
+    let p = SchedProblem::new(
+        3,
+        vec![JobInfo {
+            weight: 1.0,
+            arrival: SimTime::ZERO,
+            rounds: 1,
+            sync_scale: 3,
+            train: vec![SimDuration::from_millis(1500); 3],
+            sync: vec![SimDuration::ZERO; 3],
+        }],
+    );
+    let mut phi = avail.clone();
+    let placed = relaxed_round_assign(&p, 0, SimTime::ZERO, &mut phi);
+    let done = placed
+        .iter()
+        .map(|&(s, g)| s + p.jobs[0].train[g])
+        .max()
+        .unwrap();
+    println!("relaxed scale-fixed: placements:");
+    for (i, &(s, g)) in placed.iter().enumerate() {
+        println!("  task {i} -> gpu{g} at {s}");
+    }
+    println!("  round done {done}  (two tasks stacked on the early GPU)");
+
+    println!(
+        "\nsame |D_r| = 3 gradients are averaged either way — the relaxation trades\n\
+         nothing on the statistics; it only removes the simultaneity requirement\n\
+         (contrast with scale-ADAPTIVE schemes, which change |D_r| and lose\n\
+         convergence predictability — Section 2.2.3)."
+    );
+}

@@ -1,0 +1,37 @@
+//! Facade crate re-exporting the Hare workspace — a Rust reproduction of
+//! *"Hare: Exploiting Inter-job and Intra-job Parallelism of Distributed
+//! Machine Learning on Heterogeneous GPUs"* (HPDC 2022).
+//!
+//! # Example
+//!
+//! Schedule a profiled workload on the paper's 15-GPU testbed with
+//! Algorithm 1 and execute it on the deterministic simulator:
+//!
+//! ```
+//! use hare::baselines::{run_scheme, RunOptions, Scheme};
+//! use hare::cluster::Cluster;
+//! use hare::core::HareScheduler;
+//! use hare::sim::SimWorkload;
+//! use hare::workload::{ProfileDb, TraceConfig};
+//!
+//! let db = ProfileDb::new(7);
+//! let trace = TraceConfig { n_jobs: 4, seed: 7, ..Default::default() }.generate();
+//! let workload = SimWorkload::build(Cluster::testbed15(), trace, &db);
+//!
+//! // Offline plan (midpoints from the Hare_Sched_RL relaxation)...
+//! let plan = HareScheduler::default().schedule(&workload.problem);
+//! assert!(plan.schedule.validate(&workload.problem, hare::core::SyncMode::Relaxed).is_ok());
+//!
+//! // ...executed with realized durations, switching costs and contended sync.
+//! let report = run_scheme(Scheme::Hare, &workload, RunOptions::default());
+//! assert_eq!(report.completion.len(), 4);
+//! assert!(report.weighted_jct > 0.0);
+//! ```
+
+pub use hare_baselines as baselines;
+pub use hare_cluster as cluster;
+pub use hare_core as core;
+pub use hare_memory as memory;
+pub use hare_sim as sim;
+pub use hare_solver as solver;
+pub use hare_workload as workload;
