@@ -3,15 +3,15 @@
 //! The prototype's scheduler ships task sequences to executors and receives
 //! gradient/completion notifications over gRPC. This module reproduces the
 //! message vocabulary and a deterministic in-process transport built on
-//! crossbeam channels: the scheduler broadcasts each GPU's task sequence,
+//! std mpsc channels: the scheduler broadcasts each GPU's task sequence,
 //! executor threads acknowledge and stream back per-task completion
 //! notices. The discrete-event engine itself stays single-threaded (for
 //! determinism); this layer exists so the control protocol is real,
 //! testable code rather than an abstraction note.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hare_core::Schedule;
 use serde::{Deserialize, Serialize};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread;
 
 /// Messages the scheduler sends to executors.
@@ -69,12 +69,12 @@ pub struct ControlLog {
 /// Each executor validates its sequence (strictly increasing *planned*
 /// order is already guaranteed by construction), acks, replays the task
 /// list emitting `GradientPushed` per task, then stops. The transport is
-/// real crossbeam channels across real threads; determinism of the
+/// real mpsc channels across real threads; determinism of the
 /// *aggregate* log is restored by sorting notification streams per GPU.
 pub fn broadcast_schedule(schedule: &Schedule, problem: &hare_core::SchedProblem) -> ControlLog {
     let sequences = schedule.gpu_sequences(problem);
     let n = sequences.len();
-    let (to_sched, from_exec): (Sender<ExecutorMsg>, Receiver<ExecutorMsg>) = unbounded();
+    let (to_sched, from_exec): (Sender<ExecutorMsg>, Receiver<ExecutorMsg>) = channel();
 
     let mut handles = Vec::with_capacity(n);
     for (gpu, tasks) in sequences.into_iter().enumerate() {

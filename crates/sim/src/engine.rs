@@ -630,7 +630,9 @@ mod tests {
 
     #[test]
     fn switching_protocol_changes_overhead() {
-        let w = workload(6);
+        // 10 jobs (not 6): enough rounds recur per GPU that the speculative
+        // cache provably gets traffic on this trace seed.
+        let w = workload(10);
         let run = |policy| {
             let out = hare_core::hare_schedule(&w.problem);
             let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);

@@ -10,12 +10,12 @@
 
 use crate::model::ModelKind;
 use hare_cluster::{GpuKind, SimDuration};
-use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Key identifying one profiling measurement.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -86,7 +86,7 @@ impl ProfileDb {
             gpu,
             batch_size,
         };
-        if let Some(p) = self.cache.read().get(&key) {
+        if let Some(p) = self.cache.read().expect("profile cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *p;
         }
@@ -94,7 +94,7 @@ impl ProfileDb {
         let measured = self.measure(key);
         // Double-checked: another thread may have inserted meanwhile — keep
         // the first measurement so all readers agree forever after.
-        let mut w = self.cache.write();
+        let mut w = self.cache.write().expect("profile cache poisoned");
         *w.entry(key).or_insert(measured)
     }
 
@@ -163,7 +163,7 @@ impl ProfileDb {
     /// that happens the historical profiles are stale and the next
     /// `profile()` must re-measure. Returns the number of entries dropped.
     pub fn invalidate(&self, model: ModelKind) -> usize {
-        let mut w = self.cache.write();
+        let mut w = self.cache.write().expect("profile cache poisoned");
         let before = w.len();
         w.retain(|k, _| k.model != model);
         before - w.len()

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/__probe-9e9eb8a61b5ee42e.d: crates/experiments/src/bin/__probe.rs
+
+/root/repo/target/debug/deps/__probe-9e9eb8a61b5ee42e: crates/experiments/src/bin/__probe.rs
+
+crates/experiments/src/bin/__probe.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-68f84f8c69118541.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-68f84f8c69118541: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_hare=/root/repo/target/debug/hare

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-f67819f8782d9162.d: crates/experiments/src/bin/failures.rs
+
+/root/repo/target/debug/deps/failures-f67819f8782d9162: crates/experiments/src/bin/failures.rs
+
+crates/experiments/src/bin/failures.rs:

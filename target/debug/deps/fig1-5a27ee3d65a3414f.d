@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-5a27ee3d65a3414f.d: crates/experiments/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-5a27ee3d65a3414f: crates/experiments/src/bin/fig1.rs
+
+crates/experiments/src/bin/fig1.rs:

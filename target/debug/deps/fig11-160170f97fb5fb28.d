@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-160170f97fb5fb28.d: crates/experiments/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-160170f97fb5fb28: crates/experiments/src/bin/fig11.rs
+
+crates/experiments/src/bin/fig11.rs:

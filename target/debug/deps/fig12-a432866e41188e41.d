@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-a432866e41188e41.d: crates/experiments/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-a432866e41188e41: crates/experiments/src/bin/fig12.rs
+
+crates/experiments/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-668381616867d1ef.d: crates/experiments/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-668381616867d1ef: crates/experiments/src/bin/fig13.rs
+
+crates/experiments/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-92ea016fa3cfbccc.d: crates/experiments/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-92ea016fa3cfbccc: crates/experiments/src/bin/fig14.rs
+
+crates/experiments/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-edd61bdfe122b0f0.d: crates/experiments/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-edd61bdfe122b0f0: crates/experiments/src/bin/fig15.rs
+
+crates/experiments/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-bca73102e61df4c6.d: crates/experiments/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-bca73102e61df4c6: crates/experiments/src/bin/fig16.rs
+
+crates/experiments/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-648b3d7d0cf03379.d: crates/experiments/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-648b3d7d0cf03379: crates/experiments/src/bin/fig17.rs
+
+crates/experiments/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-15439006a68e9cfa.d: crates/experiments/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-15439006a68e9cfa: crates/experiments/src/bin/fig18.rs
+
+crates/experiments/src/bin/fig18.rs:

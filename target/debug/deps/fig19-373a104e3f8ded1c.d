@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-373a104e3f8ded1c.d: crates/experiments/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-373a104e3f8ded1c: crates/experiments/src/bin/fig19.rs
+
+crates/experiments/src/bin/fig19.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-ab81a91781e4ed88.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-ab81a91781e4ed88: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

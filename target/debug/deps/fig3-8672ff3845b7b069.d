@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-8672ff3845b7b069.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-8672ff3845b7b069: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

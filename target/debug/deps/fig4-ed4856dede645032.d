@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-ed4856dede645032.d: crates/experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-ed4856dede645032: crates/experiments/src/bin/fig4.rs
+
+crates/experiments/src/bin/fig4.rs:

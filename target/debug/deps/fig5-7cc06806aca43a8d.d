@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7cc06806aca43a8d.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7cc06806aca43a8d: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f55c90827cfa42f3.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f55c90827cfa42f3: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

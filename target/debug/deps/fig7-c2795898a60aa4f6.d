@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c2795898a60aa4f6.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c2795898a60aa4f6: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

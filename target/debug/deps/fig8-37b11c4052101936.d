@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-37b11c4052101936.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-37b11c4052101936: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

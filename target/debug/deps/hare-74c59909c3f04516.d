@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hare-74c59909c3f04516.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/hare-74c59909c3f04516: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hare-9339b2383e67cb2e.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/hare-9339b2383e67cb2e: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

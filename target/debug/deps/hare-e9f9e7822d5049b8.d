@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hare-e9f9e7822d5049b8.d: src/lib.rs
+
+/root/repo/target/debug/deps/hare-e9f9e7822d5049b8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hare-f13cb421d03f3ab6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhare-f13cb421d03f3ab6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhare-f13cb421d03f3ab6.rmeta: src/lib.rs
+
+src/lib.rs:

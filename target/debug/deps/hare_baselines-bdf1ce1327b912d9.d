@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hare_baselines-bdf1ce1327b912d9.d: crates/baselines/src/lib.rs crates/baselines/src/allox.rs crates/baselines/src/common.rs crates/baselines/src/gavel_fifo.rs crates/baselines/src/hare_online.rs crates/baselines/src/sched_homo.rs crates/baselines/src/srtf.rs crates/baselines/src/suite.rs crates/baselines/src/timeslice.rs
+
+/root/repo/target/debug/deps/libhare_baselines-bdf1ce1327b912d9.rlib: crates/baselines/src/lib.rs crates/baselines/src/allox.rs crates/baselines/src/common.rs crates/baselines/src/gavel_fifo.rs crates/baselines/src/hare_online.rs crates/baselines/src/sched_homo.rs crates/baselines/src/srtf.rs crates/baselines/src/suite.rs crates/baselines/src/timeslice.rs
+
+/root/repo/target/debug/deps/libhare_baselines-bdf1ce1327b912d9.rmeta: crates/baselines/src/lib.rs crates/baselines/src/allox.rs crates/baselines/src/common.rs crates/baselines/src/gavel_fifo.rs crates/baselines/src/hare_online.rs crates/baselines/src/sched_homo.rs crates/baselines/src/srtf.rs crates/baselines/src/suite.rs crates/baselines/src/timeslice.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/allox.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/gavel_fifo.rs:
+crates/baselines/src/hare_online.rs:
+crates/baselines/src/sched_homo.rs:
+crates/baselines/src/srtf.rs:
+crates/baselines/src/suite.rs:
+crates/baselines/src/timeslice.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hare_baselines-d2a54fb1cbc710ec.d: crates/baselines/src/lib.rs crates/baselines/src/allox.rs crates/baselines/src/common.rs crates/baselines/src/gavel_fifo.rs crates/baselines/src/hare_online.rs crates/baselines/src/sched_homo.rs crates/baselines/src/srtf.rs crates/baselines/src/suite.rs crates/baselines/src/timeslice.rs
+
+/root/repo/target/debug/deps/hare_baselines-d2a54fb1cbc710ec: crates/baselines/src/lib.rs crates/baselines/src/allox.rs crates/baselines/src/common.rs crates/baselines/src/gavel_fifo.rs crates/baselines/src/hare_online.rs crates/baselines/src/sched_homo.rs crates/baselines/src/srtf.rs crates/baselines/src/suite.rs crates/baselines/src/timeslice.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/allox.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/gavel_fifo.rs:
+crates/baselines/src/hare_online.rs:
+crates/baselines/src/sched_homo.rs:
+crates/baselines/src/srtf.rs:
+crates/baselines/src/suite.rs:
+crates/baselines/src/timeslice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hare_bench-a8013fa508415e5a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hare_bench-a8013fa508415e5a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hare_bench-f593806a73d04036.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhare_bench-f593806a73d04036.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhare_bench-f593806a73d04036.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

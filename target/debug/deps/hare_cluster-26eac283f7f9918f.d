@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hare_cluster-26eac283f7f9918f.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/units.rs
+
+/root/repo/target/debug/deps/hare_cluster-26eac283f7f9918f: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/units.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hare_cluster-a82afbc6dbaaf86d.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/units.rs
+
+/root/repo/target/debug/deps/libhare_cluster-a82afbc6dbaaf86d.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/units.rs
+
+/root/repo/target/debug/deps/libhare_cluster-a82afbc6dbaaf86d.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/units.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/units.rs:

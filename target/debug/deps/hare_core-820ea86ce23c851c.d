@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hare_core-820ea86ce23c851c.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/gantt.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/sync.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/hare_core-820ea86ce23c851c: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/gantt.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/sync.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/gantt.rs:
+crates/core/src/problem.rs:
+crates/core/src/schedule.rs:
+crates/core/src/sync.rs:
+crates/core/src/theory.rs:

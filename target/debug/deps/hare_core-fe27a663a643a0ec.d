@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hare_core-fe27a663a643a0ec.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/gantt.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/sync.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libhare_core-fe27a663a643a0ec.rlib: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/gantt.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/sync.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libhare_core-fe27a663a643a0ec.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/gantt.rs crates/core/src/problem.rs crates/core/src/schedule.rs crates/core/src/sync.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/gantt.rs:
+crates/core/src/problem.rs:
+crates/core/src/schedule.rs:
+crates/core/src/sync.rs:
+crates/core/src/theory.rs:

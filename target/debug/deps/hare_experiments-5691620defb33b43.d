@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hare_experiments-5691620defb33b43.d: crates/experiments/src/lib.rs crates/experiments/src/harness.rs crates/experiments/src/scenarios.rs
+
+/root/repo/target/debug/deps/hare_experiments-5691620defb33b43: crates/experiments/src/lib.rs crates/experiments/src/harness.rs crates/experiments/src/scenarios.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/harness.rs:
+crates/experiments/src/scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hare_experiments-7be7c6f7f66ea824.d: crates/experiments/src/lib.rs crates/experiments/src/harness.rs crates/experiments/src/scenarios.rs
+
+/root/repo/target/debug/deps/libhare_experiments-7be7c6f7f66ea824.rlib: crates/experiments/src/lib.rs crates/experiments/src/harness.rs crates/experiments/src/scenarios.rs
+
+/root/repo/target/debug/deps/libhare_experiments-7be7c6f7f66ea824.rmeta: crates/experiments/src/lib.rs crates/experiments/src/harness.rs crates/experiments/src/scenarios.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/harness.rs:
+crates/experiments/src/scenarios.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hare_memory-1e0e4e988d9c3c7a.d: crates/memory/src/lib.rs crates/memory/src/cleaning.rs crates/memory/src/pool.rs crates/memory/src/speculative.rs crates/memory/src/switching.rs crates/memory/src/transfer.rs
+
+/root/repo/target/debug/deps/libhare_memory-1e0e4e988d9c3c7a.rlib: crates/memory/src/lib.rs crates/memory/src/cleaning.rs crates/memory/src/pool.rs crates/memory/src/speculative.rs crates/memory/src/switching.rs crates/memory/src/transfer.rs
+
+/root/repo/target/debug/deps/libhare_memory-1e0e4e988d9c3c7a.rmeta: crates/memory/src/lib.rs crates/memory/src/cleaning.rs crates/memory/src/pool.rs crates/memory/src/speculative.rs crates/memory/src/switching.rs crates/memory/src/transfer.rs
+
+crates/memory/src/lib.rs:
+crates/memory/src/cleaning.rs:
+crates/memory/src/pool.rs:
+crates/memory/src/speculative.rs:
+crates/memory/src/switching.rs:
+crates/memory/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hare_memory-ea6357447a7aedf8.d: crates/memory/src/lib.rs crates/memory/src/cleaning.rs crates/memory/src/pool.rs crates/memory/src/speculative.rs crates/memory/src/switching.rs crates/memory/src/transfer.rs
+
+/root/repo/target/debug/deps/hare_memory-ea6357447a7aedf8: crates/memory/src/lib.rs crates/memory/src/cleaning.rs crates/memory/src/pool.rs crates/memory/src/speculative.rs crates/memory/src/switching.rs crates/memory/src/transfer.rs
+
+crates/memory/src/lib.rs:
+crates/memory/src/cleaning.rs:
+crates/memory/src/pool.rs:
+crates/memory/src/speculative.rs:
+crates/memory/src/switching.rs:
+crates/memory/src/transfer.rs:

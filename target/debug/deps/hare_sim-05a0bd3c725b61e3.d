@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hare_sim-05a0bd3c725b61e3.d: crates/sim/src/lib.rs crates/sim/src/build.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/ps.rs crates/sim/src/storage.rs
+
+/root/repo/target/debug/deps/libhare_sim-05a0bd3c725b61e3.rlib: crates/sim/src/lib.rs crates/sim/src/build.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/ps.rs crates/sim/src/storage.rs
+
+/root/repo/target/debug/deps/libhare_sim-05a0bd3c725b61e3.rmeta: crates/sim/src/lib.rs crates/sim/src/build.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/ps.rs crates/sim/src/storage.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/build.rs:
+crates/sim/src/control.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/ps.rs:
+crates/sim/src/storage.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hare_sim-a835fd32cc6c7f57.d: crates/sim/src/lib.rs crates/sim/src/build.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/ps.rs crates/sim/src/storage.rs
+
+/root/repo/target/debug/deps/hare_sim-a835fd32cc6c7f57: crates/sim/src/lib.rs crates/sim/src/build.rs crates/sim/src/control.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/ps.rs crates/sim/src/storage.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/build.rs:
+crates/sim/src/control.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/ps.rs:
+crates/sim/src/storage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hare_solver-265420958c79a702.d: crates/solver/src/lib.rs crates/solver/src/bb.rs crates/solver/src/instance.rs crates/solver/src/lp.rs crates/solver/src/matching.rs crates/solver/src/relax.rs
+
+/root/repo/target/debug/deps/libhare_solver-265420958c79a702.rlib: crates/solver/src/lib.rs crates/solver/src/bb.rs crates/solver/src/instance.rs crates/solver/src/lp.rs crates/solver/src/matching.rs crates/solver/src/relax.rs
+
+/root/repo/target/debug/deps/libhare_solver-265420958c79a702.rmeta: crates/solver/src/lib.rs crates/solver/src/bb.rs crates/solver/src/instance.rs crates/solver/src/lp.rs crates/solver/src/matching.rs crates/solver/src/relax.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bb.rs:
+crates/solver/src/instance.rs:
+crates/solver/src/lp.rs:
+crates/solver/src/matching.rs:
+crates/solver/src/relax.rs:

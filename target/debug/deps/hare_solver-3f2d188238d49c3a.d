@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hare_solver-3f2d188238d49c3a.d: crates/solver/src/lib.rs crates/solver/src/bb.rs crates/solver/src/instance.rs crates/solver/src/lp.rs crates/solver/src/matching.rs crates/solver/src/relax.rs
+
+/root/repo/target/debug/deps/hare_solver-3f2d188238d49c3a: crates/solver/src/lib.rs crates/solver/src/bb.rs crates/solver/src/instance.rs crates/solver/src/lp.rs crates/solver/src/matching.rs crates/solver/src/relax.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bb.rs:
+crates/solver/src/instance.rs:
+crates/solver/src/lp.rs:
+crates/solver/src/matching.rs:
+crates/solver/src/relax.rs:

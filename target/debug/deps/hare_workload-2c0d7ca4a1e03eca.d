@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hare_workload-2c0d7ca4a1e03eca.d: crates/workload/src/lib.rs crates/workload/src/csv.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/profile.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libhare_workload-2c0d7ca4a1e03eca.rlib: crates/workload/src/lib.rs crates/workload/src/csv.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/profile.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libhare_workload-2c0d7ca4a1e03eca.rmeta: crates/workload/src/lib.rs crates/workload/src/csv.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/profile.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/csv.rs:
+crates/workload/src/job.rs:
+crates/workload/src/model.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hare_workload-b214524b95061bc3.d: crates/workload/src/lib.rs crates/workload/src/csv.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/profile.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/hare_workload-b214524b95061bc3: crates/workload/src/lib.rs crates/workload/src/csv.rs crates/workload/src/job.rs crates/workload/src/model.rs crates/workload/src/profile.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/csv.rs:
+crates/workload/src/job.rs:
+crates/workload/src/model.rs:
+crates/workload/src/profile.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_invariants-a90d74a8a0ebe430.d: tests/memory_invariants.rs
+
+/root/repo/target/debug/deps/memory_invariants-a90d74a8a0ebe430: tests/memory_invariants.rs
+
+tests/memory_invariants.rs:

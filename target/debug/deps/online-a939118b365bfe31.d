@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online-a939118b365bfe31.d: crates/experiments/src/bin/online.rs
+
+/root/repo/target/debug/deps/online-a939118b365bfe31: crates/experiments/src/bin/online.rs
+
+crates/experiments/src/bin/online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-631186186a5626a1.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-631186186a5626a1: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

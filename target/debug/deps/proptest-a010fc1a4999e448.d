@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a010fc1a4999e448.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a010fc1a4999e448.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a010fc1a4999e448.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d664198e9c8680c4.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-d664198e9c8680c4: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-ee4ce149ea8e3c5c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ee4ce149ea8e3c5c.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ee4ce149ea8e3c5c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relax_properties-59d7f0fbed2bfcc7.d: crates/solver/tests/relax_properties.rs
+
+/root/repo/target/debug/deps/relax_properties-59d7f0fbed2bfcc7: crates/solver/tests/relax_properties.rs
+
+crates/solver/tests/relax_properties.rs:

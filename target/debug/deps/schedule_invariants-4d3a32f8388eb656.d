@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_invariants-4d3a32f8388eb656.d: tests/schedule_invariants.rs
+
+/root/repo/target/debug/deps/schedule_invariants-4d3a32f8388eb656: tests/schedule_invariants.rs
+
+tests/schedule_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/syncscheme-ca8e82b23b2933bd.d: crates/experiments/src/bin/syncscheme.rs
+
+/root/repo/target/debug/deps/syncscheme-ca8e82b23b2933bd: crates/experiments/src/bin/syncscheme.rs
+
+crates/experiments/src/bin/syncscheme.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9c64edd552123f2d.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9c64edd552123f2d: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_bounds-87bfda626bd50701.d: tests/theory_bounds.rs
+
+/root/repo/target/debug/deps/theory_bounds-87bfda626bd50701: tests/theory_bounds.rs
+
+tests/theory_bounds.rs:

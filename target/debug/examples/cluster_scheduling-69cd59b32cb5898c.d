@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_scheduling-69cd59b32cb5898c.d: examples/cluster_scheduling.rs
+
+/root/repo/target/debug/examples/cluster_scheduling-69cd59b32cb5898c: examples/cluster_scheduling.rs
+
+examples/cluster_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_arrivals-a845af9839974ee8.d: examples/online_arrivals.rs
+
+/root/repo/target/debug/examples/online_arrivals-a845af9839974ee8: examples/online_arrivals.rs
+
+examples/online_arrivals.rs:

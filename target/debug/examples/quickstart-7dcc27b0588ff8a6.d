@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7dcc27b0588ff8a6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7dcc27b0588ff8a6: examples/quickstart.rs
+
+examples/quickstart.rs:

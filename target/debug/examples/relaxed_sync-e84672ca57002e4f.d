@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/relaxed_sync-e84672ca57002e4f.d: examples/relaxed_sync.rs
+
+/root/repo/target/debug/examples/relaxed_sync-e84672ca57002e4f: examples/relaxed_sync.rs
+
+examples/relaxed_sync.rs:

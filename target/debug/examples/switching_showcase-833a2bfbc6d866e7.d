@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/switching_showcase-833a2bfbc6d866e7.d: examples/switching_showcase.rs
+
+/root/repo/target/debug/examples/switching_showcase-833a2bfbc6d866e7: examples/switching_showcase.rs
+
+examples/switching_showcase.rs:

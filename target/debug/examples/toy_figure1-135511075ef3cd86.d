@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/toy_figure1-135511075ef3cd86.d: examples/toy_figure1.rs
+
+/root/repo/target/debug/examples/toy_figure1-135511075ef3cd86: examples/toy_figure1.rs
+
+examples/toy_figure1.rs:

@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API surface the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `iter` — with a
+//! simple median-of-samples measurement and one printed line per
+//! benchmark. No statistics engine, plots, or baselines; good enough to
+//! keep `cargo bench` informative while the registry is unreachable.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 15 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value alone.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identify a benchmark by function name and parameter.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording `sample_size` samples (plus one warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(t.elapsed().as_nanos());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples_ns: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    b.samples_ns.sort_unstable();
+    let median = b.samples_ns.get(b.samples_ns.len() / 2).copied().unwrap_or(0);
+    println!("bench {name:<50} median {}", format_ns(median));
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The crates.io registry is unreachable in this build environment, so
+//! this path dependency implements the subset of the `rand` API the
+//! workspace uses: [`rngs::SmallRng`] (xoshiro256++ seeded through
+//! splitmix64, the same construction real `rand` 0.8 uses on 64-bit
+//! targets), [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `gen`, `gen_range` and `gen_bool`. All streams are deterministic in
+//! the seed, which is the property every caller in the tree relies on.
+
+/// Types that `Rng::gen` can produce from a uniform bit stream.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`'s next output(s).
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_std<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range; panics if the range is empty.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + f64::sample_std_uniform(rng) * (self.end - self.start)
+    }
+}
+
+trait UniformF64 {
+    fn sample_std_uniform<R: RngCore + ?Sized>(rng: &mut R) -> f64;
+}
+impl UniformF64 for f64 {
+    fn sample_std_uniform<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Core source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of type `T` (`f64` in `[0,1)`, full-width ints, …).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_std(self)
+    }
+
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        f64::sample_std(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and plenty for simulation noise and
+    /// randomized tests. Matches real `rand 0.8`'s `SmallRng` choice on
+    /// 64-bit targets (stream values differ; determinism is what matters).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // splitmix64 expansion, per the xoshiro authors' seeding advice.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1..=5i32);
+            assert!((1..=5).contains(&w));
+            let f = rng.gen_range(0.5f64..8.0);
+            assert!((0.5..8.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_enough() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+}

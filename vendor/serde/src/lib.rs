@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no reachable crates.io registry, so this
+//! path dependency provides the subset the workspace actually relies on:
+//! the `Serialize` / `Deserialize` *bounds* and the derive attributes.
+//! Nothing in the workspace serializes through serde at runtime (results
+//! are written with hand-rolled JSON/CSV writers), so the traits are
+//! markers with blanket implementations and the derives expand to nothing.
+//!
+//! If a future PR needs real serialization, replace this crate with the
+//! genuine `serde` once the registry is reachable — every `#[derive]` in
+//! the tree is already written against the real API.
+
+/// Marker for types that can be serialized. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that can be deserialized. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's convenience alias.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized + for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

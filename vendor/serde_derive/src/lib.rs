@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits for
+//! every type, so the derives only need to (a) exist and (b) accept the
+//! `#[serde(...)]` helper attribute. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `Serialize` is blanket-implemented by the stub.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `Deserialize` is blanket-implemented by the stub.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
