@@ -17,8 +17,11 @@ fn simplex(c: &mut Criterion) {
             let j = (i + 1) % n;
             lp.constrain(vec![(i, 1.0), (j, 2.0)], Cmp::Ge, 3.0 + (i % 5) as f64);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+        group.bench_with_input(BenchmarkId::new("revised", n), &lp, |b, lp| {
             b.iter(|| black_box(lp.solve()));
+        });
+        group.bench_with_input(BenchmarkId::new("dense", n), &lp, |b, lp| {
+            b.iter(|| black_box(lp.solve_dense()));
         });
     }
     group.finish();
@@ -48,6 +51,24 @@ fn relaxation(c: &mut Criterion) {
     let toy = fig1_instance();
     group.bench_function("lp_mode/fig1", |b| {
         b.iter(|| black_box(relax::solve(&toy, &RelaxOptions::default())));
+    });
+    // Warm-started vs cold cut loop on a contended instance where the
+    // Queyranne separation fires every round.
+    let mut contended = InstanceBuilder::new(2);
+    for j in 0..36 {
+        let job = contended.job(1.0 + (j % 4) as f64, 0.0);
+        contended.round(job, &[vec![1.0 + (j % 3) as f64 * 0.5, 2.0]]);
+    }
+    let contended = contended.build();
+    group.bench_function("cut_loop/warm", |b| {
+        b.iter(|| black_box(relax::solve(&contended, &RelaxOptions::default())));
+    });
+    group.bench_function("cut_loop/cold", |b| {
+        let opts = RelaxOptions {
+            warm_start: false,
+            ..RelaxOptions::default()
+        };
+        b.iter(|| black_box(relax::solve(&contended, &opts)));
     });
     // Combinatorial mode on a synthetic 4000-task instance.
     let mut builder = InstanceBuilder::new(16);

@@ -1,0 +1,216 @@
+//! Solver performance report: writes `BENCH_solver.json` at the repo root.
+//!
+//! Records, for a ladder of relaxation-shaped LPs, the median solve time of
+//! the dense two-phase tableau vs the sparse revised simplex (and the
+//! speedup); for the Queyranne cut loop, warm-started vs cold pivot counts
+//! and times; and for the exact branch-and-bound, node counts and times on
+//! the Fig. 1 instance and a 14-task symmetric instance.
+//!
+//! Run with `cargo run --release -p hare-bench --bin solver_report`.
+
+use hare_solver::{
+    fig1_instance, relax, solve_exact, Cmp, Instance, InstanceBuilder, LinearProgram, LpOutcome,
+    RelaxOptions,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPS: usize = 9;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Median wall-clock milliseconds of `f` over [`REPS`] runs.
+fn time_ms<T>(mut f: impl FnMut() -> T) -> f64 {
+    let samples = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    median(samples)
+}
+
+/// A relaxation-shaped instance: `jobs` jobs × `rounds` rounds × `width`
+/// tasks per round on `machines` machines, heterogeneous speeds.
+fn instance(jobs: usize, rounds: usize, width: usize, machines: usize) -> Instance {
+    let mut b = InstanceBuilder::new(machines);
+    for j in 0..jobs {
+        let job = b.job(1.0 + (j % 3) as f64, 0.25 * j as f64);
+        for r in 0..rounds {
+            let tasks: Vec<Vec<f64>> = (0..width)
+                .map(|w| {
+                    (0..machines)
+                        .map(|m| 1.0 + ((j + r + w + m) % 5) as f64 * 0.75)
+                        .collect()
+                })
+                .collect();
+            b.round(job, &tasks);
+        }
+    }
+    b.build()
+}
+
+/// Build the same LP shape `relax`'s LP mode emits (starts + completions,
+/// release/completion/precedence rows) so the dense-vs-revised comparison
+/// measures the production workload.
+fn relaxation_lp(inst: &Instance) -> LinearProgram {
+    let t = inst.n_tasks();
+    let n = inst.jobs.len();
+    let mut objective = vec![0.0; t + n];
+    for (j, job) in inst.jobs.iter().enumerate() {
+        objective[t + j] = job.weight;
+    }
+    let mut lp = LinearProgram::minimize(objective);
+    for (i, task) in inst.tasks.iter().enumerate() {
+        let rel = inst.jobs[task.job].release;
+        if rel > 0.0 {
+            lp.constrain(vec![(i, 1.0)], Cmp::Ge, rel);
+        }
+    }
+    for (i, task) in inst.tasks.iter().enumerate() {
+        lp.constrain(
+            vec![(t + task.job, 1.0), (i, -1.0)],
+            Cmp::Ge,
+            inst.ps_min(i),
+        );
+    }
+    for (j_idx, job) in inst.jobs.iter().enumerate() {
+        for r in 1..job.rounds {
+            for i in inst.round_tasks(j_idx, r - 1) {
+                let dur = inst.ps_min(i);
+                for j in inst.round_tasks(j_idx, r) {
+                    lp.constrain(vec![(j, 1.0), (i, -1.0)], Cmp::Ge, dur);
+                }
+            }
+        }
+    }
+    lp
+}
+
+fn obj(outcome: LpOutcome) -> f64 {
+    match outcome {
+        LpOutcome::Optimal { objective, .. } => objective,
+        other => panic!("expected optimal, got {other:?}"),
+    }
+}
+
+fn main() {
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release -p hare-bench --bin solver_report\",\n  \"reps_per_median\": {REPS},"
+    );
+
+    // --- Dense vs revised on relaxation-shaped LPs -------------------
+    println!("LP ladder (dense vs revised):");
+    json.push_str("  \"lp\": [\n");
+    let ladder = [
+        ("small_30_tasks", instance(10, 3, 1, 3)),
+        ("medium_72_tasks", instance(12, 3, 2, 4)),
+        ("large_120_tasks", instance(30, 2, 2, 4)),
+    ];
+    let n_cases = ladder.len();
+    for (k, (name, inst)) in ladder.into_iter().enumerate() {
+        let lp = relaxation_lp(&inst);
+        let dense_ms = time_ms(|| lp.solve_dense());
+        let revised_ms = time_ms(|| lp.solve());
+        let d = obj(lp.solve_dense());
+        let r = obj(lp.solve());
+        assert!(
+            (d - r).abs() < 1e-6,
+            "{name}: solvers disagree ({d} vs {r})"
+        );
+        let speedup = dense_ms / revised_ms;
+        println!(
+            "  {name:<16} vars={:<4} rows={:<4} dense {dense_ms:.3} ms, revised {revised_ms:.3} ms ({speedup:.2}x)",
+            lp.objective.len(),
+            lp.constraints.len(),
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"n_vars\": {}, \"n_rows\": {}, \"dense_median_ms\": {dense_ms:.4}, \"revised_median_ms\": {revised_ms:.4}, \"speedup_revised_over_dense\": {speedup:.2}}}{}",
+            lp.objective.len(),
+            lp.constraints.len(),
+            if k + 1 < n_cases { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+
+    // --- Warm vs cold cut loop ---------------------------------------
+    // A contended instance (many jobs, few machines) so separation finds
+    // cuts every round and the basis-reuse payoff is visible.
+    let mut b = InstanceBuilder::new(2);
+    for j in 0..36 {
+        let job = b.job(1.0 + (j % 4) as f64, 0.0);
+        b.round(job, &[vec![1.0 + (j % 3) as f64 * 0.5, 2.0]]);
+    }
+    let contended = b.build();
+    let warm_opts = RelaxOptions::default();
+    let cold_opts = RelaxOptions {
+        warm_start: false,
+        ..RelaxOptions::default()
+    };
+    let warm = relax::solve(&contended, &warm_opts);
+    let cold = relax::solve(&contended, &cold_opts);
+    assert_eq!(warm.mode, cold.mode, "cut counts must match");
+    let warm_ms = time_ms(|| relax::solve(&contended, &warm_opts));
+    let cold_ms = time_ms(|| relax::solve(&contended, &cold_opts));
+    println!(
+        "cut loop: {} cuts; warm {} pivots / {warm_ms:.3} ms vs cold {} pivots / {cold_ms:.3} ms",
+        warm.stats.cuts, warm.stats.pivots, cold.stats.pivots
+    );
+    let _ = writeln!(
+        json,
+        "  \"cut_loop\": {{\"instance\": \"contended_36_tasks\", \"cuts\": {}, \"lp_solves\": {}, \"warm_pivots\": {}, \"cold_pivots\": {}, \"warm_median_ms\": {warm_ms:.4}, \"cold_median_ms\": {cold_ms:.4}}},",
+        warm.stats.cuts, warm.stats.lp_solves, warm.stats.pivots, cold.stats.pivots
+    );
+
+    // --- Branch and bound --------------------------------------------
+    println!("branch-and-bound:");
+    json.push_str("  \"bb\": [\n");
+    let mut sym = InstanceBuilder::new(2);
+    let j1 = sym.job(2.0, 0.0);
+    let j2 = sym.job(1.0, 0.0);
+    for _ in 0..7 {
+        sym.round(j1, &[vec![1.0, 1.0]]);
+        sym.round(j2, &[vec![1.5, 1.5]]);
+    }
+    let bb_cases = [
+        ("fig1_9_tasks", fig1_instance()),
+        ("symmetric_14_tasks", sym.build()),
+    ];
+    let n_bb = bb_cases.len();
+    for (k, (name, inst)) in bb_cases.into_iter().enumerate() {
+        let sol = solve_exact(&inst);
+        let ms = time_ms(|| solve_exact(&inst));
+        println!("  {name:<20} nodes={:<8} {ms:.3} ms", sol.nodes);
+        let _ = writeln!(
+            json,
+            "    {{\"instance\": \"{name}\", \"n_tasks\": {}, \"nodes\": {}, \"objective\": {:.4}, \"median_ms\": {ms:.4}}}{}",
+            inst.n_tasks(),
+            sol.nodes,
+            sol.objective,
+            if k + 1 < n_bb { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    // Walk up from the crate dir so the file lands at the repo root both
+    // under `cargo run` (cwd = workspace root) and direct invocation.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            std::path::Path::new(&d)
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench has a workspace root")
+                .to_path_buf()
+        })
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let path = root.join("BENCH_solver.json");
+    std::fs::write(&path, &json).expect("write BENCH_solver.json");
+    println!("wrote {}", path.display());
+}

@@ -180,7 +180,10 @@ fn schedule(opts: &Options) -> Result<(), String> {
         );
     }
     if opts.has("gantt") {
-        println!("\n{}", hare_core::render_gantt(&w.problem, &out.schedule, 100));
+        println!(
+            "\n{}",
+            hare_core::render_gantt(&w.problem, &out.schedule, 100)
+        );
     }
     Ok(())
 }

@@ -62,10 +62,10 @@ mod tests {
         let chart = render(&p, &out.schedule, 40);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), p.n_gpus + 1);
-        for g in 0..p.n_gpus {
-            assert!(lines[g].starts_with(&format!("gpu{g}")));
+        for (g, line) in lines.iter().take(p.n_gpus).enumerate() {
+            assert!(line.starts_with(&format!("gpu{g}")));
             // Fixed row width: 40 cells plus the frame.
-            assert_eq!(lines[g].len(), 6 + 40 + 2);
+            assert_eq!(line.len(), 6 + 40 + 2);
         }
         assert!(lines[p.n_gpus].trim_end().ends_with('s'));
     }

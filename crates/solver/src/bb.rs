@@ -1,4 +1,4 @@
-//! Exact branch-and-bound for tiny `Hare_Sched` instances.
+//! Exact branch-and-bound for small `Hare_Sched` instances.
 //!
 //! `Hare_Sched` is NP-hard (Theorem 1), but instances with a handful of
 //! tasks can be solved exactly by depth-first search over *active*
@@ -8,6 +8,27 @@
 //! reachable this way (left-shifting within machines normalizes any
 //! schedule to an active one).
 //!
+//! The search is parallel: root-level branches — each (ready task,
+//! machine) pair surviving symmetry breaking — are split across scoped
+//! threads. Every thread runs an independent DFS over its branches and
+//! publishes incumbents to a shared atomic bound (non-negative `f64`
+//! objectives compare correctly as `u64` bit patterns, so the bound is a
+//! lock-free `fetch_min`). Two symmetry rules shrink the tree:
+//!
+//! * **identical machines** — machines whose processing/sync columns agree
+//!   on every task are interchangeable whenever their availability is also
+//!   equal, so only the lowest-indexed representative is branched;
+//! * **identical tasks** — tasks of the same job and round with identical
+//!   `p`/`s` vectors are interchangeable, so they are forced into index
+//!   order.
+//!
+//! The result is deterministic regardless of thread count: the shared
+//! bound only prunes subtrees *strictly* worse than an incumbent (with
+//! `1e-12` slack), so every root branch still reports its exact local
+//! optimum whenever that optimum ties the global one, and ties are broken
+//! by the smallest root-branch index. Only the `nodes` counter varies
+//! run-to-run (it depends on how fast the bound propagates).
+//!
 //! The tests and benches use this as ground truth: Algorithm 1's value is
 //! compared against the exact optimum to certify the α(2+α) approximation
 //! bound of Theorem 4, and the relaxation's `lower_bound` is checked to sit
@@ -15,6 +36,11 @@
 
 use crate::instance::Instance;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+/// Hard safety limit on instance size for the exact search.
+pub const MAX_TASKS: usize = 16;
 
 /// An exact optimal schedule.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -25,48 +51,149 @@ pub struct ExactSolution {
     pub machine: Vec<usize>,
     /// Optimal Σ wₙCₙ.
     pub objective: f64,
-    /// Search nodes explored.
+    /// Search nodes explored, summed over all threads. The objective and
+    /// schedule are deterministic; this counter alone may vary run-to-run
+    /// (bound-propagation timing).
     pub nodes: u64,
 }
 
-/// Solve exactly. Exponential — intended for ≤ ~9 tasks and ≤ 3 machines;
-/// panics above a hard safety limit of 12 tasks.
+/// Solve exactly. Exponential — intended for ≤ ~14 tasks and ≤ 4 machines;
+/// panics above a hard safety limit of [`MAX_TASKS`] tasks.
 pub fn solve_exact(inst: &Instance) -> ExactSolution {
     inst.validate().expect("invalid instance");
     assert!(
-        inst.n_tasks() <= 12,
-        "branch-and-bound limited to 12 tasks; got {}",
+        inst.n_tasks() <= MAX_TASKS,
+        "branch-and-bound limited to {MAX_TASKS} tasks; got {}",
         inst.n_tasks()
     );
 
-    let t = inst.n_tasks();
-    let mut state = Search {
-        inst,
-        start: vec![f64::NAN; t],
-        machine: vec![usize::MAX; t],
-        scheduled: vec![false; t],
-        machine_avail: vec![0.0; inst.n_machines],
-        job_completion: inst.jobs.iter().map(|j| j.release).collect(),
-        best: f64::INFINITY,
-        best_start: vec![f64::NAN; t],
-        best_machine: vec![usize::MAX; t],
-        nodes: 0,
-    };
-    state.dfs(0);
+    let sym = Symmetry::analyze(inst);
+    let global = AtomicU64::new(f64::INFINITY.to_bits());
+    let root = Search::fresh(inst, &sym, &global);
+    let branches = root.root_branches();
+    assert!(!branches.is_empty(), "instance has no schedulable task");
+
+    let n_threads = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(branches.len());
+
+    // Each root branch is searched independently (fresh local incumbent;
+    // cross-branch pruning flows through the shared atomic bound), so the
+    // per-branch results do not depend on which thread ran them. Branches
+    // are striped round-robin so long and short root subtrees mix.
+    let mut per_branch: Vec<(usize, BranchResult)> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_threads);
+        for tid in 0..n_threads {
+            let sym = &sym;
+            let global = &global;
+            let branches = &branches;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for bi in (tid..branches.len()).step_by(n_threads) {
+                    let (task, machine) = branches[bi];
+                    let mut s = Search::fresh(inst, sym, global);
+                    s.apply_and_dfs(task, machine);
+                    out.push((
+                        bi,
+                        BranchResult {
+                            objective: s.best,
+                            start: s.best_start,
+                            machine: s.best_machine,
+                            nodes: s.nodes,
+                        },
+                    ));
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("search thread panicked"))
+            .collect()
+    });
+    per_branch.sort_by_key(|&(bi, _)| bi);
+
+    // Deterministic reduction: minimum objective, ties to the smallest
+    // root-branch index (the sort above fixes the visit order).
+    let mut nodes = 1; // the root itself
+    let mut winner: Option<&BranchResult> = None;
+    for (_, r) in &per_branch {
+        nodes += r.nodes;
+        if winner.is_none_or(|w| r.objective < w.objective) {
+            winner = Some(r);
+        }
+    }
+    let winner = winner.expect("at least one branch");
     assert!(
-        state.best.is_finite(),
+        winner.objective.is_finite(),
         "search must find at least one schedule"
     );
     ExactSolution {
-        start: state.best_start,
-        machine: state.best_machine,
-        objective: state.best,
-        nodes: state.nodes,
+        start: winner.start.clone(),
+        machine: winner.machine.clone(),
+        objective: winner.objective,
+        nodes,
+    }
+}
+
+struct BranchResult {
+    objective: f64,
+    start: Vec<f64>,
+    machine: Vec<usize>,
+    nodes: u64,
+}
+
+/// Precomputed symmetry structure of an instance.
+struct Symmetry {
+    /// For each machine, the smallest machine index with identical `p`/`s`
+    /// columns across every task (its symmetry-class representative).
+    machine_class: Vec<usize>,
+    /// For each task, the lower-indexed tasks of the same job and round
+    /// with identical `p`/`s` vectors (its interchangeable twins).
+    ident_pred: Vec<Vec<usize>>,
+}
+
+impl Symmetry {
+    fn analyze(inst: &Instance) -> Symmetry {
+        let m = inst.n_machines;
+        let machine_class = (0..m)
+            .map(|a| {
+                (0..a)
+                    .find(|&b| {
+                        inst.tasks
+                            .iter()
+                            .all(|t| t.p[a] == t.p[b] && t.s[a] == t.s[b])
+                    })
+                    .unwrap_or(a)
+            })
+            .collect();
+        let ident_pred = inst
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, ti)| {
+                (0..i)
+                    .filter(|&k| {
+                        let tk = &inst.tasks[k];
+                        tk.job == ti.job && tk.round == ti.round && tk.p == ti.p && tk.s == ti.s
+                    })
+                    .collect()
+            })
+            .collect();
+        Symmetry {
+            machine_class,
+            ident_pred,
+        }
     }
 }
 
 struct Search<'a> {
     inst: &'a Instance,
+    sym: &'a Symmetry,
+    /// Shared incumbent bound (f64 bits); non-negative objectives order
+    /// correctly under integer comparison, so `fetch_min` maintains it.
+    global: &'a AtomicU64,
     start: Vec<f64>,
     machine: Vec<usize>,
     scheduled: Vec<bool>,
@@ -80,7 +207,90 @@ struct Search<'a> {
     nodes: u64,
 }
 
-impl Search<'_> {
+impl<'a> Search<'a> {
+    fn fresh(inst: &'a Instance, sym: &'a Symmetry, global: &'a AtomicU64) -> Search<'a> {
+        let t = inst.n_tasks();
+        Search {
+            inst,
+            sym,
+            global,
+            start: vec![f64::NAN; t],
+            machine: vec![usize::MAX; t],
+            scheduled: vec![false; t],
+            machine_avail: vec![0.0; inst.n_machines],
+            job_completion: inst.jobs.iter().map(|j| j.release).collect(),
+            best: f64::INFINITY,
+            best_start: vec![f64::NAN; t],
+            best_machine: vec![usize::MAX; t],
+            nodes: 0,
+        }
+    }
+
+    /// Enumerate the root's (task, machine) branches after symmetry
+    /// breaking — the unit of work the parallel driver distributes.
+    fn root_branches(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.inst.n_tasks() {
+            if self.skip_task(i) || self.ready_time(i).is_none() {
+                continue;
+            }
+            for m in 0..self.inst.n_machines {
+                if !self.skip_machine(m) {
+                    out.push((i, m));
+                }
+            }
+        }
+        out
+    }
+
+    /// Schedule the root branch, then search its subtree to completion.
+    fn apply_and_dfs(&mut self, task: usize, machine: usize) {
+        let ready = self.ready_time(task).expect("root branch task is ready");
+        self.place(task, machine, ready);
+        self.dfs(1);
+    }
+
+    /// Identical-task symmetry: skip `i` while an interchangeable twin with
+    /// a smaller index is still unscheduled (twins go in index order).
+    fn skip_task(&self, i: usize) -> bool {
+        self.sym.ident_pred[i].iter().any(|&k| !self.scheduled[k])
+    }
+
+    /// Identical-machine symmetry: skip `m` when a lower-indexed machine of
+    /// the same class is equally available — placing the task there instead
+    /// yields a schedule of identical value.
+    fn skip_machine(&self, m: usize) -> bool {
+        (0..m).any(|b| {
+            self.sym.machine_class[b] == self.sym.machine_class[m]
+                && self.machine_avail[b] == self.machine_avail[m]
+        })
+    }
+
+    fn place(&mut self, i: usize, m: usize, ready: f64) -> (f64, f64) {
+        let start = self.machine_avail[m].max(ready);
+        let p = self.inst.tasks[i].p[m];
+        let s = self.inst.tasks[i].s[m];
+        let saved_avail = self.machine_avail[m];
+        self.start[i] = start;
+        self.machine[i] = m;
+        self.scheduled[i] = true;
+        // Training occupies the machine; sync overlaps the next task
+        // (Algorithm 1 line 16 and the problem's semantics).
+        self.machine_avail[m] = start + p;
+        let job = self.inst.tasks[i].job;
+        let saved_completion = self.job_completion[job];
+        self.job_completion[job] = self.job_completion[job].max(start + p + s);
+        (saved_avail, saved_completion)
+    }
+
+    fn unplace(&mut self, i: usize, m: usize, saved: (f64, f64)) {
+        self.machine_avail[m] = saved.0;
+        self.job_completion[self.inst.tasks[i].job] = saved.1;
+        self.scheduled[i] = false;
+        self.start[i] = f64::NAN;
+        self.machine[i] = usize::MAX;
+    }
+
     fn dfs(&mut self, scheduled_count: usize) {
         self.nodes += 1;
         if scheduled_count == self.inst.n_tasks() {
@@ -89,45 +299,37 @@ impl Search<'_> {
                 self.best = obj;
                 self.best_start.copy_from_slice(&self.start);
                 self.best_machine.copy_from_slice(&self.machine);
+                debug_assert!(obj >= 0.0, "objectives must be non-negative");
+                self.global.fetch_min(obj.to_bits(), Ordering::Relaxed);
             }
             return;
         }
-        if self.lower_bound() >= self.best - 1e-12 {
-            return; // prune
+        let lb = self.lower_bound();
+        if lb >= self.best - 1e-12 {
+            return; // prune against the thread-local incumbent
+        }
+        // Prune against the shared bound only when *strictly* worse: a tie
+        // must still be found locally so the deterministic reduction sees
+        // every branch that attains the optimum.
+        let global = f64::from_bits(self.global.load(Ordering::Relaxed));
+        if lb >= global + 1e-12 {
+            return;
         }
 
         for i in 0..self.inst.n_tasks() {
-            if self.scheduled[i] {
+            if self.scheduled[i] || self.skip_task(i) {
                 continue;
             }
             let Some(ready) = self.ready_time(i) else {
                 continue;
             };
             for m in 0..self.inst.n_machines {
-                let start = self.machine_avail[m].max(ready);
-                let p = self.inst.tasks[i].p[m];
-                let s = self.inst.tasks[i].s[m];
-
-                // Apply.
-                let saved_avail = self.machine_avail[m];
-                self.start[i] = start;
-                self.machine[i] = m;
-                self.scheduled[i] = true;
-                // Training occupies the machine; sync overlaps the next
-                // task (Algorithm 1 line 16 and the problem's semantics).
-                self.machine_avail[m] = start + p;
-                let job = self.inst.tasks[i].job;
-                let saved_completion = self.job_completion[job];
-                self.job_completion[job] = self.job_completion[job].max(start + p + s);
-
+                if self.skip_machine(m) {
+                    continue;
+                }
+                let saved = self.place(i, m, ready);
                 self.dfs(scheduled_count + 1);
-
-                // Undo.
-                self.machine_avail[m] = saved_avail;
-                self.job_completion[job] = saved_completion;
-                self.scheduled[i] = false;
-                self.start[i] = f64::NAN;
-                self.machine[i] = usize::MAX;
+                self.unplace(i, m, saved);
             }
         }
     }
@@ -169,21 +371,33 @@ impl Search<'_> {
         obj
     }
 
-    /// Admissible bound on the completed objective: for each job, its
-    /// current frontier plus the machine-minimum critical path of its
-    /// remaining rounds.
+    /// Admissible bound on the completed objective via a per-round
+    /// recurrence: round `r` completes no earlier than
+    /// `max(done_r, c_{r-1} + rem_r)`, where `done_r` is the exact
+    /// completion of its already-scheduled tasks, `rem_r` the largest
+    /// machine-minimum duration among its unscheduled ones, and `c_{r-1}`
+    /// the bound on the previous round. The `max` matters: remaining tasks
+    /// of a *partially* scheduled round run in parallel with its scheduled
+    /// part, never after it — adding `rem_r` onto the job frontier instead
+    /// (as a naive critical path would) over-estimates and prunes optima.
     fn lower_bound(&self) -> f64 {
         let mut bound = 0.0;
         for (j, job) in self.inst.jobs.iter().enumerate() {
-            let mut c = self.job_completion[j];
+            let mut c = job.release;
             for r in 0..job.rounds {
-                let mut round_remaining = 0.0f64;
+                let mut done = f64::NEG_INFINITY;
+                let mut rem = 0.0f64;
                 for (k, task) in self.inst.tasks.iter().enumerate() {
-                    if task.job == j && task.round == r && !self.scheduled[k] {
-                        round_remaining = round_remaining.max(self.inst.ps_min(k));
+                    if task.job == j && task.round == r {
+                        if self.scheduled[k] {
+                            let m = self.machine[k];
+                            done = done.max(self.start[k] + task.p[m] + task.s[m]);
+                        } else {
+                            rem = rem.max(self.inst.ps_min(k));
+                        }
                     }
                 }
-                c += round_remaining;
+                c = done.max(c + rem);
             }
             bound += job.weight * c;
         }
@@ -195,6 +409,7 @@ impl Search<'_> {
 mod tests {
     use super::*;
     use crate::instance::{fig1_instance, InstanceBuilder};
+    use crate::relax::certified_lower_bound;
 
     #[test]
     fn single_task_single_machine() {
@@ -306,11 +521,69 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "limited to 12 tasks")]
+    fn determinism_across_repeated_runs() {
+        // Thread scheduling must not change the reported schedule.
+        let inst = fig1_instance();
+        let a = solve_exact(&inst);
+        for _ in 0..3 {
+            let b = solve_exact(&inst);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.objective, b.objective);
+        }
+    }
+
+    #[test]
+    fn fourteen_tasks_with_symmetry_match_relaxation_bound() {
+        // Beyond the old 12-task hard limit: 2 jobs × 7 rounds on two
+        // *identical* machines. Round precedence serializes each job, so
+        // the optimum runs each job on its own machine and equals the
+        // critical-path part of the certified relaxation bound exactly.
+        let mut b = InstanceBuilder::new(2);
+        let j1 = b.job(2.0, 0.0);
+        let j2 = b.job(1.0, 0.0);
+        for _ in 0..7 {
+            b.round(j1, &[vec![1.0, 1.0]]);
+            b.round(j2, &[vec![1.5, 1.5]]);
+        }
+        let inst = b.build();
+        assert_eq!(inst.n_tasks(), 14);
+        let sol = solve_exact(&inst);
+        // OPT = 2·7 + 1·10.5 = 24.5, which the relaxation bound certifies.
+        let lb = certified_lower_bound(&inst);
+        assert!(
+            (sol.objective - lb).abs() < 1e-9,
+            "exact {} vs relaxation bound {lb}",
+            sol.objective
+        );
+        assert!((sol.objective - 24.5).abs() < 1e-9, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn identical_task_symmetry_preserves_optimum() {
+        // 4 interchangeable tasks in one round on 2 identical machines:
+        // symmetry breaking must still find the balanced 2+2 split.
+        let mut b = InstanceBuilder::new(2);
+        let j = b.job(1.0, 0.0);
+        b.round(
+            j,
+            &[
+                vec![2.0, 2.0],
+                vec![2.0, 2.0],
+                vec![2.0, 2.0],
+                vec![2.0, 2.0],
+            ],
+        );
+        let sol = solve_exact(&b.build());
+        assert!((sol.objective - 4.0).abs() < 1e-9, "got {}", sol.objective);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 16 tasks")]
     fn size_guard() {
         let mut b = InstanceBuilder::new(1);
         let j = b.job(1.0, 0.0);
-        for _ in 0..13 {
+        for _ in 0..(MAX_TASKS + 1) {
             b.round(j, &[vec![1.0]]);
         }
         solve_exact(&b.build());

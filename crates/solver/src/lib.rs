@@ -4,7 +4,9 @@
 //! scheduling problem and on min-cost bipartite matching for the AlloX
 //! baseline. This crate provides those pieces from scratch:
 //!
-//! * [`lp`] — dense two-phase simplex;
+//! * [`lp`] — sparse revised simplex with warm-started constraint
+//!   generation, plus the original dense two-phase tableau as a
+//!   validation baseline;
 //! * [`matching`] — Hungarian min-cost bipartite matching;
 //! * [`instance`] — the task-level scheduling instance both solvers consume;
 //! * [`relax`] — the `Hare_Sched_RL` relaxation (LP + Queyranne cuts for
@@ -22,6 +24,8 @@ pub mod relax;
 
 pub use bb::{solve_exact, ExactSolution};
 pub use instance::{fig1_instance, Instance, InstanceBuilder, JobMeta, TaskMeta};
-pub use lp::{Cmp, Constraint, LinearProgram, LpOutcome};
+pub use lp::{Cmp, Constraint, LinearProgram, LpOutcome, RevisedSimplex};
 pub use matching::{min_cost_matching, Matching};
-pub use relax::{certified_lower_bound, midpoints, RelaxMode, RelaxOptions, RelaxSolution};
+pub use relax::{
+    certified_lower_bound, midpoints, min_max, RelaxMode, RelaxOptions, RelaxSolution, SolveStats,
+};

@@ -1,15 +1,27 @@
-//! Dense two-phase tableau simplex.
+//! Linear programming: sparse revised simplex (the fast path) and a dense
+//! two-phase tableau (the validation baseline).
 //!
 //! The paper solves its relaxed scheduling problem with CPLEX/Gurobi; those
 //! are unavailable here, so this module provides the LP machinery the
 //! relaxation's constraint-generation mode (see [`crate::relax`]) is built
-//! on. It is a textbook two-phase primal simplex over a dense tableau with
-//! Bland's anti-cycling rule — dependable for the small/medium LPs the
-//! relaxation produces, and validated in tests against hand-solvable
-//! programs and brute-force vertex enumeration.
+//! on. Two interchangeable solvers share the [`LinearProgram`] /
+//! [`LpOutcome`] API:
 //!
-//! Conventions: minimize `c·x` subject to sparse row constraints with
-//! `<=`, `>=` or `=` senses, and `x >= 0`.
+//! * [`RevisedSimplex`] — a revised primal simplex over *sparse* constraint
+//!   columns with an explicitly maintained basis inverse. The relaxation's
+//!   rows carry 1–2 nonzeros each, so pricing by `c_j − y·A_j` over sparse
+//!   columns does O(nnz) work where the dense tableau spent O(m·width)
+//!   flops per iteration. The basis survives [`RevisedSimplex::add_constraint`],
+//!   so constraint generation re-optimizes from the previous optimal basis
+//!   (a one-row Phase I on the new cut) instead of re-running two full
+//!   phases — this is what makes the cut loop in [`crate::relax`] cheap
+//!   enough to re-run on every online batch.
+//! * [`dense`] — the original textbook two-phase dense tableau, retained
+//!   verbatim as ground truth; property tests assert the two agree.
+//!
+//! Both use Bland's anti-cycling rule, so termination is guaranteed and
+//! runs are deterministic. Conventions: minimize `c·x` subject to sparse
+//! row constraints with `<=`, `>=` or `=` senses, and `x >= 0`.
 
 use serde::{Deserialize, Serialize};
 
@@ -93,227 +105,18 @@ impl LinearProgram {
         self.constraints.push(Constraint { terms, cmp, rhs });
     }
 
-    /// Solve with the two-phase primal simplex.
+    /// Solve with the sparse revised simplex (the fast path).
     pub fn solve(&self) -> LpOutcome {
-        Tableau::build(self).solve()
+        RevisedSimplex::new(self).solve()
+    }
+
+    /// Solve with the dense two-phase tableau (validation baseline).
+    pub fn solve_dense(&self) -> LpOutcome {
+        dense::solve(self)
     }
 }
 
 const EPS: f64 = 1e-9;
-
-/// Dense simplex tableau. Columns: structural vars, then slack/surplus,
-/// then artificials, then RHS.
-struct Tableau {
-    rows: Vec<Vec<f64>>, // one per constraint
-    /// Basis: column index basic in each row.
-    basis: Vec<usize>,
-    n_struct: usize,
-    n_slack: usize,
-    n_art: usize,
-    objective: Vec<f64>, // structural objective (minimize)
-}
-
-impl Tableau {
-    fn build(lp: &LinearProgram) -> Tableau {
-        let n_struct = lp.objective.len();
-        let m = lp.constraints.len();
-
-        // Count slack/surplus and artificial columns.
-        let mut n_slack = 0;
-        let mut n_art = 0;
-        for c in &lp.constraints {
-            // Normalize to non-negative RHS first; sense may flip.
-            let (cmp, _) = normalized_sense(c);
-            match cmp {
-                Cmp::Le => n_slack += 1,
-                Cmp::Ge => {
-                    n_slack += 1;
-                    n_art += 1;
-                }
-                Cmp::Eq => n_art += 1,
-            }
-        }
-
-        let width = n_struct + n_slack + n_art + 1;
-        let mut rows = vec![vec![0.0; width]; m];
-        let mut basis = vec![usize::MAX; m];
-        let mut slack_at = n_struct;
-        let mut art_at = n_struct + n_slack;
-
-        for (r, c) in lp.constraints.iter().enumerate() {
-            let (cmp, flip) = normalized_sense(c);
-            let sign = if flip { -1.0 } else { 1.0 };
-            for &(j, v) in &c.terms {
-                rows[r][j] = sign * v;
-            }
-            rows[r][width - 1] = sign * c.rhs;
-            match cmp {
-                Cmp::Le => {
-                    rows[r][slack_at] = 1.0;
-                    basis[r] = slack_at;
-                    slack_at += 1;
-                }
-                Cmp::Ge => {
-                    rows[r][slack_at] = -1.0; // surplus
-                    slack_at += 1;
-                    rows[r][art_at] = 1.0;
-                    basis[r] = art_at;
-                    art_at += 1;
-                }
-                Cmp::Eq => {
-                    rows[r][art_at] = 1.0;
-                    basis[r] = art_at;
-                    art_at += 1;
-                }
-            }
-        }
-
-        Tableau {
-            rows,
-            basis,
-            n_struct,
-            n_slack,
-            n_art,
-            objective: lp.objective.clone(),
-        }
-    }
-
-    fn width(&self) -> usize {
-        self.n_struct + self.n_slack + self.n_art + 1
-    }
-
-    fn solve(mut self) -> LpOutcome {
-        // Phase 1: minimize the artificial sum (skipped when none exist).
-        if self.n_art > 0 {
-            let art_lo = self.n_struct + self.n_slack;
-            let art_hi = art_lo + self.n_art;
-            let mut cost = vec![0.0; self.width() - 1];
-            cost[art_lo..art_hi].fill(1.0);
-            match self.optimize(&cost, art_hi) {
-                SimplexEnd::Optimal(v) if v > 1e-7 => return LpOutcome::Infeasible,
-                SimplexEnd::Optimal(_) => {}
-                // Phase 1 objective is bounded below by 0.
-                SimplexEnd::Unbounded => unreachable!("phase 1 cannot be unbounded"),
-            }
-            // Drive any artificial still in the basis out (degenerate rows).
-            for r in 0..self.rows.len() {
-                if self.basis[r] >= art_lo {
-                    let pivot_col = (0..art_lo).find(|&j| self.rows[r][j].abs() > EPS);
-                    match pivot_col {
-                        Some(j) => self.pivot(r, j),
-                        None => {
-                            // Redundant row: zero it out; keep artificial
-                            // basic at value 0 and forbid re-entry by never
-                            // pricing artificial columns in phase 2.
-                        }
-                    }
-                }
-            }
-        }
-
-        // Phase 2: original objective; artificial columns are excluded from
-        // pricing (column bound art_lo).
-        let mut cost = vec![0.0; self.width() - 1];
-        cost[..self.n_struct].copy_from_slice(&self.objective);
-        let art_lo = self.n_struct + self.n_slack;
-        match self.optimize(&cost, art_lo) {
-            SimplexEnd::Optimal(obj) => {
-                let mut x = vec![0.0; self.n_struct];
-                let rhs_col = self.width() - 1;
-                for (r, &b) in self.basis.iter().enumerate() {
-                    if b < self.n_struct {
-                        x[b] = self.rows[r][rhs_col];
-                    }
-                }
-                LpOutcome::Optimal { x, objective: obj }
-            }
-            SimplexEnd::Unbounded => LpOutcome::Unbounded,
-        }
-    }
-
-    /// Primal simplex over columns `0..col_limit` with Bland's rule.
-    /// Returns the optimal objective value for `cost`.
-    fn optimize(&mut self, cost: &[f64], col_limit: usize) -> SimplexEnd {
-        let rhs_col = self.width() - 1;
-        loop {
-            // Reduced costs: c_j - c_B · B^-1 A_j, computed directly from
-            // the current tableau (rows are already B^-1 A).
-            let mut entering = None;
-            for j in 0..col_limit {
-                if self.basis.contains(&j) {
-                    continue;
-                }
-                let mut red = cost[j];
-                for (r, &b) in self.basis.iter().enumerate() {
-                    let cb = if b < cost.len() { cost[b] } else { 0.0 };
-                    if cb != 0.0 {
-                        red -= cb * self.rows[r][j];
-                    }
-                }
-                if red < -EPS {
-                    entering = Some(j); // Bland: first improving column
-                    break;
-                }
-            }
-            let Some(j) = entering else {
-                // Optimal: objective = c_B · x_B.
-                let mut obj = 0.0;
-                for (r, &b) in self.basis.iter().enumerate() {
-                    let cb = if b < cost.len() { cost[b] } else { 0.0 };
-                    obj += cb * self.rows[r][rhs_col];
-                }
-                return SimplexEnd::Optimal(obj);
-            };
-
-            // Ratio test (Bland: smallest basis index tie-break).
-            let mut leave: Option<usize> = None;
-            let mut best = f64::INFINITY;
-            for r in 0..self.rows.len() {
-                let a = self.rows[r][j];
-                if a > EPS {
-                    let ratio = self.rows[r][rhs_col] / a;
-                    let better = ratio < best - EPS
-                        || (ratio < best + EPS
-                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
-                    if better {
-                        best = ratio;
-                        leave = Some(r);
-                    }
-                }
-            }
-            match leave {
-                Some(r) => self.pivot(r, j),
-                None => return SimplexEnd::Unbounded,
-            }
-        }
-    }
-
-    fn pivot(&mut self, r: usize, j: usize) {
-        let piv = self.rows[r][j];
-        debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
-        let inv = 1.0 / piv;
-        for v in &mut self.rows[r] {
-            *v *= inv;
-        }
-        let pivot_row = self.rows[r].clone();
-        for (rr, row) in self.rows.iter_mut().enumerate() {
-            if rr != r {
-                let factor = row[j];
-                if factor.abs() > EPS {
-                    for (v, &p) in row.iter_mut().zip(&pivot_row) {
-                        *v -= factor * p;
-                    }
-                }
-            }
-        }
-        self.basis[r] = j;
-    }
-}
-
-enum SimplexEnd {
-    Optimal(f64),
-    Unbounded,
-}
 
 /// Flip a constraint so its RHS is non-negative; returns (new sense, flipped?).
 fn normalized_sense(c: &Constraint) -> (Cmp, bool) {
@@ -326,6 +129,787 @@ fn normalized_sense(c: &Constraint) -> (Cmp, bool) {
             Cmp::Eq => Cmp::Eq,
         };
         (flipped, true)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sparse revised simplex
+// ---------------------------------------------------------------------
+
+/// Refactorize (rebuild `B⁻¹` from the basis columns) after
+/// `max(REFACTOR_FLOOR, m)` product-form updates, bounding numerical
+/// drift. Scaling the interval with the row count keeps the O(m³) rebuild
+/// amortized to O(m²) per pivot — the same order as the pivot update.
+const REFACTOR_FLOOR: u64 = 64;
+
+/// Role of one standard-form column.
+#[derive(Clone, Debug, PartialEq)]
+enum Col {
+    /// Structural variable with a sparse column (row, coefficient).
+    Structural(Vec<(usize, f64)>),
+    /// Slack (+1) or surplus (−1) singleton in one row.
+    Unit { row: usize, sign: f64 },
+    /// Artificial singleton (sign chosen so its basic value is ≥ 0).
+    Artificial { row: usize, sign: f64 },
+}
+
+/// Incremental sparse revised simplex.
+///
+/// Construct from a [`LinearProgram`], call [`solve`](Self::solve), then
+/// freely interleave [`add_constraint`](Self::add_constraint) and further
+/// `solve` calls: each re-solve starts from the previous optimal basis and
+/// only spends a one-row Phase I on the newly violated constraint.
+///
+/// ```
+/// use hare_solver::{Cmp, LinearProgram, LpOutcome, RevisedSimplex};
+///
+/// let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+/// lp.constrain(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 4.0);
+/// let mut simplex = RevisedSimplex::new(&lp);
+/// let LpOutcome::Optimal { objective, .. } = simplex.solve() else { panic!() };
+/// assert!((objective - 2.0).abs() < 1e-6);
+///
+/// // Warm re-solve after a cut: the basis is reused.
+/// simplex.add_constraint(vec![(0, 3.0), (1, 1.0)], Cmp::Ge, 6.0);
+/// let LpOutcome::Optimal { objective, .. } = simplex.solve() else { panic!() };
+/// assert!((objective - 2.8).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RevisedSimplex {
+    n_struct: usize,
+    objective: Vec<f64>,
+    /// Standard-form columns; structural first, then per-row extras.
+    cols: Vec<Col>,
+    /// Normalized (non-negative) RHS per row.
+    rhs: Vec<f64>,
+    /// Column basic in each row.
+    basis: Vec<usize>,
+    /// Whether each column is currently basic.
+    in_basis: Vec<bool>,
+    /// Explicit basis inverse, row-major `m × m`.
+    binv: Vec<Vec<f64>>,
+    /// Current basic values `B⁻¹ rhs`, one per row.
+    xb: Vec<f64>,
+    pivots: u64,
+    pivots_since_refactor: u64,
+    refactorizations: u64,
+}
+
+impl RevisedSimplex {
+    /// Build the standard form of `lp`. No pivoting happens yet.
+    pub fn new(lp: &LinearProgram) -> Self {
+        let n_struct = lp.objective.len();
+        let mut s = RevisedSimplex {
+            n_struct,
+            objective: lp.objective.clone(),
+            cols: (0..n_struct).map(|_| Col::Structural(Vec::new())).collect(),
+            rhs: Vec::new(),
+            basis: Vec::new(),
+            in_basis: vec![false; n_struct],
+            binv: Vec::new(),
+            xb: Vec::new(),
+            pivots: 0,
+            pivots_since_refactor: 0,
+            refactorizations: 0,
+        };
+        for c in &lp.constraints {
+            s.push_row(c);
+        }
+        s
+    }
+
+    /// Total simplex pivots performed so far (all phases, all re-solves).
+    pub fn pivots(&self) -> u64 {
+        self.pivots
+    }
+
+    /// How many times `B⁻¹` was rebuilt from scratch.
+    pub fn refactorizations(&self) -> u64 {
+        self.refactorizations
+    }
+
+    /// Number of constraint rows currently in the program.
+    pub fn n_rows(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Append one row, choosing its basic column so the current point stays
+    /// a basis: the row's own slack/surplus when the current solution
+    /// satisfies it, otherwise an artificial at the violation amount (to be
+    /// driven out by the next [`solve`](Self::solve) — "Phase I on one
+    /// row"). `B⁻¹` is extended in O(m²) without disturbing the basis.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
+        for &(i, _) in &terms {
+            assert!(i < self.n_struct, "constraint references variable {i}");
+        }
+        self.push_row(&Constraint { terms, cmp, rhs });
+    }
+
+    fn push_row(&mut self, c: &Constraint) {
+        let (cmp, flip) = normalized_sense(c);
+        let sign = if flip { -1.0 } else { 1.0 };
+        let row = self.rhs.len();
+        let rhs = sign * c.rhs;
+
+        // Row activity at the *current* point (structural values; all
+        // nonbasic structurals sit at 0). Before the first solve the basis
+        // is empty, so activity is simply 0 for every row.
+        let x = self.structural_values();
+        let mut activity = 0.0;
+        for &(j, v) in &c.terms {
+            activity += sign * v * x[j];
+        }
+
+        // Extend the sparse structural columns.
+        for &(j, v) in &c.terms {
+            let Col::Structural(col) = &mut self.cols[j] else {
+                unreachable!("structural ids precede extras")
+            };
+            col.push((row, sign * v));
+        }
+
+        // The row's own slack/surplus column (none for equalities).
+        let own = match cmp {
+            Cmp::Le => Some(self.push_col(Col::Unit { row, sign: 1.0 })),
+            Cmp::Ge => Some(self.push_col(Col::Unit { row, sign: -1.0 })),
+            Cmp::Eq => None,
+        };
+
+        // Pick the entering basic column for the new row: the slack/surplus
+        // when it would sit at a non-negative value, else an artificial
+        // whose sign makes its value the (positive) violation.
+        let slack_value = match cmp {
+            Cmp::Le => rhs - activity,
+            Cmp::Ge => activity - rhs,
+            Cmp::Eq => -1.0, // always take the artificial path
+        };
+        let (basic_col, basic_sign, basic_value) = if slack_value >= -EPS {
+            let col = own.expect("Eq rows never take the slack path");
+            let sign = match cmp {
+                Cmp::Le => 1.0,
+                _ => -1.0,
+            };
+            (col, sign, slack_value.max(0.0))
+        } else {
+            let diff = rhs - activity;
+            let sign = if diff >= 0.0 { 1.0 } else { -1.0 };
+            let col = self.push_col(Col::Artificial { row, sign });
+            (col, sign, diff.abs())
+        };
+
+        // Extend B⁻¹: with the new basic column carrying coefficient σ in
+        // the new row, B'⁻¹ = [[B⁻¹, 0], [−σ·a_Bᵀ B⁻¹, σ]] where a_B holds
+        // the new row's coefficients on the old basic columns.
+        let m = row;
+        // Nonzero coefficients of the new row on the old basic columns.
+        // Before the first solve every basic column is another row's
+        // slack/artificial, so this list is empty and the bordering below
+        // is O(m) — constructing an n-row program stays O(n·m), not O(n·m²).
+        let a_b: Vec<(usize, f64)> = self
+            .basis
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &b)| {
+                let v = self.coeff_in_row(b, row, &c.terms, sign);
+                (v != 0.0).then_some((r, v))
+            })
+            .collect();
+        let mut last = vec![0.0; m + 1];
+        if !a_b.is_empty() {
+            for (k, lk) in last.iter_mut().take(m).enumerate() {
+                let mut dot = 0.0;
+                for &(r, ab) in &a_b {
+                    dot += ab * self.binv[r][k];
+                }
+                *lk = -basic_sign * dot;
+            }
+        }
+        last[m] = basic_sign;
+        for r in 0..m {
+            self.binv[r].push(0.0);
+        }
+        self.binv.push(last);
+
+        self.rhs.push(rhs);
+        self.basis.push(basic_col);
+        self.in_basis[basic_col] = true;
+        self.xb.push(basic_value);
+    }
+
+    fn push_col(&mut self, col: Col) -> usize {
+        self.cols.push(col);
+        self.in_basis.push(false);
+        self.cols.len() - 1
+    }
+
+    /// Coefficient of column `col` in `new_row` (whose structural terms are
+    /// `terms` scaled by `sign`). Only structural columns can intersect a
+    /// freshly added row; every unit/artificial column lives in an older row.
+    fn coeff_in_row(&self, col: usize, new_row: usize, terms: &[(usize, f64)], sign: f64) -> f64 {
+        match &self.cols[col] {
+            Col::Structural(_) => terms
+                .iter()
+                .find(|&&(j, _)| j == col)
+                .map(|&(_, v)| sign * v)
+                .unwrap_or(0.0),
+            Col::Unit { row, .. } | Col::Artificial { row, .. } => {
+                debug_assert_ne!(*row, new_row);
+                0.0
+            }
+        }
+    }
+
+    /// Current structural variable values.
+    fn structural_values(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n_struct];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < self.n_struct {
+                x[b] = self.xb[r];
+            }
+        }
+        x
+    }
+
+    /// Solve from the current basis: a Phase I over any positive artificials
+    /// (skipped when none), then Phase II on the real objective. Warm when
+    /// called after [`add_constraint`](Self::add_constraint).
+    pub fn solve(&mut self) -> LpOutcome {
+        // Phase I only if some artificial is basic at a positive value.
+        let needs_phase1 = self
+            .basis
+            .iter()
+            .zip(&self.xb)
+            .any(|(&b, &v)| matches!(self.cols[b], Col::Artificial { .. }) && v > 1e-7);
+        if needs_phase1 {
+            let cost: Vec<f64> = self
+                .cols
+                .iter()
+                .map(|c| match c {
+                    Col::Artificial { .. } => 1.0,
+                    _ => 0.0,
+                })
+                .collect();
+            match self.optimize(&cost, true) {
+                SimplexEnd::Optimal(v) if v > 1e-7 => return LpOutcome::Infeasible,
+                SimplexEnd::Optimal(_) => {}
+                SimplexEnd::Unbounded => unreachable!("phase 1 bounded below by 0"),
+            }
+            self.expel_artificials();
+        }
+
+        let mut cost = vec![0.0; self.cols.len()];
+        cost[..self.n_struct].copy_from_slice(&self.objective);
+        match self.optimize(&cost, false) {
+            SimplexEnd::Optimal(_) => {
+                let x = self.structural_values();
+                let objective = x.iter().zip(&self.objective).map(|(xi, ci)| xi * ci).sum();
+                LpOutcome::Optimal { x, objective }
+            }
+            SimplexEnd::Unbounded => LpOutcome::Unbounded,
+        }
+    }
+
+    /// Primal simplex with Bland's rule. `allow_artificial` admits
+    /// artificial columns into pricing (Phase I only).
+    fn optimize(&mut self, cost: &[f64], allow_artificial: bool) -> SimplexEnd {
+        let m = self.rhs.len();
+        if m == 0 {
+            // Unconstrained: optimum 0 unless some objective coefficient is
+            // negative (then x_j → ∞ is unbounded).
+            if self.objective.iter().any(|&c| c < -EPS) && !allow_artificial {
+                return SimplexEnd::Unbounded;
+            }
+            return SimplexEnd::Optimal(0.0);
+        }
+        // Duals y = c_B · B⁻¹, computed once and then maintained per pivot:
+        // when column j (reduced cost rc) enters at row r, the new duals are
+        // y + rc·(row r of the updated B⁻¹) — an O(m) update replacing the
+        // O(m²) recomputation. Rebuilt from scratch after refactorization.
+        let mut y = self.compute_y(cost);
+        loop {
+            // Price sparse columns: reduced cost c_j − y·A_j; Bland picks
+            // the first improving column index.
+            let mut entering = None;
+            for (j, col) in self.cols.iter().enumerate() {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let red = match col {
+                    Col::Structural(terms) => {
+                        let mut dot = 0.0;
+                        for &(r, v) in terms {
+                            dot += y[r] * v;
+                        }
+                        cost[j] - dot
+                    }
+                    Col::Unit { row, sign } => cost[j] - y[*row] * sign,
+                    Col::Artificial { row, sign } => {
+                        if !allow_artificial {
+                            continue;
+                        }
+                        cost[j] - y[*row] * sign
+                    }
+                };
+                if red < -EPS {
+                    entering = Some((j, red));
+                    break;
+                }
+            }
+            let Some((j, rc)) = entering else {
+                let mut obj = 0.0;
+                for (r, &b) in self.basis.iter().enumerate() {
+                    obj += cost[b] * self.xb[r];
+                }
+                return SimplexEnd::Optimal(obj);
+            };
+
+            // Direction d = B⁻¹ A_j (O(m · nnz_j)).
+            let d = self.ftran(j);
+
+            // Ratio test (Bland: smallest basis index on ties).
+            let mut leave: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for (r, &dr) in d.iter().enumerate() {
+                if dr > EPS {
+                    let ratio = self.xb[r] / dr;
+                    let better = ratio < best - EPS
+                        || (ratio < best + EPS
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            match leave {
+                Some(r) => {
+                    let refactors = self.refactorizations;
+                    self.pivot(r, j, &d);
+                    if self.refactorizations != refactors {
+                        y = self.compute_y(cost); // product-form history reset
+                    } else {
+                        // y' = y + rc · (updated row r of B⁻¹); see above.
+                        for (yk, bk) in y.iter_mut().zip(&self.binv[r]) {
+                            *yk += rc * bk;
+                        }
+                    }
+                }
+                None => return SimplexEnd::Unbounded,
+            }
+        }
+    }
+
+    /// Duals `y = c_B · B⁻¹` from scratch (O(m²), skipping zero-cost rows).
+    fn compute_y(&self, cost: &[f64]) -> Vec<f64> {
+        let m = self.rhs.len();
+        let mut y = vec![0.0; m];
+        for (r, &b) in self.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb != 0.0 {
+                for (yk, bk) in y.iter_mut().zip(&self.binv[r]) {
+                    *yk += cb * bk;
+                }
+            }
+        }
+        y
+    }
+
+    /// `B⁻¹ A_j` for column `j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.rhs.len();
+        let mut d = vec![0.0; m];
+        match &self.cols[j] {
+            Col::Structural(terms) => {
+                for &(row, v) in terms {
+                    if v != 0.0 {
+                        for (dr, brow) in d.iter_mut().zip(&self.binv) {
+                            *dr += brow[row] * v;
+                        }
+                    }
+                }
+            }
+            Col::Unit { row, sign } | Col::Artificial { row, sign } => {
+                for (dr, brow) in d.iter_mut().zip(&self.binv) {
+                    *dr = brow[*row] * sign;
+                }
+            }
+        }
+        d
+    }
+
+    /// Product-form update of `B⁻¹` and `x_B` for entering column `j`
+    /// leaving at row `r` with direction `d`.
+    fn pivot(&mut self, r: usize, j: usize, d: &[f64]) {
+        let m = self.rhs.len();
+        let piv = d[r];
+        debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
+        let theta = self.xb[r] / piv;
+
+        let inv = 1.0 / piv;
+        for k in 0..m {
+            self.binv[r][k] *= inv;
+        }
+        let pivot_row = self.binv[r].clone();
+        for (rr, row) in self.binv.iter_mut().enumerate() {
+            if rr != r {
+                let factor = d[rr];
+                if factor.abs() > EPS {
+                    for (v, &p) in row.iter_mut().zip(&pivot_row) {
+                        *v -= factor * p;
+                    }
+                }
+            }
+        }
+        for (rr, xb) in self.xb.iter_mut().enumerate() {
+            if rr != r {
+                *xb -= d[rr] * theta;
+                if *xb < 0.0 && *xb > -1e-9 {
+                    *xb = 0.0; // clamp tiny negative drift
+                }
+            }
+        }
+        self.xb[r] = theta;
+
+        self.in_basis[self.basis[r]] = false;
+        self.basis[r] = j;
+        self.in_basis[j] = true;
+
+        self.pivots += 1;
+        self.pivots_since_refactor += 1;
+        if self.pivots_since_refactor >= REFACTOR_FLOOR.max(m as u64) {
+            self.refactorize();
+        }
+    }
+
+    /// Drive basic artificials out of the basis after Phase I. Rows where no
+    /// real column has a nonzero tableau entry are redundant: the artificial
+    /// stays basic at 0 and (being excluded from Phase-II pricing) inert.
+    fn expel_artificials(&mut self) {
+        let m = self.rhs.len();
+        for r in 0..m {
+            if !matches!(self.cols[self.basis[r]], Col::Artificial { .. }) {
+                continue;
+            }
+            // Tableau row r over column j is (e_r B⁻¹) · A_j.
+            let entering = (0..self.cols.len()).find(|&j| {
+                if self.in_basis[j] || matches!(self.cols[j], Col::Artificial { .. }) {
+                    return false;
+                }
+                self.row_dot(r, j).abs() > EPS
+            });
+            if let Some(j) = entering {
+                let d = self.ftran(j);
+                self.pivot(r, j, &d);
+            }
+        }
+    }
+
+    /// `(e_r B⁻¹) · A_j` — one tableau entry.
+    fn row_dot(&self, r: usize, j: usize) -> f64 {
+        match &self.cols[j] {
+            Col::Structural(terms) => terms.iter().map(|&(row, v)| self.binv[r][row] * v).sum(),
+            Col::Unit { row, sign } | Col::Artificial { row, sign } => self.binv[r][*row] * sign,
+        }
+    }
+
+    /// Rebuild `B⁻¹` (and `x_B`) from the basis columns by Gauss–Jordan
+    /// elimination with partial pivoting, clearing accumulated product-form
+    /// rounding. O(m³), amortized by [`REFACTOR_EVERY`].
+    fn refactorize(&mut self) {
+        let m = self.rhs.len();
+        // Dense B from the basis columns.
+        let mut b = vec![vec![0.0; m]; m];
+        for (c, &col) in self.basis.iter().enumerate() {
+            match &self.cols[col] {
+                Col::Structural(terms) => {
+                    for &(row, v) in terms {
+                        b[row][c] = v;
+                    }
+                }
+                Col::Unit { row, sign } | Col::Artificial { row, sign } => {
+                    b[*row][c] = *sign;
+                }
+            }
+        }
+        // Invert via [B | I] -> [I | B⁻¹].
+        let mut inv: Vec<Vec<f64>> = (0..m)
+            .map(|r| (0..m).map(|c| if r == c { 1.0 } else { 0.0 }).collect())
+            .collect();
+        for col in 0..m {
+            let piv_row = (col..m)
+                .max_by(|&a, &b_| b[a][col].abs().total_cmp(&b[b_][col].abs()))
+                .expect("non-empty");
+            if b[piv_row][col].abs() <= EPS {
+                // Basis numerically singular — keep the product-form inverse
+                // (still consistent enough for Bland to proceed).
+                self.pivots_since_refactor = 0;
+                return;
+            }
+            b.swap(col, piv_row);
+            inv.swap(col, piv_row);
+            let inv_piv = 1.0 / b[col][col];
+            for k in 0..m {
+                b[col][k] *= inv_piv;
+                inv[col][k] *= inv_piv;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = b[r][col];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            b[r][k] -= f * b[col][k];
+                            inv[r][k] -= f * inv[col][k];
+                        }
+                    }
+                }
+            }
+        }
+        // Note basis columns were laid out as B[:, c] = A_{basis[c]}, so the
+        // inverse maps straight back.
+        self.binv = inv;
+        let mut xb = vec![0.0; m];
+        for (xr, brow) in xb.iter_mut().zip(&self.binv) {
+            for (bk, rk) in brow.iter().zip(&self.rhs) {
+                *xr += bk * rk;
+            }
+            if *xr < 0.0 && *xr > -1e-9 {
+                *xr = 0.0;
+            }
+        }
+        self.xb = xb;
+        self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
+    }
+}
+
+enum SimplexEnd {
+    Optimal(f64),
+    Unbounded,
+}
+
+// ---------------------------------------------------------------------
+// Dense two-phase tableau (validation baseline)
+// ---------------------------------------------------------------------
+
+pub mod dense {
+    //! The original dense two-phase tableau simplex, kept as the ground
+    //! truth the sparse revised solver is validated against (see the
+    //! `dense_revised_agreement` property test in `tests/`).
+
+    use super::{normalized_sense, Cmp, LinearProgram, LpOutcome, SimplexEnd, EPS};
+
+    /// Solve `lp` with the dense tableau.
+    pub fn solve(lp: &LinearProgram) -> LpOutcome {
+        Tableau::build(lp).solve()
+    }
+
+    /// Dense simplex tableau. Columns: structural vars, then slack/surplus,
+    /// then artificials, then RHS.
+    struct Tableau {
+        rows: Vec<Vec<f64>>, // one per constraint
+        /// Basis: column index basic in each row.
+        basis: Vec<usize>,
+        n_struct: usize,
+        n_slack: usize,
+        n_art: usize,
+        objective: Vec<f64>, // structural objective (minimize)
+    }
+
+    impl Tableau {
+        fn build(lp: &LinearProgram) -> Tableau {
+            let n_struct = lp.objective.len();
+            let m = lp.constraints.len();
+
+            // Count slack/surplus and artificial columns.
+            let mut n_slack = 0;
+            let mut n_art = 0;
+            for c in &lp.constraints {
+                // Normalize to non-negative RHS first; sense may flip.
+                let (cmp, _) = normalized_sense(c);
+                match cmp {
+                    Cmp::Le => n_slack += 1,
+                    Cmp::Ge => {
+                        n_slack += 1;
+                        n_art += 1;
+                    }
+                    Cmp::Eq => n_art += 1,
+                }
+            }
+
+            let width = n_struct + n_slack + n_art + 1;
+            let mut rows = vec![vec![0.0; width]; m];
+            let mut basis = vec![usize::MAX; m];
+            let mut slack_at = n_struct;
+            let mut art_at = n_struct + n_slack;
+
+            for (r, c) in lp.constraints.iter().enumerate() {
+                let (cmp, flip) = normalized_sense(c);
+                let sign = if flip { -1.0 } else { 1.0 };
+                for &(j, v) in &c.terms {
+                    rows[r][j] = sign * v;
+                }
+                rows[r][width - 1] = sign * c.rhs;
+                match cmp {
+                    Cmp::Le => {
+                        rows[r][slack_at] = 1.0;
+                        basis[r] = slack_at;
+                        slack_at += 1;
+                    }
+                    Cmp::Ge => {
+                        rows[r][slack_at] = -1.0; // surplus
+                        slack_at += 1;
+                        rows[r][art_at] = 1.0;
+                        basis[r] = art_at;
+                        art_at += 1;
+                    }
+                    Cmp::Eq => {
+                        rows[r][art_at] = 1.0;
+                        basis[r] = art_at;
+                        art_at += 1;
+                    }
+                }
+            }
+
+            Tableau {
+                rows,
+                basis,
+                n_struct,
+                n_slack,
+                n_art,
+                objective: lp.objective.clone(),
+            }
+        }
+
+        fn width(&self) -> usize {
+            self.n_struct + self.n_slack + self.n_art + 1
+        }
+
+        fn solve(mut self) -> LpOutcome {
+            // Phase 1: minimize the artificial sum (skipped when none exist).
+            if self.n_art > 0 {
+                let art_lo = self.n_struct + self.n_slack;
+                let art_hi = art_lo + self.n_art;
+                let mut cost = vec![0.0; self.width() - 1];
+                cost[art_lo..art_hi].fill(1.0);
+                match self.optimize(&cost, art_hi) {
+                    SimplexEnd::Optimal(v) if v > 1e-7 => return LpOutcome::Infeasible,
+                    SimplexEnd::Optimal(_) => {}
+                    // Phase 1 objective is bounded below by 0.
+                    SimplexEnd::Unbounded => unreachable!("phase 1 cannot be unbounded"),
+                }
+                // Drive any artificial still in the basis out (degenerate rows).
+                for r in 0..self.rows.len() {
+                    if self.basis[r] >= art_lo {
+                        let pivot_col = (0..art_lo).find(|&j| self.rows[r][j].abs() > EPS);
+                        match pivot_col {
+                            Some(j) => self.pivot(r, j),
+                            None => {
+                                // Redundant row: zero it out; keep artificial
+                                // basic at value 0 and forbid re-entry by never
+                                // pricing artificial columns in phase 2.
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: original objective; artificial columns are excluded from
+            // pricing (column bound art_lo).
+            let mut cost = vec![0.0; self.width() - 1];
+            cost[..self.n_struct].copy_from_slice(&self.objective);
+            let art_lo = self.n_struct + self.n_slack;
+            match self.optimize(&cost, art_lo) {
+                SimplexEnd::Optimal(obj) => {
+                    let mut x = vec![0.0; self.n_struct];
+                    let rhs_col = self.width() - 1;
+                    for (r, &b) in self.basis.iter().enumerate() {
+                        if b < self.n_struct {
+                            x[b] = self.rows[r][rhs_col];
+                        }
+                    }
+                    LpOutcome::Optimal { x, objective: obj }
+                }
+                SimplexEnd::Unbounded => LpOutcome::Unbounded,
+            }
+        }
+
+        /// Primal simplex over columns `0..col_limit` with Bland's rule.
+        /// Returns the optimal objective value for `cost`.
+        fn optimize(&mut self, cost: &[f64], col_limit: usize) -> SimplexEnd {
+            let rhs_col = self.width() - 1;
+            loop {
+                // Reduced costs: c_j - c_B · B^-1 A_j, computed directly from
+                // the current tableau (rows are already B^-1 A).
+                let mut entering = None;
+                for j in 0..col_limit {
+                    if self.basis.contains(&j) {
+                        continue;
+                    }
+                    let mut red = cost[j];
+                    for (r, &b) in self.basis.iter().enumerate() {
+                        let cb = if b < cost.len() { cost[b] } else { 0.0 };
+                        if cb != 0.0 {
+                            red -= cb * self.rows[r][j];
+                        }
+                    }
+                    if red < -EPS {
+                        entering = Some(j); // Bland: first improving column
+                        break;
+                    }
+                }
+                let Some(j) = entering else {
+                    // Optimal: objective = c_B · x_B.
+                    let mut obj = 0.0;
+                    for (r, &b) in self.basis.iter().enumerate() {
+                        let cb = if b < cost.len() { cost[b] } else { 0.0 };
+                        obj += cb * self.rows[r][rhs_col];
+                    }
+                    return SimplexEnd::Optimal(obj);
+                };
+
+                // Ratio test (Bland: smallest basis index tie-break).
+                let mut leave: Option<usize> = None;
+                let mut best = f64::INFINITY;
+                for r in 0..self.rows.len() {
+                    let a = self.rows[r][j];
+                    if a > EPS {
+                        let ratio = self.rows[r][rhs_col] / a;
+                        let better = ratio < best - EPS
+                            || (ratio < best + EPS
+                                && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                        if better {
+                            best = ratio;
+                            leave = Some(r);
+                        }
+                    }
+                }
+                match leave {
+                    Some(r) => self.pivot(r, j),
+                    None => return SimplexEnd::Unbounded,
+                }
+            }
+        }
+
+        fn pivot(&mut self, r: usize, j: usize) {
+            let piv = self.rows[r][j];
+            debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
+            let inv = 1.0 / piv;
+            for v in &mut self.rows[r] {
+                *v *= inv;
+            }
+            let pivot_row = self.rows[r].clone();
+            for (rr, row) in self.rows.iter_mut().enumerate() {
+                if rr != r {
+                    let factor = row[j];
+                    if factor.abs() > EPS {
+                        for (v, &p) in row.iter_mut().zip(&pivot_row) {
+                            *v -= factor * p;
+                        }
+                    }
+                }
+            }
+            self.basis[r] = j;
+        }
     }
 }
 
@@ -350,6 +934,11 @@ mod tests {
         }
     }
 
+    /// Run every classic case through both solvers.
+    fn solve_both(lp: &LinearProgram) -> (LpOutcome, LpOutcome) {
+        (lp.solve(), lp.solve_dense())
+    }
+
     #[test]
     fn simple_maximization_as_min() {
         // max 3a + 5b st a<=4, 2b<=12, 3a+2b<=18  (classic; opt 36 at (2,6))
@@ -357,7 +946,9 @@ mod tests {
         lp.constrain(vec![(0, 1.0)], Cmp::Le, 4.0);
         lp.constrain(vec![(1, 2.0)], Cmp::Le, 12.0);
         lp.constrain(vec![(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
-        assert_opt(&lp.solve(), -36.0, Some(&[2.0, 6.0]));
+        let (revised, dense) = solve_both(&lp);
+        assert_opt(&revised, -36.0, Some(&[2.0, 6.0]));
+        assert_opt(&dense, -36.0, Some(&[2.0, 6.0]));
     }
 
     #[test]
@@ -366,7 +957,9 @@ mod tests {
         let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
         lp.constrain(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 4.0);
         lp.constrain(vec![(0, 3.0), (1, 1.0)], Cmp::Ge, 6.0);
-        assert_opt(&lp.solve(), 2.8, Some(&[1.6, 1.2]));
+        let (revised, dense) = solve_both(&lp);
+        assert_opt(&revised, 2.8, Some(&[1.6, 1.2]));
+        assert_opt(&dense, 2.8, Some(&[1.6, 1.2]));
     }
 
     #[test]
@@ -375,7 +968,9 @@ mod tests {
         let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
         lp.constrain(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 10.0);
         lp.constrain(vec![(0, 1.0)], Cmp::Le, 4.0);
-        assert_opt(&lp.solve(), 26.0, Some(&[4.0, 6.0]));
+        let (revised, dense) = solve_both(&lp);
+        assert_opt(&revised, 26.0, Some(&[4.0, 6.0]));
+        assert_opt(&dense, 26.0, Some(&[4.0, 6.0]));
     }
 
     #[test]
@@ -384,6 +979,7 @@ mod tests {
         lp.constrain(vec![(0, 1.0)], Cmp::Ge, 5.0);
         lp.constrain(vec![(0, 1.0)], Cmp::Le, 3.0);
         assert_eq!(lp.solve(), LpOutcome::Infeasible);
+        assert_eq!(lp.solve_dense(), LpOutcome::Infeasible);
     }
 
     #[test]
@@ -392,6 +988,7 @@ mod tests {
         let mut lp = LinearProgram::minimize(vec![-1.0]);
         lp.constrain(vec![(0, 1.0)], Cmp::Ge, 1.0);
         assert_eq!(lp.solve(), LpOutcome::Unbounded);
+        assert_eq!(lp.solve_dense(), LpOutcome::Unbounded);
     }
 
     #[test]
@@ -399,7 +996,9 @@ mod tests {
         // x - y <= -2 with min x+y: best is x=0, y=2.
         let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
         lp.constrain(vec![(0, 1.0), (1, -1.0)], Cmp::Le, -2.0);
-        assert_opt(&lp.solve(), 2.0, Some(&[0.0, 2.0]));
+        let (revised, dense) = solve_both(&lp);
+        assert_opt(&revised, 2.0, Some(&[0.0, 2.0]));
+        assert_opt(&dense, 2.0, Some(&[0.0, 2.0]));
     }
 
     #[test]
@@ -412,6 +1011,7 @@ mod tests {
         lp.constrain(vec![(1, 1.0)], Cmp::Le, 1.0);
         lp.constrain(vec![(0, 2.0), (1, 2.0)], Cmp::Le, 2.0);
         assert_opt(&lp.solve(), -1.0, None);
+        assert_opt(&lp.solve_dense(), -1.0, None);
     }
 
     #[test]
@@ -421,6 +1021,7 @@ mod tests {
         lp.constrain(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 4.0);
         lp.constrain(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 4.0);
         assert_opt(&lp.solve(), 4.0, Some(&[4.0, 0.0]));
+        assert_opt(&lp.solve_dense(), 4.0, Some(&[4.0, 0.0]));
     }
 
     #[test]
@@ -434,15 +1035,143 @@ mod tests {
         lp.constrain(vec![(2, 1.0), (0, -1.0)], Cmp::Ge, 3.0);
         lp.constrain(vec![(3, 1.0), (1, -1.0)], Cmp::Ge, 5.0);
         lp.constrain(vec![(0, 3.0), (1, 5.0)], Cmp::Ge, 7.5);
-        match lp.solve() {
-            LpOutcome::Optimal { x, objective } => {
-                // Cheapest way to satisfy the cut is pushing x2 (weight 1):
-                // x1=0, x2=1.5 -> obj = 2*3 + 1*(1.5+5) = 12.5.
-                assert!((objective - 12.5).abs() < 1e-6, "obj={objective}");
-                assert!((x[0]).abs() < 1e-6 && (x[1] - 1.5).abs() < 1e-6);
+        for outcome in [lp.solve(), lp.solve_dense()] {
+            match outcome {
+                LpOutcome::Optimal { x, objective } => {
+                    // Cheapest way to satisfy the cut is pushing x2 (weight 1):
+                    // x1=0, x2=1.5 -> obj = 2*3 + 1*(1.5+5) = 12.5.
+                    assert!((objective - 12.5).abs() < 1e-6, "obj={objective}");
+                    assert!((x[0]).abs() < 1e-6 && (x[1] - 1.5).abs() < 1e-6);
+                }
+                other => panic!("{other:?}"),
             }
-            other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_add_constraint_matches_cold_resolve() {
+        // Build the scheduling-shaped LP incrementally: solve, add the
+        // volume cut warm, and compare against a cold solve of the full
+        // program.
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0, 2.0, 1.0]);
+        lp.constrain(vec![(0, 1.0)], Cmp::Ge, 0.0);
+        lp.constrain(vec![(1, 1.0)], Cmp::Ge, 1.0);
+        lp.constrain(vec![(2, 1.0), (0, -1.0)], Cmp::Ge, 3.0);
+        lp.constrain(vec![(3, 1.0), (1, -1.0)], Cmp::Ge, 5.0);
+
+        let mut warm = RevisedSimplex::new(&lp);
+        let LpOutcome::Optimal { .. } = warm.solve() else {
+            panic!()
+        };
+        let pivots_before_cut = warm.pivots();
+        warm.add_constraint(vec![(0, 3.0), (1, 5.0)], Cmp::Ge, 7.5);
+        let LpOutcome::Optimal { x, objective } = warm.solve() else {
+            panic!()
+        };
+        assert!((objective - 12.5).abs() < 1e-6, "warm obj={objective}");
+        assert!((x[0]).abs() < 1e-6 && (x[1] - 1.5).abs() < 1e-6);
+
+        lp.constrain(vec![(0, 3.0), (1, 5.0)], Cmp::Ge, 7.5);
+        let mut cold = RevisedSimplex::new(&lp);
+        let LpOutcome::Optimal {
+            objective: cold_obj,
+            ..
+        } = cold.solve()
+        else {
+            panic!()
+        };
+        assert!((objective - cold_obj).abs() < 1e-9);
+        // The warm re-solve must be cheaper than re-running everything.
+        let warm_resolve_pivots = warm.pivots() - pivots_before_cut;
+        assert!(
+            warm_resolve_pivots < cold.pivots(),
+            "warm {warm_resolve_pivots} vs cold {}",
+            cold.pivots()
+        );
+    }
+
+    #[test]
+    fn warm_add_of_satisfied_constraint_is_free() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 4.0);
+        let mut s = RevisedSimplex::new(&lp);
+        let LpOutcome::Optimal { objective, .. } = s.solve() else {
+            panic!()
+        };
+        assert!((objective - 2.0).abs() < 1e-6);
+        let before = s.pivots();
+        // Already satisfied by the optimum (y = 2 ≥ 1): slack basis, no work.
+        s.add_constraint(vec![(1, 1.0)], Cmp::Le, 5.0);
+        let LpOutcome::Optimal { objective, .. } = s.solve() else {
+            panic!()
+        };
+        assert!((objective - 2.0).abs() < 1e-6);
+        assert_eq!(s.pivots(), before, "satisfied row must not pivot");
+    }
+
+    #[test]
+    fn many_warm_cuts_stay_consistent() {
+        // Covering LP over 6 vars; add tightening cuts one at a time and
+        // verify against cold dense solves at every step.
+        let n = 6;
+        let mut lp = LinearProgram::minimize(vec![1.0; n]);
+        for i in 0..n {
+            lp.constrain(vec![(i, 1.0), ((i + 1) % n, 2.0)], Cmp::Ge, 3.0);
+        }
+        let mut warm = RevisedSimplex::new(&lp);
+        warm.solve();
+        for round in 0..8 {
+            let i = round % n;
+            let j = (round + 2) % n;
+            let rhs = 2.5 + round as f64 * 0.5;
+            let terms = vec![(i, 1.0), (j, 1.5)];
+            warm.add_constraint(terms.clone(), Cmp::Ge, rhs);
+            let warm_out = warm.solve();
+            lp.constrain(terms, Cmp::Ge, rhs);
+            let cold_out = lp.solve_dense();
+            match (warm_out, cold_out) {
+                (
+                    LpOutcome::Optimal { objective: a, .. },
+                    LpOutcome::Optimal { objective: b, .. },
+                ) => {
+                    assert!((a - b).abs() < 1e-6, "round {round}: warm {a} vs cold {b}")
+                }
+                (a, b) => panic!("round {round}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn refactorization_keeps_long_runs_accurate() {
+        // Enough pivots to cross REFACTOR_EVERY several times.
+        let n = 30;
+        let mut lp = LinearProgram::minimize(vec![1.0; n]);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let k = (i + 7) % n;
+            lp.constrain(
+                vec![(i, 1.0), (j, 2.0), (k, 0.5)],
+                Cmp::Ge,
+                3.0 + (i % 5) as f64,
+            );
+        }
+        let mut s = RevisedSimplex::new(&lp);
+        let LpOutcome::Optimal { objective, .. } = s.solve() else {
+            panic!()
+        };
+        let LpOutcome::Optimal {
+            objective: dense_obj,
+            ..
+        } = lp.solve_dense()
+        else {
+            panic!()
+        };
+        assert!(
+            (objective - dense_obj).abs() < 1e-6,
+            "revised {objective} vs dense {dense_obj} (pivots {}, refactors {})",
+            s.pivots(),
+            s.refactorizations()
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! check Algorithm 1 against it and against exact branch-and-bound optima.
 
 use crate::instance::Instance;
-use crate::lp::{Cmp, LinearProgram, LpOutcome};
+use crate::lp::{Cmp, LinearProgram, LpOutcome, RevisedSimplex};
 use serde::{Deserialize, Serialize};
 
 /// Options controlling the relaxation solver.
@@ -40,6 +40,11 @@ pub struct RelaxOptions {
     pub max_cut_rounds: usize,
     /// Sweep passes in combinatorial mode.
     pub passes: usize,
+    /// Keep the simplex basis alive across cut rounds (LP mode): each new
+    /// cut re-optimizes from the previous optimal basis instead of
+    /// re-running both phases from scratch. Off = cold re-solve per round,
+    /// kept for A/B measurement and regression tests.
+    pub warm_start: bool,
 }
 
 impl Default for RelaxOptions {
@@ -48,8 +53,21 @@ impl Default for RelaxOptions {
             lp_task_limit: 120,
             max_cut_rounds: 12,
             passes: 4,
+            warm_start: true,
         }
     }
+}
+
+/// Work counters from one relaxation solve (LP mode; zeros in
+/// combinatorial mode).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Queyranne cuts added before separation converged.
+    pub cuts: usize,
+    /// Total simplex pivots across the initial solve and every cut round.
+    pub pivots: u64,
+    /// LP solves performed (1 + cuts).
+    pub lp_solves: usize,
 }
 
 /// Which mode produced a solution.
@@ -75,15 +93,21 @@ pub struct RelaxSolution {
     pub lower_bound: f64,
     /// Mode used.
     pub mode: RelaxMode,
+    /// Work counters (pivots/cuts) from the solve.
+    pub stats: SolveStats,
 }
 
 /// Solve the relaxation.
 pub fn solve(inst: &Instance, opts: &RelaxOptions) -> RelaxSolution {
     inst.validate().expect("invalid instance");
-    let (x_hat, mode) = if inst.n_tasks() <= opts.lp_task_limit {
+    let (x_hat, mode, stats) = if inst.n_tasks() <= opts.lp_task_limit {
         lp_mode(inst, opts)
     } else {
-        (combinatorial_mode(inst, opts), RelaxMode::Combinatorial)
+        (
+            combinatorial_mode(inst, opts),
+            RelaxMode::Combinatorial,
+            SolveStats::default(),
+        )
     };
     let h = midpoints(inst, &x_hat);
     RelaxSolution {
@@ -91,7 +115,22 @@ pub fn solve(inst: &Instance, opts: &RelaxOptions) -> RelaxSolution {
         x_hat,
         h,
         mode,
+        stats,
     }
+}
+
+/// Single-pass, NaN-defensive min/max: one traversal, NaN entries ignored.
+/// Returns `None` when `values` is empty or all-NaN.
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    values.iter().fold(None, |acc, &v| {
+        if v.is_nan() {
+            return acc;
+        }
+        Some(match acc {
+            None => (v, v),
+            Some((lo, hi)) => (lo.min(v), hi.max(v)),
+        })
+    })
 }
 
 /// `Hᵢ = maxₘ (x̂ᵢ + ½ T^c_{i,m}) = x̂ᵢ + ½ pᵢ^max`.
@@ -108,7 +147,7 @@ pub fn midpoints(inst: &Instance, x_hat: &[f64]) -> Vec<f64> {
 // ---------------------------------------------------------------------
 
 /// Variables: x_0..x_{T-1} (task starts) then C_0..C_{N-1} (job completions).
-fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode) {
+fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveStats) {
     let t = inst.n_tasks();
     let n = inst.jobs.len();
     let mut objective = vec![0.0; t + n];
@@ -147,14 +186,22 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode) {
         }
     }
 
-    let solve_lp = |lp: &LinearProgram| -> Vec<f64> {
-        match lp.solve() {
+    let take_starts = |outcome: LpOutcome| -> Vec<f64> {
+        match outcome {
             LpOutcome::Optimal { x, .. } => x[..t].to_vec(),
             other => panic!("relaxation LP must be solvable, got {other:?}"),
         }
     };
 
-    let mut x_hat = solve_lp(&lp);
+    // One incremental simplex for the whole cut loop: with `warm_start` each
+    // added cut re-optimizes from the previous basis (the expensive Phase I
+    // runs once, on the initial program, and never again).
+    let mut simplex = RevisedSimplex::new(&lp);
+    let mut x_hat = take_starts(simplex.solve());
+    let mut stats = SolveStats {
+        lp_solves: 1,
+        ..SolveStats::default()
+    };
     let m = inst.n_machines as f64;
     let mut cuts = 0usize;
 
@@ -182,16 +229,24 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode) {
         let sum_pmin: f64 = set.iter().map(|&i| inst.p_min(i)).sum();
         let sum_pmax_sq: f64 = set.iter().map(|&i| inst.p_max(i) * inst.p_max(i)).sum();
         let rhs = sum_pmin * sum_pmin / (2.0 * m) - 0.5 * sum_pmax_sq;
-        lp.constrain(
-            set.iter().map(|&i| (i, inst.p_max(i))).collect(),
-            Cmp::Ge,
-            rhs,
-        );
+        let terms: Vec<(usize, f64)> = set.iter().map(|&i| (i, inst.p_max(i))).collect();
         cuts += 1;
-        x_hat = solve_lp(&lp);
+        if opts.warm_start {
+            simplex.add_constraint(terms, Cmp::Ge, rhs);
+        } else {
+            lp.constrain(terms, Cmp::Ge, rhs);
+            let pivots_so_far = simplex.pivots();
+            simplex = RevisedSimplex::new(&lp);
+            // Carry the counter so stats stay comparable across modes.
+            stats.pivots += pivots_so_far;
+        }
+        x_hat = take_starts(simplex.solve());
+        stats.lp_solves += 1;
     }
 
-    (x_hat, RelaxMode::Lp { cuts })
+    stats.cuts = cuts;
+    stats.pivots += simplex.pivots();
+    (x_hat, RelaxMode::Lp { cuts }, stats)
 }
 
 // ---------------------------------------------------------------------
@@ -393,8 +448,8 @@ mod tests {
             m => panic!("expected LP mode, got {m:?}"),
         }
         // Midpoints must spread: not all equal.
-        let spread = sol.h.iter().cloned().fold(f64::MIN, f64::max)
-            - sol.h.iter().cloned().fold(f64::MAX, f64::min);
+        let (lo, hi) = min_max(&sol.h).expect("non-empty midpoints");
+        let spread = hi - lo;
         assert!(spread > 0.5, "midpoints should spread, got {spread}");
     }
 
@@ -445,10 +500,52 @@ mod tests {
             },
         );
         assert_eq!(sol.mode, RelaxMode::Combinatorial);
-        let max_h = sol.h.iter().cloned().fold(f64::MIN, f64::max);
+        let (_, max_h) = min_max(&sol.h).expect("non-empty midpoints");
         // 40 unit tasks on 2 machines: someone's midpoint must be ≥ ~10
         // (aggregate volume 40 / (2*2)).
         assert!(max_h >= 40.0 / 4.0 - 1e-9, "max midpoint {max_h}");
+    }
+
+    #[test]
+    fn min_max_is_nan_defensive() {
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(min_max(&[3.0]), Some((3.0, 3.0)));
+        assert_eq!(min_max(&[2.0, f64::NAN, -1.0, 5.0]), Some((-1.0, 5.0)));
+        assert_eq!(
+            min_max(&[f64::NEG_INFINITY, 0.0, f64::INFINITY]),
+            Some((f64::NEG_INFINITY, f64::INFINITY))
+        );
+    }
+
+    #[test]
+    fn warm_and_cold_cut_loops_agree_and_warm_pivots_less() {
+        let mut b = InstanceBuilder::new(2);
+        for k in 0..10 {
+            let j = b.job(1.0 + (k % 3) as f64, 0.2 * k as f64);
+            b.round(j, &[vec![1.0 + 0.3 * (k % 4) as f64, 2.0]]);
+        }
+        let inst = b.build();
+        let warm = solve(&inst, &RelaxOptions::default());
+        let cold = solve(
+            &inst,
+            &RelaxOptions {
+                warm_start: false,
+                ..RelaxOptions::default()
+            },
+        );
+        assert_eq!(warm.mode, cold.mode, "same cuts should be separated");
+        for (a, b_) in warm.x_hat.iter().zip(&cold.x_hat) {
+            assert!((a - b_).abs() < 1e-6, "x̂ diverged: {a} vs {b_}");
+        }
+        if warm.stats.cuts > 0 {
+            assert!(
+                warm.stats.pivots < cold.stats.pivots,
+                "warm {} pivots vs cold {}",
+                warm.stats.pivots,
+                cold.stats.pivots
+            );
+        }
     }
 
     #[test]

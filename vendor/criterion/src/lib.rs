@@ -61,7 +61,11 @@ impl BenchmarkGroup {
         input: &I,
         mut f: F,
     ) {
-        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut |b| f(b, input));
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
     }
 
     /// Finish the group (no-op; kept for API compatibility).
@@ -108,7 +112,11 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
     };
     f(&mut b);
     b.samples_ns.sort_unstable();
-    let median = b.samples_ns.get(b.samples_ns.len() / 2).copied().unwrap_or(0);
+    let median = b
+        .samples_ns
+        .get(b.samples_ns.len() / 2)
+        .copied()
+        .unwrap_or(0);
     println!("bench {name:<50} median {}", format_ns(median));
 }
 

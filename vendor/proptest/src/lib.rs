@@ -279,9 +279,7 @@ pub mod prop {
 pub mod prelude {
     //! One-stop imports mirroring `proptest::prelude`.
     pub use crate::arbitrary::any;
-    pub use crate::{
-        prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy,
-    };
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
 }
 
 /// Seed a per-test RNG stream: fixed base seed mixed with the test name so
