@@ -16,9 +16,10 @@
 //! committed in cost order, each committing a gang of the matched GPU plus
 //! the fastest remaining free GPUs (same kind preferred).
 
-use crate::common::{job_done, ready_by_job, Reservations};
+use crate::common::{continue_on_gang, job_done, ready_by_job, repair_gangs, Reservations};
 use hare_sim::{Policy, SimView};
 use hare_solver::min_cost_matching;
+use std::collections::BTreeSet;
 
 /// AlloX-style min-cost-matching job-level scheduler.
 #[derive(Debug, Default)]
@@ -26,6 +27,8 @@ pub struct SchedAllox {
     /// Dedicated gang per job, once matched.
     placed: Vec<Option<Vec<usize>>>,
     reservations: Reservations,
+    /// GPUs currently down (fault injection).
+    down: BTreeSet<usize>,
 }
 
 impl SchedAllox {
@@ -55,6 +58,13 @@ impl Policy for SchedAllox {
                 self.reservations.release(&gang);
             }
         }
+        // AlloX is heterogeneity-aware: repairs draw the fastest free GPU.
+        repair_gangs(
+            crate::common::fastest_idle(view, usize::MAX),
+            &self.down,
+            &mut self.placed,
+            &mut self.reservations,
+        );
         let ready = ready_by_job(view);
         let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
@@ -62,10 +72,7 @@ impl Policy for SchedAllox {
         // Placed jobs: run their released round as a gang on their own GPUs.
         for (&job, tasks) in &ready {
             if let Some(gang) = &self.placed[job] {
-                for (&task, &gpu) in tasks.iter().zip(gang.iter()) {
-                    out.push((task, gpu));
-                    idle.retain(|&g| g != gpu);
-                }
+                continue_on_gang(tasks, gang, &mut idle, &mut out);
             }
         }
 
@@ -153,6 +160,14 @@ impl Policy for SchedAllox {
         }
         out
     }
+
+    fn on_gpu_failure(&mut self, gpu: usize, _requeued: &[usize]) {
+        self.down.insert(gpu);
+    }
+
+    fn on_gpu_recovery(&mut self, gpu: usize) {
+        self.down.remove(&gpu);
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +185,8 @@ mod tests {
         let w = SimWorkload::build(Cluster::testbed15(), trace, &db);
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut SchedAllox::new());
+            .run(&mut SchedAllox::new())
+            .expect("simulation");
         assert_eq!(report.completion.len(), 10);
         assert_eq!(report.scheme, "Sched_Allox");
     }
@@ -187,7 +203,8 @@ mod tests {
         let w = SimWorkload::build(cluster, vec![resnet, sage], &db);
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut SchedAllox::new());
+            .run(&mut SchedAllox::new())
+            .expect("simulation");
         // GPU 0 is the V100: ResNet50's serial work must be there.
         let expected_v100 = w.problem.jobs[0].train[0] * 6;
         let diff = report.gpus[0].busy.as_secs_f64() - expected_v100.as_secs_f64();
@@ -210,7 +227,8 @@ mod tests {
         let w = SimWorkload::build(cluster, vec![job], &db);
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut SchedAllox::new());
+            .run(&mut SchedAllox::new())
+            .expect("simulation");
         assert!(!report.gpus[0].busy.is_zero());
         assert!(!report.gpus[1].busy.is_zero());
         assert!(report.gpus[2].busy.is_zero());
@@ -226,7 +244,8 @@ mod tests {
         let w = SimWorkload::build(Cluster::homogeneous(GpuKind::V100, 2), vec![a, b], &db);
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut SchedAllox::new());
+            .run(&mut SchedAllox::new())
+            .expect("simulation");
         let (first, second) = {
             let c0 = report.completion[0];
             let c1 = report.completion[1];

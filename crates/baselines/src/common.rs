@@ -124,3 +124,59 @@ pub fn release_completed(
     }
     freed
 }
+
+/// Repair dedicated gangs broken by GPU failures: every gang member in
+/// `down` is swapped for the first free GPU of `pool` — the caller orders
+/// the pool by its *own* placement preference (fastest-first for a
+/// heterogeneity-aware policy, kind-blind for an oblivious one), so a
+/// failure never upgrades a scheduler beyond its own discipline. When no
+/// replacement is free the hole stays — the paired task simply waits for
+/// a later dispatch round (or for the member to recover), which is safe
+/// because every completion and recovery re-opens a dispatch opportunity.
+pub fn repair_gangs(
+    mut pool: Vec<usize>,
+    down: &std::collections::BTreeSet<usize>,
+    placed: &mut [Option<Vec<usize>>],
+    reservations: &mut Reservations,
+) {
+    if down.is_empty() {
+        return;
+    }
+    pool.retain(|&g| reservations.is_free(g) && !down.contains(&g));
+    for slot in placed.iter_mut() {
+        let Some(gang) = slot else { continue };
+        for member in gang.iter_mut() {
+            if down.contains(member) && !pool.is_empty() {
+                let new = pool.remove(0);
+                reservations.release(&[*member]);
+                reservations.reserve(&[new]);
+                *member = new;
+            }
+        }
+    }
+}
+
+/// The kind-blind pseudo-random GPU permutation shared by the
+/// heterogeneity-oblivious policies (index order would accidentally
+/// correlate with speed, since cluster builders list kinds in blocks).
+pub fn oblivious_order(gpus: &mut [usize]) {
+    gpus.sort_by_key(|&g| (g as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+}
+
+/// Dispatch a placed job's released tasks onto its gang, pairing each task
+/// with an *idle* gang member only. In a healthy run every member is idle
+/// whenever the round releases, so this is the plain gang dispatch; under
+/// fault injection a member can be down (its task waits) or a single
+/// re-released task can meet a partially-busy gang.
+pub fn continue_on_gang(
+    tasks: &[usize],
+    gang: &[usize],
+    idle: &mut Vec<usize>,
+    out: &mut Vec<(usize, usize)>,
+) {
+    let avail: Vec<usize> = gang.iter().copied().filter(|g| idle.contains(g)).collect();
+    for (&task, &gpu) in tasks.iter().zip(avail.iter()) {
+        out.push((task, gpu));
+        idle.retain(|&g| g != gpu);
+    }
+}

@@ -4,8 +4,11 @@
 //! lifetime, and a job that cannot get its demanded GPU count blocks the
 //! queue behind it (traditional batch-system head-of-line behaviour).
 
-use crate::common::{fastest_idle, ready_by_job, release_completed, Reservations};
+use crate::common::{
+    continue_on_gang, fastest_idle, ready_by_job, release_completed, repair_gangs, Reservations,
+};
 use hare_sim::{Policy, SimView};
+use std::collections::BTreeSet;
 
 /// FIFO with heterogeneity-aware (fastest-first) gang placement.
 #[derive(Debug, Default)]
@@ -13,6 +16,8 @@ pub struct GavelFifo {
     /// Dedicated GPU set per job, once placed (cleared at completion).
     placed: Vec<Option<Vec<usize>>>,
     reservations: Reservations,
+    /// GPUs currently down (fault injection).
+    down: BTreeSet<usize>,
 }
 
 impl GavelFifo {
@@ -37,6 +42,12 @@ impl Policy for GavelFifo {
         let p = &view.workload.problem;
         self.ensure_len(p.jobs.len());
         release_completed(view, &mut self.placed, &mut self.reservations);
+        repair_gangs(
+            fastest_idle(view, usize::MAX),
+            &self.down,
+            &mut self.placed,
+            &mut self.reservations,
+        );
         let ready = ready_by_job(view);
         let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
@@ -44,13 +55,7 @@ impl Policy for GavelFifo {
         // 1. Placed jobs run their released rounds on their own gang.
         for (&job, tasks) in &ready {
             if let Some(gang) = &self.placed[job] {
-                // The gang is dedicated, so its GPUs must be idle whenever
-                // the round is released.
-                debug_assert!(gang.iter().all(|g| idle.contains(g)));
-                for (&task, &gpu) in tasks.iter().zip(gang.iter()) {
-                    out.push((task, gpu));
-                    idle.retain(|&g| g != gpu);
-                }
+                continue_on_gang(tasks, gang, &mut idle, &mut out);
             }
         }
 
@@ -88,6 +93,14 @@ impl Policy for GavelFifo {
 
         out
     }
+
+    fn on_gpu_failure(&mut self, gpu: usize, _requeued: &[usize]) {
+        self.down.insert(gpu);
+    }
+
+    fn on_gpu_recovery(&mut self, gpu: usize) {
+        self.down.remove(&gpu);
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +121,10 @@ mod tests {
     fn completes_all_jobs() {
         let w = workload(8);
         let mut policy = GavelFifo::new();
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut policy);
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut policy)
+            .expect("simulation");
         assert_eq!(report.completion.len(), 8);
         assert_eq!(report.scheme, "Gavel_FIFO");
     }
@@ -117,7 +133,10 @@ mod tests {
     fn jobs_start_in_arrival_order() {
         let w = workload(8);
         let mut policy = GavelFifo::new();
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut policy);
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut policy)
+            .expect("simulation");
         // First-arrived jobs should not complete after much-later arrivals
         // with similar loads... the robust FIFO property: start order is
         // arrival order, which we observe through completion - duration
@@ -141,7 +160,10 @@ mod tests {
     fn uses_fastest_gpus_first() {
         let w = workload(2);
         let mut policy = GavelFifo::new();
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut policy);
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut policy)
+            .expect("simulation");
         // With only two jobs on a 15-GPU cluster, all work should land on
         // V100s (GPUs 0..8 are the V100s in testbed15).
         for (g, gr) in report.gpus.iter().enumerate() {

@@ -25,8 +25,18 @@ pub struct HareOnline {
     priority: Vec<f64>,
     /// Arrived-job count at the latest replan.
     planned_arrivals: usize,
+    /// Set when the cluster changed shape (a GPU failed or recovered):
+    /// the next dispatch re-solves even without a new arrival, since the
+    /// relaxation's priorities were computed for a different GPU set.
+    dirty: bool,
     /// Number of replans performed (observability for tests/experiments).
     replans: u32,
+    /// Machines that already hold each job's checkpoint (the store caches
+    /// per machine). Dispatch prefers these when they are near-fastest:
+    /// migrating a job to a cold machine pays a shared-store fetch, which
+    /// is wasted switching time in a healthy run and a stall under
+    /// checkpoint-store faults.
+    warm: Vec<std::collections::BTreeSet<hare_cluster::MachineId>>,
 }
 
 impl HareOnline {
@@ -102,11 +112,22 @@ impl Policy for HareOnline {
         "Hare_Online".into()
     }
 
+    /// The GPU set shrank: priorities are stale, replan at next dispatch.
+    fn on_gpu_failure(&mut self, _gpu: usize, _requeued: &[usize]) {
+        self.dirty = true;
+    }
+
+    /// The GPU set grew back: likewise.
+    fn on_gpu_recovery(&mut self, _gpu: usize) {
+        self.dirty = true;
+    }
+
     fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
         let arrivals = view.arrived.iter().filter(|&&a| a).count();
-        if arrivals > self.planned_arrivals {
+        if self.dirty || arrivals > self.planned_arrivals {
             self.replan(view);
             self.planned_arrivals = arrivals;
+            self.dirty = false;
         }
         if self.priority.len() < view.workload.problem.n_tasks() {
             self.priority
@@ -116,6 +137,9 @@ impl Policy for HareOnline {
         // Algorithm-1 discipline over the live state: ready tasks by
         // ascending H, each onto the idle GPU finishing it earliest.
         let p = &view.workload.problem;
+        if self.warm.len() < p.jobs.len() {
+            self.warm.resize(p.jobs.len(), Default::default());
+        }
         let mut ready: Vec<usize> = view.ready.to_vec();
         ready.sort_by(|&a, &b| {
             self.priority[a]
@@ -128,11 +152,28 @@ impl Policy for HareOnline {
             if idle.is_empty() {
                 break;
             }
+            let job = p.tasks[task].job;
+            let gpus = view.workload.cluster.gpus();
+            let fastest = |g: usize| (p.train(task, g), g);
+            let best = idle.iter().map(|&g| p.train(task, g)).min().unwrap();
+            // Warm-placement affinity: among idle GPUs within 20% of the
+            // fastest, prefer one on a machine that already holds this
+            // job's checkpoint. Migrating to a cold machine pays a
+            // shared-store fetch, so the tie-break matters: equal-speed
+            // GPUs would otherwise rotate by index and drag the job
+            // across every machine in the cluster.
+            let slack = best.as_secs_f64() * 1.2;
             let (pos, &gpu) = idle
                 .iter()
                 .enumerate()
-                .min_by_key(|&(_, &g)| (p.train(task, g), g))
+                .filter(|&(_, &g)| {
+                    self.warm[job].contains(&gpus[g].machine)
+                        && p.train(task, g).as_secs_f64() <= slack
+                })
+                .min_by_key(|&(_, &g)| fastest(g))
+                .or_else(|| idle.iter().enumerate().min_by_key(|&(_, &g)| fastest(g)))
                 .unwrap();
+            self.warm[job].insert(gpus[gpu].machine);
             out.push((task, gpu));
             idle.remove(pos);
         }
@@ -158,7 +199,10 @@ mod tests {
     fn completes_all_jobs_and_replans_per_arrival_burst() {
         let w = workload(12, 7);
         let mut policy = HareOnline::new();
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut policy);
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut policy)
+            .expect("simulation");
         assert_eq!(report.completion.len(), 12);
         assert!(policy.replans() >= 1);
         assert!(
@@ -173,11 +217,15 @@ mod tests {
         let offline = {
             let out = hare_core::HareScheduler::default().schedule(&w.problem);
             let mut replay = hare_sim::OfflineReplay::new("Hare", &w, &out.schedule);
-            Simulation::new(&w).with_noise(0.0).run(&mut replay)
+            Simulation::new(&w)
+                .with_noise(0.0)
+                .run(&mut replay)
+                .expect("simulation")
         };
         let online = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut HareOnline::new());
+            .run(&mut HareOnline::new())
+            .expect("simulation");
         let regret = online.weighted_jct / offline.weighted_jct;
         assert!(
             regret < 1.5,
@@ -192,10 +240,12 @@ mod tests {
         let w = workload(20, 5);
         let online = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut HareOnline::new());
+            .run(&mut HareOnline::new())
+            .expect("simulation");
         let fifo = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut crate::GavelFifo::new());
+            .run(&mut crate::GavelFifo::new())
+            .expect("simulation");
         assert!(online.weighted_jct < fifo.weighted_jct);
     }
 
@@ -209,16 +259,56 @@ mod tests {
             .with_noise(0.0)
             .with_gpu_failure(hare_cluster::SimTime::from_secs(20), 0)
             .with_gpu_failure(hare_cluster::SimTime::from_secs(40), 8)
-            .run(&mut HareOnline::new());
+            .run(&mut HareOnline::new())
+            .expect("simulation");
         assert_eq!(report.completion.len(), 10);
         assert!(report.gpus[0].busy <= hare_cluster::SimDuration::from_secs(25));
     }
 
     #[test]
+    fn replans_on_failure_and_recovery() {
+        let w = workload(10, 21);
+        let baseline = {
+            let mut policy = HareOnline::new();
+            Simulation::new(&w)
+                .with_noise(0.0)
+                .run(&mut policy)
+                .expect("simulation");
+            policy.replans()
+        };
+        // A transient failure forces two extra replans (one for the
+        // shrink, one for the rejoin) — the cluster-shape dirty flag.
+        let mut policy = HareOnline::new();
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_transient_gpu_failure(
+                hare_cluster::SimTime::from_secs(20),
+                0,
+                hare_cluster::SimDuration::from_secs(60),
+            )
+            .run(&mut policy)
+            .expect("simulation");
+        assert_eq!(report.completion.len(), 10);
+        assert_eq!(report.faults.gpu_recoveries, 1);
+        assert!(
+            policy.replans() > baseline,
+            "failure/recovery must trigger replanning ({} vs baseline {})",
+            policy.replans(),
+            baseline
+        );
+        // The recovered GPU is used again after rejoining.
+        assert!(!report.gpus[0].busy.is_zero());
+    }
+
+    #[test]
     fn deterministic() {
         let w = workload(10, 9);
-        let a = Simulation::new(&w).run(&mut HareOnline::new());
-        let b = Simulation::new(&w).run(&mut HareOnline::new());
+        let a = Simulation::new(&w)
+            .run(&mut HareOnline::new())
+            .expect("simulation");
+        let b = Simulation::new(&w)
+            .run(&mut HareOnline::new())
+            .expect("simulation");
         assert_eq!(a, b);
     }
 }

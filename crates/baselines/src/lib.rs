@@ -19,5 +19,5 @@ pub use gavel_fifo::GavelFifo;
 pub use hare_online::HareOnline;
 pub use sched_homo::SchedHomo;
 pub use srtf::Srtf;
-pub use suite::{run_all, run_scheme, RunOptions, Scheme};
+pub use suite::{build_simulation, run_all, run_scheme, run_scheme_faulted, RunOptions, Scheme};
 pub use timeslice::TimeSlice;

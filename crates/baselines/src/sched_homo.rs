@@ -8,14 +8,20 @@
 //! gang of `sync_scale` GPUs chosen *without regard to speed* (lowest index
 //! first) and keeps exactly those GPUs until it completes.
 
-use crate::common::{mean_remaining_secs, ready_by_job, release_completed, Reservations};
+use crate::common::{
+    continue_on_gang, mean_remaining_secs, oblivious_order, ready_by_job, release_completed,
+    repair_gangs, Reservations,
+};
 use hare_sim::{Policy, SimView};
+use std::collections::BTreeSet;
 
 /// Heterogeneity-oblivious weighted-SRPT gang scheduler with dedicated GPUs.
 #[derive(Debug, Default)]
 pub struct SchedHomo {
     placed: Vec<Option<Vec<usize>>>,
     reservations: Reservations,
+    /// GPUs currently down (fault injection).
+    down: BTreeSet<usize>,
 }
 
 impl SchedHomo {
@@ -40,6 +46,15 @@ impl Policy for SchedHomo {
         let p = &view.workload.problem;
         self.ensure_len(p.jobs.len());
         release_completed(view, &mut self.placed, &mut self.reservations);
+        // Repairs draw kind-blind, like every other Sched_Homo placement.
+        let mut repair_pool: Vec<usize> = view.idle_gpus.to_vec();
+        oblivious_order(&mut repair_pool);
+        repair_gangs(
+            repair_pool,
+            &self.down,
+            &mut self.placed,
+            &mut self.reservations,
+        );
         let ready = ready_by_job(view);
         let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
@@ -47,10 +62,7 @@ impl Policy for SchedHomo {
         // Placed jobs continue on their dedicated gang.
         for (&job, tasks) in &ready {
             if let Some(gang) = &self.placed[job] {
-                for (&task, &gpu) in tasks.iter().zip(gang.iter()) {
-                    out.push((task, gpu));
-                    idle.retain(|&g| g != gpu);
-                }
+                continue_on_gang(tasks, gang, &mut idle, &mut out);
             }
         }
 
@@ -68,10 +80,9 @@ impl Policy for SchedHomo {
         });
         self.reservations.filter_free(&mut idle);
         // Oblivious choice: a fixed kind-blind pseudo-random permutation.
-        // (Index order would accidentally correlate with GPU speed, since
-        // cluster builders list kinds in blocks; a scheduler that believes
-        // GPUs are homogeneous has no reason to prefer any index.)
-        idle.sort_by_key(|&g| (g as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // (A scheduler that believes GPUs are homogeneous has no reason to
+        // prefer any index.)
+        oblivious_order(&mut idle);
         for job in waiting {
             let need = p.jobs[job].sync_scale as usize;
             if idle.len() < need {
@@ -85,6 +96,14 @@ impl Policy for SchedHomo {
             self.placed[job] = Some(gang);
         }
         out
+    }
+
+    fn on_gpu_failure(&mut self, gpu: usize, _requeued: &[usize]) {
+        self.down.insert(gpu);
+    }
+
+    fn on_gpu_recovery(&mut self, gpu: usize) {
+        self.down.remove(&gpu);
     }
 }
 
@@ -103,7 +122,8 @@ mod tests {
         let w = SimWorkload::build(Cluster::testbed15(), trace, &db);
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut SchedHomo::new());
+            .run(&mut SchedHomo::new())
+            .expect("simulation");
         assert_eq!(report.completion.len(), 10);
         assert_eq!(report.scheme, "Sched_Homo");
     }
@@ -119,7 +139,8 @@ mod tests {
         let w = SimWorkload::build(Cluster::homogeneous(GpuKind::V100, 2), vec![a, b], &db);
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut SchedHomo::new());
+            .run(&mut SchedHomo::new())
+            .expect("simulation");
         let c0 = report.completion[0];
         let c1 = report.completion[1];
         // Strictly serialized: the later job completes ~2x the earlier one.
@@ -142,7 +163,8 @@ mod tests {
         let w = SimWorkload::build(cluster, vec![job], &db);
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut SchedHomo::new());
+            .run(&mut SchedHomo::new())
+            .expect("simulation");
         // The K80 (index 0) did all the work despite a V100 sitting idle.
         assert!(!report.gpus[0].busy.is_zero());
         assert!(report.gpus[1].busy.is_zero());

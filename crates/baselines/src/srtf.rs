@@ -9,14 +9,20 @@
 //! as customized for heterogeneity), classic SRTF is placement-oblivious,
 //! so the gang is drawn kind-blind.
 
-use crate::common::{best_remaining_secs, ready_by_job, release_completed, Reservations};
+use crate::common::{
+    best_remaining_secs, continue_on_gang, oblivious_order, ready_by_job, release_completed,
+    repair_gangs, Reservations,
+};
 use hare_sim::{Policy, SimView};
+use std::collections::BTreeSet;
 
 /// Shortest-remaining-time-first admission with dedicated gangs.
 #[derive(Debug, Default)]
 pub struct Srtf {
     placed: Vec<Option<Vec<usize>>>,
     reservations: Reservations,
+    /// GPUs currently down (fault injection).
+    down: BTreeSet<usize>,
 }
 
 impl Srtf {
@@ -41,6 +47,15 @@ impl Policy for Srtf {
         let p = &view.workload.problem;
         self.ensure_len(p.jobs.len());
         release_completed(view, &mut self.placed, &mut self.reservations);
+        // Repairs draw kind-blind, like every other SRTF placement.
+        let mut repair_pool: Vec<usize> = view.idle_gpus.to_vec();
+        oblivious_order(&mut repair_pool);
+        repair_gangs(
+            repair_pool,
+            &self.down,
+            &mut self.placed,
+            &mut self.reservations,
+        );
         let ready = ready_by_job(view);
         let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
@@ -48,10 +63,7 @@ impl Policy for Srtf {
         // Placed jobs continue on their dedicated gang.
         for (&job, tasks) in &ready {
             if let Some(gang) = &self.placed[job] {
-                for (&task, &gpu) in tasks.iter().zip(gang.iter()) {
-                    out.push((task, gpu));
-                    idle.retain(|&g| g != gpu);
-                }
+                continue_on_gang(tasks, gang, &mut idle, &mut out);
             }
         }
 
@@ -75,7 +87,7 @@ impl Policy for Srtf {
             .copied()
             .filter(|&g| self.reservations.is_free(g))
             .collect();
-        free.sort_by_key(|&g| (g as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        oblivious_order(&mut free);
         for job in waiting {
             let need = p.jobs[job].sync_scale as usize;
             if free.len() < need {
@@ -89,6 +101,14 @@ impl Policy for Srtf {
             self.placed[job] = Some(gang);
         }
         out
+    }
+
+    fn on_gpu_failure(&mut self, gpu: usize, _requeued: &[usize]) {
+        self.down.insert(gpu);
+    }
+
+    fn on_gpu_recovery(&mut self, gpu: usize) {
+        self.down.remove(&gpu);
     }
 }
 
@@ -120,7 +140,10 @@ mod tests {
             vec![blocker, long, short],
             &db,
         );
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut Srtf::new());
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut Srtf::new())
+            .expect("simulation");
         assert!(report.completion[2] < report.completion[1]);
         // The short job runs right after the blocker.
         let slack = report.completion[2].as_secs_f64() - report.completion[0].as_secs_f64();
@@ -144,7 +167,10 @@ mod tests {
             vec![long, short],
             &db,
         );
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut Srtf::new());
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut Srtf::new())
+            .expect("simulation");
         assert!(
             report.completion[1] > report.completion[0],
             "short job must not preempt the running long job"
@@ -162,7 +188,10 @@ mod tests {
         let gang2 =
             JobSpec::new(JobId(2), ModelKind::ResNet50, 4, 2).arriving_at(SimTime::from_secs(2));
         let w = direct_workload(vec![gang, single, gang2]);
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut Srtf::new());
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut Srtf::new())
+            .expect("simulation");
         assert_eq!(report.completion.len(), 3);
         // The single-GPU job slips in before the second gang (it is
         // shorter and fits as soon as any GPU frees).
@@ -175,7 +204,10 @@ mod tests {
         let mut trace = hare_workload::testbed_trace(9);
         trace.truncate(10);
         let w = SimWorkload::build(Cluster::testbed15(), trace, &db);
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut Srtf::new());
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut Srtf::new())
+            .expect("simulation");
         assert_eq!(report.completion.len(), 10);
     }
 }

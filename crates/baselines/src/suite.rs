@@ -5,7 +5,7 @@
 use crate::{GavelFifo, SchedAllox, SchedHomo, Srtf};
 use hare_core::HareScheduler;
 use hare_memory::SwitchPolicy;
-use hare_sim::{OfflineReplay, SimReport, SimWorkload, Simulation};
+use hare_sim::{FaultPlan, OfflineReplay, SimReport, SimWorkload, Simulation};
 use serde::{Deserialize, Serialize};
 
 /// The schemes compared throughout the evaluation.
@@ -76,8 +76,14 @@ impl Default for RunOptions {
     }
 }
 
-/// Run one scheme on a workload.
-pub fn run_scheme(scheme: Scheme, workload: &SimWorkload, opts: RunOptions) -> SimReport {
+/// Build the configured simulation for one scheme (shared by the healthy
+/// and fault-injected entry points, so the two can never drift apart).
+pub fn build_simulation<'a>(
+    scheme: Scheme,
+    workload: &'a SimWorkload,
+    opts: RunOptions,
+    plan: &FaultPlan,
+) -> Simulation<'a> {
     let mut sim = Simulation::new(workload)
         .with_switch_policy(scheme.switch_policy())
         .with_noise(opts.noise)
@@ -85,6 +91,27 @@ pub fn run_scheme(scheme: Scheme, workload: &SimWorkload, opts: RunOptions) -> S
     if opts.timelines {
         sim = sim.with_timelines();
     }
+    if !plan.is_empty() {
+        sim = sim.with_fault_plan(plan.clone());
+    }
+    sim
+}
+
+/// Run one scheme on a workload.
+pub fn run_scheme(scheme: Scheme, workload: &SimWorkload, opts: RunOptions) -> SimReport {
+    run_scheme_faulted(scheme, workload, opts, &FaultPlan::default())
+}
+
+/// Run one scheme on a workload under a fault plan (the fault-sweep
+/// experiment's entry point). Panics on a malformed plan — experiment
+/// plans are authored, not user input.
+pub fn run_scheme_faulted(
+    scheme: Scheme,
+    workload: &SimWorkload,
+    opts: RunOptions,
+    plan: &FaultPlan,
+) -> SimReport {
+    let sim = build_simulation(scheme, workload, opts, plan);
     match scheme {
         Scheme::Hare => {
             let out = HareScheduler::default().schedule(&workload.problem);
@@ -96,6 +123,7 @@ pub fn run_scheme(scheme: Scheme, workload: &SimWorkload, opts: RunOptions) -> S
         Scheme::SchedHomo => sim.run(&mut SchedHomo::new()),
         Scheme::SchedAllox => sim.run(&mut SchedAllox::new()),
     }
+    .expect("simulation failed")
 }
 
 /// Run all five schemes.
@@ -134,5 +162,50 @@ mod tests {
             hare < fifo,
             "Hare ({hare:.1}) should beat Gavel_FIFO ({fifo:.1})"
         );
+    }
+
+    #[test]
+    fn every_scheme_survives_transient_failure_and_stragglers() {
+        use hare_cluster::{SimDuration, SimTime};
+        use hare_sim::{GpuFault, StragglerWindow};
+        let db = ProfileDb::with_noise(1, 0.0);
+        let mut trace = testbed_trace(29);
+        trace.truncate(10);
+        let w = SimWorkload::build(Cluster::testbed15(), trace, &db);
+        let mut plan = FaultPlan::default();
+        plan.gpu_faults.push(GpuFault {
+            gpu: 0,
+            at: SimTime::from_secs(120),
+            recover_after: Some(SimDuration::from_secs(180)),
+        });
+        plan.gpu_faults.push(GpuFault {
+            gpu: 1,
+            at: SimTime::from_secs(400),
+            recover_after: None,
+        });
+        plan.stragglers.push(StragglerWindow {
+            gpu: 2,
+            from: SimTime::from_secs(60),
+            until: SimTime::from_secs(600),
+            slowdown: 2.0,
+        });
+        let opts = RunOptions {
+            noise: 0.0,
+            ..RunOptions::default()
+        };
+        for scheme in Scheme::ALL {
+            let healthy = run_scheme(scheme, &w, opts);
+            let faulted = run_scheme_faulted(scheme, &w, opts, &plan);
+            assert_eq!(faulted.completion.len(), 10, "{} incomplete", scheme.name());
+            assert!(
+                faulted.weighted_completion >= healthy.weighted_completion,
+                "{}: faults must not speed the workload up ({} < {})",
+                scheme.name(),
+                faulted.weighted_completion,
+                healthy.weighted_completion
+            );
+            assert_eq!(faulted.faults.gpu_failures, 2, "{}", scheme.name());
+            assert_eq!(faulted.faults.gpu_recoveries, 1, "{}", scheme.name());
+        }
     }
 }

@@ -96,7 +96,8 @@ mod tests {
         let w = two_jobs_one_gpu();
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut TimeSlice::new());
+            .run(&mut TimeSlice::new())
+            .expect("simulation");
         // Both jobs progress together: completions are close (within one
         // job's serial time of each other), unlike run-to-completion.
         let c0 = report.completion[0].as_secs_f64();
@@ -116,6 +117,7 @@ mod tests {
                 .with_noise(0.0)
                 .with_switch_policy(policy)
                 .run(&mut TimeSlice::new())
+                .expect("simulation")
         };
         let hare = run(SwitchPolicy::Hare);
         let default = run(SwitchPolicy::Default);
@@ -137,7 +139,8 @@ mod tests {
         let w = SimWorkload::build(Cluster::testbed15(), trace, &db);
         let report = Simulation::new(&w)
             .with_noise(0.0)
-            .run(&mut TimeSlice::new());
+            .run(&mut TimeSlice::new())
+            .expect("simulation");
         assert_eq!(report.completion.len(), 10);
     }
 }

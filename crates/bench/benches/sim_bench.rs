@@ -19,7 +19,7 @@ fn engine_replay(c: &mut Criterion) {
             |b, w| {
                 b.iter(|| {
                     let mut replay = OfflineReplay::new("Hare", w, &out.schedule);
-                    black_box(Simulation::new(w).run(&mut replay))
+                    black_box(Simulation::new(w).run(&mut replay).expect("simulation"))
                 });
             },
         );
@@ -37,6 +37,7 @@ fn event_queue(c: &mut Criterion) {
                     Event::TrainDone {
                         task: i as usize,
                         gpu: (i % 16) as usize,
+                        gen: 0,
                     },
                 );
             }

@@ -129,7 +129,8 @@ fn compare(opts: &Options) -> Result<(), String> {
     if opts.has("online") {
         let online = Simulation::new(&w)
             .with_seed(seed)
-            .run(&mut HareOnline::new());
+            .run(&mut HareOnline::new())
+            .expect("simulation");
         reports.insert(1, online);
     }
     if opts.has("timeslice") {
@@ -137,7 +138,8 @@ fn compare(opts: &Options) -> Result<(), String> {
         // switches constantly), like Hare.
         let ts = Simulation::new(&w)
             .with_seed(seed)
-            .run(&mut TimeSlice::new());
+            .run(&mut TimeSlice::new())
+            .expect("simulation");
         reports.push(ts);
     }
     let hare = reports[0].weighted_jct;

@@ -102,13 +102,37 @@ impl NetworkModel {
         worker_machines: &[MachineId],
         extra_flows: u32,
     ) -> Vec<SimDuration> {
+        self.round_sync_times_degraded(param_bytes, worker_machines, extra_flows, &[], 1.0)
+    }
+
+    /// Like [`NetworkModel::round_sync_times_contended`], under NIC
+    /// degradation (fault injection): `machine_factors[m]` is the fraction
+    /// of machine `m`'s NIC bandwidth still delivered (missing entries =
+    /// 1.0), and `backbone` scales every inter-machine link — the PS side
+    /// and all cross-machine flows. Factors must lie in (0, 1].
+    pub fn round_sync_times_degraded(
+        &self,
+        param_bytes: Bytes,
+        worker_machines: &[MachineId],
+        extra_flows: u32,
+        machine_factors: &[f64],
+        backbone: f64,
+    ) -> Vec<SimDuration> {
         match self.scheme {
-            SyncScheme::ParameterServer => {
-                self.ps_sync_times(param_bytes, worker_machines, extra_flows)
-            }
-            SyncScheme::RingAllReduce => {
-                self.allreduce_sync_times(param_bytes, worker_machines, extra_flows)
-            }
+            SyncScheme::ParameterServer => self.ps_sync_times(
+                param_bytes,
+                worker_machines,
+                extra_flows,
+                machine_factors,
+                backbone,
+            ),
+            SyncScheme::RingAllReduce => self.allreduce_sync_times(
+                param_bytes,
+                worker_machines,
+                extra_flows,
+                machine_factors,
+                backbone,
+            ),
         }
     }
 
@@ -120,6 +144,8 @@ impl NetworkModel {
         param_bytes: Bytes,
         worker_machines: &[MachineId],
         extra_flows: u32,
+        machine_factors: &[f64],
+        backbone: f64,
     ) -> Vec<SimDuration> {
         assert!(!worker_machines.is_empty(), "sync with zero workers");
         let payload = self.payload(param_bytes);
@@ -135,12 +161,14 @@ impl NetworkModel {
         }
 
         // PS-side aggregate: shards ride independent NICs, contended by
-        // the other jobs' flows as well.
-        let ps_side = self
-            .nic
-            .mul_f64(self.efficiency)
-            .mul_f64(self.ps_shards as f64)
-            .shared(total_workers + extra_flows);
+        // the other jobs' flows as well, throttled with the backbone.
+        let ps_side = degrade(
+            self.nic
+                .mul_f64(self.efficiency)
+                .mul_f64(self.ps_shards as f64),
+            backbone,
+        )
+        .shared(total_workers + extra_flows);
 
         worker_machines
             .iter()
@@ -150,9 +178,8 @@ impl NetworkModel {
                     .find(|(id, _)| id == m)
                     .map(|(_, c)| *c)
                     .expect("machine recorded above");
-                let worker_side = self
-                    .nic
-                    .mul_f64(self.efficiency)
+                let factor = nic_factor(machine_factors, *m) * backbone;
+                let worker_side = degrade(self.nic.mul_f64(self.efficiency), factor)
                     .shared(colocated + extra_flows);
                 let rate = worker_side.min(ps_side);
                 // Push + pull.
@@ -170,6 +197,8 @@ impl NetworkModel {
         param_bytes: Bytes,
         worker_machines: &[MachineId],
         extra_flows: u32,
+        machine_factors: &[f64],
+        backbone: f64,
     ) -> Vec<SimDuration> {
         assert!(!worker_machines.is_empty(), "sync with zero workers");
         let k = worker_machines.len();
@@ -210,8 +239,9 @@ impl NetworkModel {
                         .map(|(_, c)| *c)
                         .unwrap_or(1)
                 };
-                self.nic
-                    .mul_f64(self.efficiency)
+                let factor =
+                    nic_factor(machine_factors, a).min(nic_factor(machine_factors, b)) * backbone;
+                degrade(self.nic.mul_f64(self.efficiency), factor)
                     .shared(flows(a).max(flows(b)) + extra_flows)
             };
             slowest = slowest.min(link);
@@ -229,6 +259,22 @@ impl NetworkModel {
             .into_iter()
             .max()
             .expect("non-empty workers")
+    }
+}
+
+/// Remaining NIC fraction of `machine` (missing entries = healthy).
+fn nic_factor(machine_factors: &[f64], machine: MachineId) -> f64 {
+    machine_factors.get(machine.index()).copied().unwrap_or(1.0)
+}
+
+/// Scale a bandwidth by a degradation factor, bypassing the float
+/// round-trip entirely when healthy so fault-free runs stay bit-identical.
+fn degrade(bw: Bandwidth, factor: f64) -> Bandwidth {
+    debug_assert!(factor > 0.0 && factor <= 1.0, "degradation factor {factor}");
+    if factor == 1.0 {
+        bw
+    } else {
+        bw.mul_f64(factor)
     }
 }
 
@@ -361,5 +407,36 @@ mod tests {
             ar_t < ps_t,
             "all-reduce {ar_t} should beat 1-shard PS {ps_t}"
         );
+    }
+
+    #[test]
+    fn healthy_degraded_path_is_bit_identical() {
+        let net = NetworkModel::default();
+        let machines = [m(0), m(0), m(1)];
+        let plain = net.round_sync_times_contended(Bytes::mib(200), &machines, 2);
+        let degraded =
+            net.round_sync_times_degraded(Bytes::mib(200), &machines, 2, &[1.0, 1.0], 1.0);
+        assert_eq!(plain, degraded);
+    }
+
+    #[test]
+    fn nic_degradation_slows_only_that_machine() {
+        let net = NetworkModel::default();
+        let machines = [m(0), m(1)];
+        let healthy = net.round_sync_times_contended(Bytes::mib(200), &machines, 0);
+        let degraded = net.round_sync_times_degraded(Bytes::mib(200), &machines, 0, &[0.25], 1.0);
+        assert!(degraded[0] > healthy[0], "machine 0's worker must slow");
+        assert_eq!(degraded[1], healthy[1], "machine 1 is untouched");
+    }
+
+    #[test]
+    fn backbone_degradation_slows_everyone() {
+        let net = NetworkModel::default();
+        let machines = [m(0), m(1), m(2)];
+        let healthy = net.round_sync_times_contended(Bytes::mib(200), &machines, 0);
+        let degraded = net.round_sync_times_degraded(Bytes::mib(200), &machines, 0, &[], 0.5);
+        for (h, d) in healthy.iter().zip(&degraded) {
+            assert!(d > h, "backbone cut must slow every worker");
+        }
     }
 }

@@ -18,5 +18,5 @@ pub use algorithm::{
 pub use gantt::render as render_gantt;
 pub use problem::{GpuIdx, JobIdx, JobInfo, SchedProblem, TaskIdx, TaskInfo};
 pub use schedule::Schedule;
-pub use sync::{find_gang_slot, SyncMode};
+pub use sync::{find_gang_slot, Contribution, QuorumTracker, SyncMode};
 pub use theory::{approx_ratio_bound, certify, TheoryReport};

@@ -104,7 +104,10 @@ fn main() {
             }
         }
         let mut replay = OfflineReplay::new("Hare (strict sync)", &w, &schedule);
-        let strict = Simulation::new(&w).with_seed(seed).run(&mut replay);
+        let strict = Simulation::new(&w)
+            .with_seed(seed)
+            .run(&mut replay)
+            .expect("simulation");
         println!(
             "\nablation: Hare with strict scale-fixed sync: wJCT {:.0} ({:.2}x relaxed Hare)",
             strict.weighted_jct,

@@ -72,7 +72,10 @@ fn ablation(args: &[String]) {
     };
     let out = scheduler.schedule(&w.problem);
     let mut replay = OfflineReplay::new(format!("Hare[{order:?}/{assign:?}]"), &w, &out.schedule);
-    let report = Simulation::new(&w).with_seed(1).run(&mut replay);
+    let report = Simulation::new(&w)
+        .with_seed(1)
+        .run(&mut replay)
+        .expect("simulation");
     let mut t = Table::new(&["variant", "wJCT", "makespan (s)", "mean JCT (s)"]);
     t.row(vec![
         report.scheme.clone(),

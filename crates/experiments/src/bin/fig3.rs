@@ -15,7 +15,8 @@ fn run_single(model: ModelKind, kind: GpuKind) -> (f64, Vec<(f64, f64)>) {
     let report = Simulation::new(&w)
         .with_noise(0.0)
         .with_timelines()
-        .run(&mut replay);
+        .run(&mut replay)
+        .expect("simulation");
     let tl = &report.timelines.as_ref().unwrap()[0];
     // Time-averaged utilization sampled over 10 buckets of the makespan.
     let span = report.makespan.as_secs_f64();

@@ -35,7 +35,10 @@ fn epoch_time(kinds: &[(GpuKind, u32)]) -> f64 {
         .validate(&w.problem, hare_core::SyncMode::Strict)
         .is_ok());
     let mut replay = OfflineReplay::new("gang", &w, &schedule);
-    let report = Simulation::new(&w).with_noise(0.0).run(&mut replay);
+    let report = Simulation::new(&w)
+        .with_noise(0.0)
+        .run(&mut replay)
+        .expect("simulation");
     report.makespan.as_secs_f64() / ROUNDS as f64
 }
 

@@ -29,7 +29,10 @@ fn main() {
             .unwrap();
     }
     let mut replay = OfflineReplay::new("gang", &w, &schedule);
-    let report = Simulation::new(&w).with_noise(0.0).run(&mut replay);
+    let report = Simulation::new(&w)
+        .with_noise(0.0)
+        .run(&mut replay)
+        .expect("simulation");
 
     let span = report.makespan.as_secs_f64();
     let util: Vec<f64> = report

@@ -37,7 +37,8 @@ fn run(models: &[ModelKind], policy: SwitchPolicy) -> f64 {
     let report = Simulation::new(&w)
         .with_noise(0.0)
         .with_switch_policy(policy)
-        .run(&mut replay);
+        .run(&mut replay)
+        .expect("simulation");
     report.gpus[0].effective_busy.as_secs_f64() / report.makespan.as_secs_f64()
 }
 

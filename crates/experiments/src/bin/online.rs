@@ -23,7 +23,10 @@ fn main() {
         },
     );
     let mut online_policy = HareOnline::new();
-    let online = Simulation::new(&w).with_seed(seed).run(&mut online_policy);
+    let online = Simulation::new(&w)
+        .with_seed(seed)
+        .run(&mut online_policy)
+        .expect("simulation");
     reports.insert(1, online);
 
     let hare = reports[0].weighted_jct;

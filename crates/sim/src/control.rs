@@ -61,6 +61,11 @@ pub struct ControlLog {
     pub gradients: Vec<(usize, usize)>,
     /// Executors that stopped.
     pub stopped: Vec<usize>,
+    /// Executors that were down at broadcast time (their sequences were
+    /// reassigned instead of shipped).
+    pub lost: Vec<usize>,
+    /// `(task, survivor)` reassignments of orphaned work.
+    pub reassigned: Vec<(usize, usize)>,
 }
 
 /// Broadcast a schedule's per-GPU sequences to one executor thread per GPU
@@ -72,12 +77,58 @@ pub struct ControlLog {
 /// real mpsc channels across real threads; determinism of the
 /// *aggregate* log is restored by sorting notification streams per GPU.
 pub fn broadcast_schedule(schedule: &Schedule, problem: &hare_core::SchedProblem) -> ControlLog {
-    let sequences = schedule.gpu_sequences(problem);
+    broadcast_schedule_with_failures(schedule, problem, &[])
+}
+
+/// [`broadcast_schedule`] against a cluster where the executors in
+/// `failed` are down: their sequences are not shipped — the scheduler
+/// reassigns each orphaned task to the least-loaded surviving executor
+/// (appended in planned order, so every orphan still executes exactly
+/// once) and records the rerouting in [`ControlLog::reassigned`]. Panics
+/// if every executor is down (there is nowhere to run the work).
+pub fn broadcast_schedule_with_failures(
+    schedule: &Schedule,
+    problem: &hare_core::SchedProblem,
+    failed: &[usize],
+) -> ControlLog {
+    let mut sequences = schedule.gpu_sequences(problem);
+    let mut lost: Vec<usize> = failed
+        .iter()
+        .copied()
+        .filter(|&g| g < sequences.len())
+        .collect();
+    lost.sort_unstable();
+    lost.dedup();
+    assert!(
+        lost.len() < sequences.len(),
+        "no surviving executor to reassign work to"
+    );
+    let mut reassigned = Vec::new();
+    for &g in &lost {
+        for task in std::mem::take(&mut sequences[g]) {
+            let survivor = (0..sequences.len())
+                .filter(|g2| !lost.contains(g2))
+                .min_by_key(|&g2| (sequences[g2].len(), g2))
+                .expect("a survivor exists");
+            sequences[survivor].push(task);
+            reassigned.push((task, survivor));
+        }
+    }
+    let mut log = run_broadcast(sequences, &lost);
+    log.lost = lost;
+    log.reassigned = reassigned;
+    log
+}
+
+fn run_broadcast(sequences: Vec<Vec<usize>>, lost: &[usize]) -> ControlLog {
     let n = sequences.len();
     let (to_sched, from_exec): (Sender<ExecutorMsg>, Receiver<ExecutorMsg>) = channel();
 
     let mut handles = Vec::with_capacity(n);
     for (gpu, tasks) in sequences.into_iter().enumerate() {
+        if lost.contains(&gpu) {
+            continue; // down: nothing to ship, no executor thread
+        }
         let tx = to_sched.clone();
         handles.push(thread::spawn(move || {
             // Executor side: receive (here: own) the sequence, ack, run.
@@ -145,5 +196,32 @@ mod tests {
         let a = broadcast_schedule(&out.schedule, &p);
         let b = broadcast_schedule(&out.schedule, &p);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn orphaned_tasks_execute_exactly_once_on_survivors() {
+        let p = SchedProblem::fig1();
+        let out = hare_schedule(&p);
+        let log = broadcast_schedule_with_failures(&out.schedule, &p, &[1]);
+        assert_eq!(log.lost, vec![1]);
+        // The dead executor never speaks.
+        assert!(log.acks.iter().all(|&(g, _)| g != 1));
+        assert!(log.gradients.iter().all(|&(g, _)| g != 1));
+        assert_eq!(log.stopped, vec![0, 2]);
+        // Its whole sequence was rerouted to survivors...
+        let orphans = out.schedule.gpu_sequences(&p)[1].clone();
+        let mut rerouted: Vec<usize> = log.reassigned.iter().map(|&(t, _)| t).collect();
+        rerouted.sort_unstable();
+        let mut expected = orphans.clone();
+        expected.sort_unstable();
+        assert_eq!(rerouted, expected);
+        assert!(log.reassigned.iter().all(|&(_, g)| g != 1));
+        // ...and every task of the problem still executed exactly once.
+        let mut tasks: Vec<usize> = log.gradients.iter().map(|&(_, t)| t).collect();
+        tasks.sort_unstable();
+        assert_eq!(tasks, (0..p.n_tasks()).collect::<Vec<_>>());
+        // Deterministic under failures too.
+        let again = broadcast_schedule_with_failures(&out.schedule, &p, &[1]);
+        assert_eq!(log, again);
     }
 }

@@ -9,14 +9,24 @@
 //! * gradient-synchronization barriers from the per-job parameter servers
 //!   over the contended network model.
 //!
-//! Runs are bit-for-bit deterministic in (workload, policy, seed); the
-//! paper's testbed-vs-simulator comparison (Fig. 12) is reproduced by
+//! Fault injection rides on a [`FaultPlan`]: GPU outages (transient ones
+//! rejoin through [`crate::event::Event::GpuRecovery`]), straggler
+//! slowdown windows (piecewise-integrated into wall-clock), NIC
+//! degradation (fed into the bandwidth-sharing sync model), and
+//! checkpoint-store faults (stalling first-touch fetches). Work lost to a
+//! failure is re-executed — the unacknowledged round is not silently free
+//! — and late/duplicate gradients are dropped by the relaxed scale-fixed
+//! quorum. All of it is tallied in [`crate::metrics::FaultMetrics`].
+//!
+//! Runs are bit-for-bit deterministic in (workload, policy, seed, plan);
+//! the paper's testbed-vs-simulator comparison (Fig. 12) is reproduced by
 //! comparing a full-fidelity run against [`planned_report`] — the
 //! scheduler's own noise-free expectation.
 
 use crate::build::SimWorkload;
 use crate::event::{Event, EventQueue};
-use crate::metrics::{GpuReport, SimReport, UtilSpan};
+use crate::faults::{self, FaultPlan, GpuFault, SimError};
+use crate::metrics::{FaultMetrics, GpuReport, SimReport, UtilSpan};
 use crate::policy::{Policy, SimView};
 use crate::ps::ParameterServer;
 use crate::storage::CheckpointStore;
@@ -36,7 +46,7 @@ pub struct Simulation<'a> {
     noise_frac: f64,
     seed: u64,
     record_timelines: bool,
-    failures: Vec<(SimTime, usize)>,
+    faults: FaultPlan,
     storage: CheckpointStore,
 }
 
@@ -49,7 +59,7 @@ impl<'a> Simulation<'a> {
             noise_frac: 0.02,
             seed: 0,
             record_timelines: false,
-            failures: Vec::new(),
+            faults: FaultPlan::default(),
             storage: CheckpointStore::default(),
         }
     }
@@ -87,18 +97,59 @@ impl<'a> Simulation<'a> {
         self
     }
 
-    /// Inject a permanent GPU failure at `at` (failure injection): the GPU
-    /// leaves service forever; a task running there is re-executed
-    /// elsewhere (its gradient had not reached the PS). The policy is
-    /// notified through [`crate::policy::Policy::on_gpu_failure`].
+    /// Inject a permanent GPU failure at `at`: the GPU leaves service
+    /// forever; a task running there is re-executed elsewhere (its
+    /// gradient had not reached the PS). The policy is notified through
+    /// [`crate::policy::Policy::on_gpu_failure`]. Malformed injections
+    /// (out-of-range GPU, overlapping outages) surface as
+    /// [`SimError::InvalidFaultPlan`] from [`Simulation::run`].
     pub fn with_gpu_failure(mut self, at: SimTime, gpu: usize) -> Self {
-        assert!(gpu < self.workload.cluster.gpu_count());
-        self.failures.push((at, gpu));
+        self.faults.gpu_faults.push(GpuFault {
+            gpu,
+            at,
+            recover_after: None,
+        });
         self
     }
 
-    /// Run a policy to completion and report.
-    pub fn run(&self, policy: &mut dyn Policy) -> SimReport {
+    /// Inject a transient GPU failure at `at`: the GPU is down for
+    /// `recover_after`, then rejoins with cold caches; the policy hears
+    /// about it via [`crate::policy::Policy::on_gpu_recovery`].
+    pub fn with_transient_gpu_failure(
+        mut self,
+        at: SimTime,
+        gpu: usize,
+        recover_after: SimDuration,
+    ) -> Self {
+        self.faults.gpu_faults.push(GpuFault {
+            gpu,
+            at,
+            recover_after: Some(recover_after),
+        });
+        self
+    }
+
+    /// Merge a whole [`FaultPlan`] into the simulation (event lists are
+    /// appended to anything injected so far; a speculation config in
+    /// `plan` wins over a previously set one). The plan is validated at
+    /// [`Simulation::run`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults.gpu_faults.extend(plan.gpu_faults);
+        self.faults.stragglers.extend(plan.stragglers);
+        self.faults.network_faults.extend(plan.network_faults);
+        self.faults.storage_faults.extend(plan.storage_faults);
+        self.faults.speculation = plan.speculation.or(self.faults.speculation);
+        self
+    }
+
+    /// Run a policy to completion and report. Fails up front on a
+    /// malformed fault plan, and during the run if the policy breaks the
+    /// dispatch contract or stops dispatching with jobs outstanding.
+    pub fn run(&self, policy: &mut dyn Policy) -> Result<SimReport, SimError> {
+        self.faults.validate(
+            self.workload.cluster.gpu_count(),
+            self.workload.cluster.machine_count(),
+        )?;
         Engine::new(self, policy).run()
     }
 }
@@ -143,8 +194,30 @@ struct Engine<'a, 'b> {
     /// Jobs with a synchronization barrier currently in flight (for
     /// cross-job network contention).
     active_syncs: u32,
-    /// Permanently failed GPUs.
+    /// GPUs currently out of service.
     failed: Vec<bool>,
+    /// Per-GPU occupancy generation, bumped on every failure: events
+    /// scheduled under an older generation are stale and ignored, which
+    /// keeps transient recovery sound (a recovered GPU must not be
+    /// confused by echoes of its pre-failure work).
+    gen: Vec<u32>,
+    /// When each currently-failed GPU went down (for recovery latency).
+    fail_time: Vec<Option<SimTime>>,
+    /// Straggler windows per GPU, `(from, until, slowdown)` sorted.
+    slow: Vec<Vec<(SimTime, SimTime, f64)>>,
+    /// Live executions per task (2 while a speculation twin runs).
+    running_copies: Vec<u32>,
+    /// Tasks already granted a speculative copy (at most one per task).
+    speculated: Vec<bool>,
+    /// Tasks whose first execution was killed by a failure — their next
+    /// completion is re-executed work, not first-time work.
+    reexec: Vec<bool>,
+    /// Jobs whose in-flight round absorbed a re-executed or speculative
+    /// gradient (consumed into `FaultMetrics::degraded_rounds` when the
+    /// round's barrier completes).
+    round_tainted: Vec<bool>,
+    /// Fault accounting accumulated during the run.
+    fm: FaultMetrics,
     /// Checkpoint store state.
     store: CheckpointStore,
     /// GPUs whose in-flight switch includes a storage fetch.
@@ -167,8 +240,11 @@ impl<'a, 'b> Engine<'a, 'b> {
         for (job, info) in w.problem.jobs.iter().enumerate() {
             queue.push(info.arrival, Event::JobArrival { job });
         }
-        for &(at, gpu) in &cfg.failures {
-            queue.push(at, Event::GpuFailure { gpu });
+        for f in &cfg.faults.gpu_faults {
+            queue.push(f.at, Event::GpuFailure { gpu: f.gpu });
+            if let Some(down) = f.recover_after {
+                queue.push(f.at + down, Event::GpuRecovery { gpu: f.gpu });
+            }
         }
         let ps = w
             .problem
@@ -184,6 +260,8 @@ impl<'a, 'b> Engine<'a, 'b> {
                 )
             })
             .collect();
+        let mut store = cfg.storage.clone();
+        store.set_faults(&cfg.faults.storage_faults);
         Engine {
             cfg,
             policy,
@@ -206,7 +284,17 @@ impl<'a, 'b> Engine<'a, 'b> {
             jobs_done: 0,
             active_syncs: 0,
             failed: vec![false; n_gpus],
-            store: cfg.storage.clone(),
+            gen: vec![0; n_gpus],
+            fail_time: vec![None; n_gpus],
+            slow: (0..n_gpus)
+                .map(|g| cfg.faults.straggler_windows(g))
+                .collect(),
+            running_copies: vec![0; w.problem.n_tasks()],
+            speculated: vec![false; w.problem.n_tasks()],
+            reexec: vec![false; w.problem.n_tasks()],
+            round_tainted: vec![false; n_jobs],
+            fm: FaultMetrics::default(),
+            store,
             fetching: vec![false; n_gpus],
             active_fetches: 0,
             current: vec![None; n_gpus],
@@ -216,26 +304,34 @@ impl<'a, 'b> Engine<'a, 'b> {
         }
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> Result<SimReport, SimError> {
         let n_jobs = self.cfg.workload.problem.jobs.len();
+        let speculating = self.cfg.faults.speculation.is_some();
         while self.jobs_done < n_jobs {
             let Some((t, event)) = self.queue.pop() else {
-                panic!(
-                    "simulation deadlock at {}: {}/{} jobs done, {} ready tasks, {} idle GPUs — \
-                     the policy stopped dispatching",
-                    self.now,
-                    self.jobs_done,
-                    n_jobs,
-                    self.ready.len(),
-                    self.idle.len()
-                );
+                return Err(SimError::Deadlock {
+                    at: self.now,
+                    jobs_done: self.jobs_done,
+                    jobs: n_jobs,
+                    ready: self.ready.len(),
+                    idle: self.idle.len(),
+                });
             };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.handle(event);
-            self.dispatch();
+            self.dispatch()?;
+            // A gradient landing is the moment a round can drop to "one
+            // missing" — the trigger for speculative re-execution. Only
+            // GPUs the policy left idle are used.
+            if speculating {
+                if let Event::TrainDone { task, .. } = event {
+                    let job = self.cfg.workload.problem.tasks[task].job;
+                    self.maybe_speculate(job);
+                }
+            }
         }
-        self.report()
+        Ok(self.report())
     }
 
     fn handle(&mut self, event: Event) {
@@ -249,17 +345,25 @@ impl<'a, 'b> Engine<'a, 'b> {
                     self.ready.insert(i);
                 }
             }
-            Event::SwitchDone { task, gpu } => {
+            Event::SwitchDone { task, gpu, gen } => {
+                if self.failed[gpu] || gen != self.gen[gpu] {
+                    return; // stale: the GPU failed after scheduling this
+                }
                 if self.fetching[gpu] {
                     self.fetching[gpu] = false;
                     self.active_fetches -= 1;
                 }
-                if self.failed[gpu] {
-                    return; // stale event of a failed GPU; task was requeued
-                }
-                // Training begins; realized duration = expected × noise.
+                // Training begins; realized duration = expected × noise,
+                // stretched through any straggler windows it overlaps.
                 let expected = w.problem.train(task, gpu);
-                let realized = self.realized(task, expected);
+                let nominal = self.realized(task, expected);
+                let realized = if self.slow[gpu].is_empty() {
+                    nominal
+                } else {
+                    faults::finish_over_windows(&self.slow[gpu], self.now, nominal)
+                        .saturating_since(self.now)
+                };
+                self.fm.straggler_delay += realized.saturating_sub(nominal);
                 self.gpus[gpu].busy += realized;
                 let model = w.task_model(task);
                 let kind = w.cluster.gpus()[gpu].kind;
@@ -283,25 +387,62 @@ impl<'a, 'b> Engine<'a, 'b> {
                     cur.effective = realized.mul_f64(model.utilization(kind));
                 }
                 self.queue
-                    .push(self.now + realized, Event::TrainDone { task, gpu });
+                    .push(self.now + realized, Event::TrainDone { task, gpu, gen });
             }
-            Event::TrainDone { task, gpu } => {
-                if self.failed[gpu] {
-                    return; // stale event of a failed GPU; task was requeued
+            Event::TrainDone { task, gpu, gen } => {
+                if self.failed[gpu] || gen != self.gen[gpu] {
+                    return; // stale: the GPU failed after scheduling this
                 }
-                self.current[gpu] = None;
-                self.task_state[task] = TaskState::Done;
+                let Some(cur) = self.current[gpu].take() else {
+                    return;
+                };
+                debug_assert_eq!(cur.task, task);
                 self.prev_task[gpu] = Some(task);
                 self.idle.insert(gpu);
+                self.running_copies[task] -= 1;
                 let job = w.problem.tasks[task].job;
+                if self.task_state[task] == TaskState::Done {
+                    // A speculation twin already delivered this gradient:
+                    // this copy's entire run is waste, and its gradient is
+                    // dropped — the round cannot double-count.
+                    self.fm.lost_work += cur.busy;
+                    self.fm.dropped_gradients += 1;
+                    return;
+                }
+                self.task_state[task] = TaskState::Done;
+                if self.reexec[task] {
+                    // This completion re-executed work a failure destroyed.
+                    self.reexec[task] = false;
+                    self.fm.reexec_work += cur.busy;
+                    self.fm.reexecuted_tasks += 1;
+                    self.round_tainted[job] = true;
+                }
+                if self.speculated[task] {
+                    self.round_tainted[job] = true;
+                }
                 let machine = w.cluster.gpus()[gpu].machine;
-                if let Some(outcome) = self.ps[job].push_gradient_contended(
-                    self.now,
-                    machine,
-                    w.cluster.network(),
-                    self.active_syncs,
-                ) {
+                let outcome = match self.net_factors() {
+                    None => self.ps[job].push_gradient_contended(
+                        self.now,
+                        machine,
+                        w.cluster.network(),
+                        self.active_syncs,
+                    ),
+                    Some((factors, backbone)) => self.ps[job].push_gradient_degraded(
+                        self.now,
+                        machine,
+                        w.cluster.network(),
+                        self.active_syncs,
+                        &factors,
+                        backbone,
+                    ),
+                };
+                if let Some(outcome) = outcome {
                     self.active_syncs += 1;
+                    if self.round_tainted[job] {
+                        self.round_tainted[job] = false;
+                        self.fm.degraded_rounds += 1;
+                    }
                     self.queue.push(
                         outcome.done_at,
                         Event::SyncDone {
@@ -313,32 +454,59 @@ impl<'a, 'b> Engine<'a, 'b> {
             }
             Event::GpuFailure { gpu } => {
                 if self.failed[gpu] {
-                    return;
+                    return; // plan validation forbids this; stay safe
                 }
                 self.failed[gpu] = true;
+                self.gen[gpu] += 1;
+                self.fail_time[gpu] = Some(self.now);
+                self.fm.gpu_failures += 1;
                 self.idle.remove(&gpu);
                 if self.fetching[gpu] {
                     self.fetching[gpu] = false;
                     self.active_fetches -= 1;
                 }
                 // A running task is lost: roll back the un-run part of its
-                // accounting and return it to the ready set (its gradient
-                // never reached the PS, so the PS state is untouched).
+                // accounting (the elapsed part stays — that compute really
+                // burned, and is what re-execution pays for again) and
+                // return it to the ready set unless a speculation twin is
+                // still alive (its gradient never reached the PS, so the
+                // PS state is untouched).
                 let mut requeued = Vec::new();
                 if let Some(cur) = self.current[gpu].take() {
                     if cur.train_end != SimTime::MAX {
-                        // Training had started; remove the portion that
-                        // will never execute.
-                        let unrun = cur.train_end.saturating_since(self.now);
+                        let unrun = cur.train_end.saturating_since(self.now).min(cur.busy);
+                        let elapsed = cur.busy.saturating_sub(unrun);
                         let frac = unrun.ratio(cur.busy).min(1.0);
-                        self.gpus[gpu].busy -= cur.busy.mul_f64(frac);
+                        self.gpus[gpu].busy -= unrun;
                         self.gpus[gpu].effective_busy -= cur.effective.mul_f64(frac);
+                        self.fm.lost_work += elapsed;
                     }
-                    self.task_state[cur.task] = TaskState::Ready;
-                    self.ready.insert(cur.task);
-                    requeued.push(cur.task);
+                    self.running_copies[cur.task] -= 1;
+                    if self.task_state[cur.task] != TaskState::Done
+                        && self.running_copies[cur.task] == 0
+                    {
+                        self.task_state[cur.task] = TaskState::Ready;
+                        self.ready.insert(cur.task);
+                        self.reexec[cur.task] = true;
+                        requeued.push(cur.task);
+                    }
                 }
                 self.policy.on_gpu_failure(gpu, &requeued);
+            }
+            Event::GpuRecovery { gpu } => {
+                if !self.failed[gpu] {
+                    return;
+                }
+                self.failed[gpu] = false;
+                self.idle.insert(gpu);
+                // The executor restarted: no resident model, cold cache.
+                self.prev_task[gpu] = None;
+                self.caches[gpu] = SpeculativeCache::new(w.cluster.gpus()[gpu].kind);
+                self.fm.gpu_recoveries += 1;
+                if let Some(down_at) = self.fail_time[gpu].take() {
+                    self.fm.recovery_latency += self.now.saturating_since(down_at);
+                }
+                self.policy.on_gpu_recovery(gpu);
             }
             Event::SyncDone { job, round } => {
                 debug_assert_eq!(self.synced_rounds[job], round);
@@ -364,10 +532,77 @@ impl<'a, 'b> Engine<'a, 'b> {
         }
     }
 
-    fn dispatch(&mut self) {
+    /// NIC degradation factors active right now: per-machine fractions and
+    /// the backbone fraction, or `None` when the network is healthy (the
+    /// fast path — fault-free runs never touch the degraded code).
+    fn net_factors(&self) -> Option<(Vec<f64>, f64)> {
+        let nf = &self.cfg.faults.network_faults;
+        if nf.is_empty() {
+            return None;
+        }
+        let mut machines = vec![1.0f64; self.cfg.workload.cluster.machine_count()];
+        let mut backbone = 1.0f64;
+        let mut any = false;
+        for f in nf {
+            if f.from <= self.now && self.now < f.until {
+                any = true;
+                match f.machine {
+                    Some(m) => machines[m] = machines[m].min(f.factor),
+                    None => backbone = backbone.min(f.factor),
+                }
+            }
+        }
+        any.then_some((machines, backbone))
+    }
+
+    /// Speculative re-execution (fault-tolerance through the relaxed
+    /// quorum): when `job`'s round is waiting on exactly one gradient and
+    /// the GPU computing it is straggling past the configured threshold,
+    /// clone the task onto the fastest idle GPU. First copy to finish
+    /// wins; the loser's gradient is dropped.
+    fn maybe_speculate(&mut self, job: usize) {
+        let Some(spec) = self.cfg.faults.speculation else {
+            return;
+        };
+        if self.idle.is_empty() || self.ps[job].missing() != 1 {
+            return;
+        }
+        let w = self.cfg.workload;
+        let round = self.ps[job].current_round();
+        for task in w.problem.round_tasks(job, round) {
+            if self.task_state[task] != TaskState::Running
+                || self.speculated[task]
+                || self.running_copies[task] != 1
+            {
+                continue;
+            }
+            let running_on = (0..self.failed.len())
+                .find(|&g| !self.failed[g] && self.current[g].is_some_and(|c| c.task == task));
+            let Some(gpu) = running_on else {
+                continue;
+            };
+            if faults::slowdown_at(&self.slow[gpu], self.now) < spec.threshold {
+                continue;
+            }
+            let target = self
+                .idle
+                .iter()
+                .copied()
+                .min_by_key(|&g| (w.problem.train(task, g), g));
+            if let Some(target) = target {
+                self.idle.remove(&target);
+                self.speculated[task] = true;
+                self.fm.speculated_tasks += 1;
+                self.start_task(task, target);
+            }
+            return;
+        }
+    }
+
+    fn dispatch(&mut self) -> Result<(), SimError> {
         loop {
             if self.ready.is_empty() || self.idle.is_empty() {
-                return;
+                return Ok(());
             }
             let ready: Vec<usize> = self.ready.iter().copied().collect();
             let idle: Vec<usize> = self.idle.iter().copied().collect();
@@ -381,17 +616,19 @@ impl<'a, 'b> Engine<'a, 'b> {
             };
             let assignments = self.policy.dispatch(&view);
             if assignments.is_empty() {
-                return;
+                return Ok(());
             }
             for (task, gpu) in assignments {
-                assert!(
-                    self.ready.remove(&task),
-                    "policy dispatched non-ready task {task}"
-                );
-                assert!(
-                    self.idle.remove(&gpu),
-                    "policy dispatched to non-idle GPU {gpu}"
-                );
+                if !self.ready.remove(&task) {
+                    return Err(SimError::PolicyViolation(format!(
+                        "policy dispatched non-ready task {task}"
+                    )));
+                }
+                if !self.idle.remove(&gpu) {
+                    return Err(SimError::PolicyViolation(format!(
+                        "policy dispatched to non-idle GPU {gpu}"
+                    )));
+                }
                 self.start_task(task, gpu);
             }
         }
@@ -400,6 +637,8 @@ impl<'a, 'b> Engine<'a, 'b> {
     fn start_task(&mut self, task: usize, gpu: usize) {
         let w = self.cfg.workload;
         self.task_state[task] = TaskState::Running;
+        self.running_copies[task] += 1;
+        let gen = self.gen[gpu];
         let job = w.problem.tasks[task].job;
         let model = w.task_model(task);
         let kind = w.cluster.gpus()[gpu].kind;
@@ -429,7 +668,7 @@ impl<'a, 'b> Engine<'a, 'b> {
             self.gpus[gpu].switching += sw;
             self.occupied_since[gpu] = self.now;
             self.queue
-                .push(self.now + sw, Event::SwitchDone { task, gpu });
+                .push(self.now + sw, Event::SwitchDone { task, gpu, gen });
             return;
         }
 
@@ -456,7 +695,8 @@ impl<'a, 'b> Engine<'a, 'b> {
         // First touch of this job on the machine pulls its checkpoint from
         // the shared store (Fig. 9's HDFS); later touches are machine-local.
         let machine = w.cluster.gpus()[gpu].machine;
-        let fetch = self.store.access(
+        let fetch = self.store.access_at(
+            self.now,
             job,
             machine,
             w.specs[job].model.spec().param_bytes,
@@ -474,7 +714,7 @@ impl<'a, 'b> Engine<'a, 'b> {
         }
         self.occupied_since[gpu] = self.now;
         self.queue
-            .push(self.now + sw, Event::SwitchDone { task, gpu });
+            .push(self.now + sw, Event::SwitchDone { task, gpu, gen });
     }
 
     /// Deterministic per-task noisy duration.
@@ -515,6 +755,12 @@ impl<'a, 'b> Engine<'a, 'b> {
             .zip(&weights)
             .map(|(d, w)| d.as_secs_f64() * w)
             .sum();
+        let mut faults = self.fm;
+        for ps in &self.ps {
+            faults.gradients_accepted += ps.accepted();
+            faults.dropped_gradients += ps.dropped();
+        }
+        faults.storage_stall = self.store.stalled();
         SimReport {
             scheme: self.policy.name(),
             makespan: completion.iter().copied().max().expect("jobs"),
@@ -526,6 +772,7 @@ impl<'a, 'b> Engine<'a, 'b> {
             gpus: self.gpus,
             storage_fetched: self.store.fetched(),
             storage_local_hits: self.store.local_hits(),
+            faults,
             timelines: self.timelines,
         }
     }
@@ -564,6 +811,7 @@ pub fn planned_report(workload: &SimWorkload, schedule: &Schedule, name: &str) -
             .collect(),
         storage_fetched: hare_cluster::Bytes::ZERO,
         storage_local_hits: 0,
+        faults: FaultMetrics::default(),
         timelines: None,
     }
 }
@@ -571,6 +819,7 @@ pub fn planned_report(workload: &SimWorkload, schedule: &Schedule, name: &str) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::StragglerWindow;
     use crate::policy::OfflineReplay;
     use hare_cluster::Cluster;
     use hare_workload::{testbed_trace, ProfileDb};
@@ -589,6 +838,17 @@ mod tests {
             .with_noise(noise)
             .with_seed(seed)
             .run(&mut replay)
+            .expect("simulation")
+    }
+
+    /// Σ rounds × sync_scale — the exact number of gradients every
+    /// completed run must accept, faults or not.
+    fn expected_gradients(w: &SimWorkload) -> u64 {
+        w.problem
+            .jobs
+            .iter()
+            .map(|j| j.rounds as u64 * j.sync_scale as u64)
+            .sum()
     }
 
     #[test]
@@ -601,6 +861,13 @@ mod tests {
         for (c, job) in report.completion.iter().zip(&w.problem.jobs) {
             assert!(*c >= job.arrival);
         }
+        assert_eq!(
+            report.faults,
+            FaultMetrics {
+                gradients_accepted: expected_gradients(&w),
+                ..FaultMetrics::default()
+            }
+        );
     }
 
     #[test]
@@ -622,7 +889,10 @@ mod tests {
         let out = hare_core::hare_schedule(&w.problem);
         let planned = planned_report(&w, &out.schedule, "plan");
         let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
-        let simulated = Simulation::new(&w).with_noise(0.0).run(&mut replay);
+        let simulated = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut replay)
+            .expect("simulation");
         let gap = (simulated.weighted_completion - planned.weighted_completion).abs()
             / planned.weighted_completion;
         assert!(gap < 0.05, "plan-vs-sim gap {gap:.3} exceeds 5%");
@@ -640,6 +910,7 @@ mod tests {
                 .with_noise(0.0)
                 .with_switch_policy(policy)
                 .run(&mut replay)
+                .expect("simulation")
         };
         let hare = run(SwitchPolicy::Hare);
         let pipe = run(SwitchPolicy::PipeSwitch);
@@ -662,7 +933,8 @@ mod tests {
         let report = Simulation::new(&w)
             .with_noise(0.0)
             .with_timelines()
-            .run(&mut replay);
+            .run(&mut replay)
+            .expect("simulation");
         let tl = report.timelines.as_ref().expect("timelines recorded");
         for (g, spans) in tl.iter().enumerate() {
             let train_time: SimDuration = spans
@@ -687,7 +959,10 @@ mod tests {
         let w = workload(6);
         let out = hare_core::hare_schedule(&w.problem);
         let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
-        let report = Simulation::new(&w).with_noise(0.0).run(&mut replay);
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut replay)
+            .expect("simulation");
         let total_busy: SimDuration = report.gpus.iter().map(|g| g.busy).sum();
         // The replayed placement can differ from the plan, but total work
         // across GPUs of the same kind is conserved... compute directly
@@ -725,7 +1000,10 @@ mod tests {
         let out = hare_core::hare_schedule(&w.problem);
         let baseline = {
             let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
-            Simulation::new(&w).with_noise(0.0).run(&mut replay)
+            Simulation::new(&w)
+                .with_noise(0.0)
+                .run(&mut replay)
+                .expect("simulation")
         };
         // Kill the busiest GPU shortly into the run.
         let victim = out
@@ -740,13 +1018,18 @@ mod tests {
         let failed = Simulation::new(&w)
             .with_noise(0.0)
             .with_gpu_failure(SimTime::from_secs(30), victim)
-            .run(&mut replay);
+            .run(&mut replay)
+            .expect("simulation");
         // All jobs still complete; losing a GPU cannot help.
         assert_eq!(failed.completion.len(), 6);
         assert!(failed.weighted_completion >= baseline.weighted_completion);
         // The dead GPU did no work after the failure beyond what it had
         // completed: its busy time is at most the baseline's.
         assert!(failed.gpus[victim].busy <= baseline.gpus[victim].busy);
+        assert_eq!(failed.faults.gpu_failures, 1);
+        assert_eq!(failed.faults.gpu_recoveries, 0);
+        // Every gradient still arrived exactly once.
+        assert_eq!(failed.faults.gradients_accepted, expected_gradients(&w));
     }
 
     #[test]
@@ -759,9 +1042,12 @@ mod tests {
         let report = Simulation::new(&w)
             .with_noise(0.0)
             .with_gpu_failure(SimTime::ZERO, idle_victim)
-            .run(&mut replay);
+            .run(&mut replay)
+            .expect("simulation");
         assert_eq!(report.completion.len(), 5);
         assert!(report.gpus[idle_victim].busy.is_zero());
+        assert!(report.faults.lost_work.is_zero());
+        assert_eq!(report.faults.reexecuted_tasks, 0);
     }
 
     #[test]
@@ -775,8 +1061,166 @@ mod tests {
                 .with_gpu_failure(SimTime::from_secs(10), 0)
                 .with_gpu_failure(SimTime::from_secs(50), 3)
                 .run(&mut replay)
+                .expect("simulation")
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn malformed_fault_plans_error_instead_of_panicking() {
+        let w = workload(3);
+        // Out-of-range GPU index.
+        let out = hare_core::hare_schedule(&w.problem);
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let err = Simulation::new(&w)
+            .with_gpu_failure(SimTime::from_secs(1), 99)
+            .run(&mut replay)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFaultPlan(_)));
+        // Duplicate failure of an already-dead GPU.
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let err = Simulation::new(&w)
+            .with_gpu_failure(SimTime::from_secs(1), 2)
+            .with_gpu_failure(SimTime::from_secs(2), 2)
+            .run(&mut replay)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFaultPlan(_)));
+    }
+
+    #[test]
+    fn transient_failure_recovers_and_reexecutes_only_unacknowledged_work() {
+        let w = workload(6);
+        let out = hare_core::hare_schedule(&w.problem);
+        let victim = out
+            .schedule
+            .busy_time(&w.problem)
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| **b)
+            .map(|(g, _)| g)
+            .unwrap();
+        let at = SimTime::from_secs(30);
+        let down = SimDuration::from_secs(60);
+
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let permanent = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_gpu_failure(at, victim)
+            .run(&mut replay)
+            .expect("simulation");
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let transient = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_transient_gpu_failure(at, victim, down)
+            .run(&mut replay)
+            .expect("simulation");
+
+        // The GPU rejoined and was put back to work.
+        assert_eq!(transient.faults.gpu_recoveries, 1);
+        assert_eq!(transient.faults.recovery_latency, down);
+        assert!(
+            transient.gpus[victim].busy > permanent.gpus[victim].busy,
+            "recovered GPU must do work after rejoining"
+        );
+        // Getting the GPU back cannot hurt.
+        assert!(transient.weighted_completion <= permanent.weighted_completion);
+
+        // Re-execution covers exactly the unacknowledged work: at most the
+        // one task that was mid-flight, and acknowledged rounds are never
+        // re-run — the accepted gradient count matches a fault-free run
+        // exactly (no double-counting, nothing free).
+        assert!(transient.faults.reexecuted_tasks <= 1);
+        assert_eq!(
+            transient.faults.reexecuted_tasks > 0,
+            !transient.faults.reexec_work.is_zero()
+        );
+        assert_eq!(transient.faults.gradients_accepted, expected_gradients(&w));
+        assert_eq!(transient.faults.dropped_gradients, 0);
+
+        // Determinism with recovery in the mix.
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let again = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_transient_gpu_failure(at, victim, down)
+            .run(&mut replay)
+            .expect("simulation");
+        assert_eq!(transient, again);
+    }
+
+    #[test]
+    fn stragglers_stretch_wall_clock_but_lose_nothing() {
+        let w = workload(5);
+        let out = hare_core::hare_schedule(&w.problem);
+        let baseline = {
+            let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+            Simulation::new(&w)
+                .with_noise(0.0)
+                .run(&mut replay)
+                .expect("simulation")
+        };
+        let victim = out
+            .schedule
+            .busy_time(&w.problem)
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| **b)
+            .map(|(g, _)| g)
+            .unwrap();
+        let plan = FaultPlan {
+            stragglers: vec![StragglerWindow {
+                gpu: victim,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1_000_000),
+                slowdown: 3.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let straggled = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_fault_plan(plan)
+            .run(&mut replay)
+            .expect("simulation");
+        assert!(straggled.faults.straggler_delay > SimDuration::ZERO);
+        assert!(straggled.weighted_completion > baseline.weighted_completion);
+        // Nothing is lost or re-executed — just slower.
+        assert!(straggled.faults.lost_work.is_zero());
+        assert_eq!(straggled.faults.gradients_accepted, expected_gradients(&w));
+        // The straggling GPU's busy time includes the slowdown.
+        assert!(straggled.gpus[victim].busy >= baseline.gpus[victim].busy);
+    }
+
+    #[test]
+    fn network_degradation_slows_completion() {
+        let w = workload(5);
+        let out = hare_core::hare_schedule(&w.problem);
+        let baseline = {
+            let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+            Simulation::new(&w)
+                .with_noise(0.0)
+                .run(&mut replay)
+                .expect("simulation")
+        };
+        let plan = FaultPlan {
+            network_faults: vec![crate::faults::NetworkFault {
+                machine: None,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1_000_000),
+                factor: 0.1,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
+        let degraded = Simulation::new(&w)
+            .with_noise(0.0)
+            .with_fault_plan(plan)
+            .run(&mut replay)
+            .expect("simulation");
+        assert!(
+            degraded.weighted_completion > baseline.weighted_completion,
+            "a 10× backbone cut must slow the barriers"
+        );
+        assert_eq!(degraded.faults.gradients_accepted, expected_gradients(&w));
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum Event {
         task: usize,
         /// GPU index.
         gpu: usize,
+        /// GPU occupancy generation at scheduling time: the engine bumps a
+        /// per-GPU counter on every failure, so events scheduled before a
+        /// fault are recognized as stale after the GPU recovers (a plain
+        /// "is it failed" check would mistake them for live work).
+        gen: u32,
     },
     /// A task finished its training computation on a GPU.
     TrainDone {
@@ -30,6 +35,8 @@ pub enum Event {
         task: usize,
         /// GPU index.
         gpu: usize,
+        /// GPU occupancy generation (see `SwitchDone::gen`).
+        gen: u32,
     },
     /// A round's gradient synchronization completed at the PS.
     SyncDone {
@@ -38,8 +45,16 @@ pub enum Event {
         /// Round index.
         round: u32,
     },
-    /// A GPU fails permanently (failure injection).
+    /// A GPU fails (failure injection); transient faults schedule a
+    /// matching [`Event::GpuRecovery`].
     GpuFailure {
+        /// GPU index.
+        gpu: usize,
+    },
+    /// A transiently-failed GPU rejoins the cluster (fault injection): it
+    /// re-enters the idle set with cold caches and the policy is notified
+    /// via [`crate::policy::Policy::on_gpu_recovery`].
+    GpuRecovery {
         /// GPU index.
         gpu: usize,
     },
@@ -137,7 +152,14 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         q.push(SimTime::ZERO, Event::SyncDone { job: 0, round: 0 });
-        q.push(SimTime::ZERO, Event::TrainDone { task: 0, gpu: 0 });
+        q.push(
+            SimTime::ZERO,
+            Event::TrainDone {
+                task: 0,
+                gpu: 0,
+                gen: 0,
+            },
+        );
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);

@@ -9,16 +9,23 @@ pub mod build;
 pub mod control;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod ps;
 pub mod storage;
 
 pub use build::SimWorkload;
-pub use control::{broadcast_schedule, ControlLog, ExecutorMsg, SchedulerMsg};
+pub use control::{
+    broadcast_schedule, broadcast_schedule_with_failures, ControlLog, ExecutorMsg, SchedulerMsg,
+};
 pub use engine::{planned_report, Simulation};
 pub use event::{Event, EventQueue};
-pub use metrics::{jct_cdf, GpuReport, SimReport, UtilSpan};
+pub use faults::{
+    FaultPlan, FaultProfile, GpuFault, NetworkFault, SimError, SpeculationConfig, StorageFault,
+    StorageFaultKind, StragglerWindow,
+};
+pub use metrics::{jct_cdf, FaultMetrics, GpuReport, SimReport, UtilSpan};
 pub use policy::{OfflineReplay, Policy, SimView};
 pub use ps::{ParameterServer, SyncOutcome};
 pub use storage::CheckpointStore;

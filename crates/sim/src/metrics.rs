@@ -32,6 +32,41 @@ pub struct UtilSpan {
     pub level: f64,
 }
 
+/// Fault-injection and recovery accounting of one run (all zero in a
+/// fault-free simulation).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultMetrics {
+    /// GPU failure events that took effect.
+    pub gpu_failures: u32,
+    /// Transient failures that recovered (GPU rejoined the ready set).
+    pub gpu_recoveries: u32,
+    /// Sum of failure-to-rejoin downtimes across recovered GPUs.
+    pub recovery_latency: SimDuration,
+    /// Compute wall-clock thrown away: partial runs killed by failures
+    /// plus speculation copies that lost their race.
+    pub lost_work: SimDuration,
+    /// Wall-clock of full task re-executions forced by failures (the
+    /// unacknowledged work, re-run elsewhere — not silently free).
+    pub reexec_work: SimDuration,
+    /// Tasks that executed again after a failure killed their first run.
+    pub reexecuted_tasks: u32,
+    /// Rounds whose barrier was fed by at least one re-executed or
+    /// speculative gradient — rounds that degraded to the relaxed quorum.
+    pub degraded_rounds: u32,
+    /// Gradients dropped (relaxed quorum already had `|D_r|` contributions,
+    /// or a duplicate finished after its twin).
+    pub dropped_gradients: u64,
+    /// Gradients accepted into round averages — exactly
+    /// `Σ_jobs rounds × sync_scale` in every completed run, faults or not.
+    pub gradients_accepted: u64,
+    /// Speculative task copies launched against stragglers.
+    pub speculated_tasks: u32,
+    /// Extra wall-clock added to training by straggler slowdown windows.
+    pub straggler_delay: SimDuration,
+    /// Extra wall-clock added to checkpoint fetches by storage faults.
+    pub storage_stall: SimDuration,
+}
+
 /// Everything one simulation run produced.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -55,6 +90,8 @@ pub struct SimReport {
     pub storage_fetched: hare_cluster::Bytes,
     /// Checkpoint accesses served machine-locally.
     pub storage_local_hits: u64,
+    /// Fault-injection accounting (all zero without a fault plan).
+    pub faults: FaultMetrics,
     /// Optional per-GPU utilization timelines.
     pub timelines: Option<Vec<Vec<UtilSpan>>>,
 }
@@ -147,6 +184,7 @@ mod tests {
             ],
             storage_fetched: hare_cluster::Bytes::ZERO,
             storage_local_hits: 0,
+            faults: FaultMetrics::default(),
             timelines: None,
         }
     }

@@ -41,15 +41,24 @@ pub trait Policy {
     /// vector means "wait for the next event".
     fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)>;
 
-    /// Notification that `gpu` failed permanently (failure injection): the
-    /// engine will never offer it as idle again, and `requeued` lists the
-    /// task (if any) that was running there and has been returned to the
-    /// ready set. Policies holding per-GPU state (planned queues,
-    /// dedicated gangs) must migrate it and re-own the requeued tasks.
-    /// The default does nothing — correct for policies that re-derive
-    /// their decisions from the view on every dispatch.
+    /// Notification that `gpu` failed (failure injection): the engine will
+    /// not offer it as idle until it recovers (if ever), and `requeued`
+    /// lists the task (if any) that was running there and has been
+    /// returned to the ready set. Policies holding per-GPU state (planned
+    /// queues, dedicated gangs) must migrate it and re-own the requeued
+    /// tasks. The default does nothing — correct for policies that
+    /// re-derive their decisions from the view on every dispatch.
     fn on_gpu_failure(&mut self, gpu: usize, requeued: &[usize]) {
         let _ = (gpu, requeued);
+    }
+
+    /// Notification that a transiently-failed `gpu` rejoined (fault
+    /// injection): it is idle again, with cold caches and no resident
+    /// model. Policies holding per-GPU queues should rebalance work onto
+    /// it; the default does nothing — correct for policies that re-derive
+    /// their decisions from the view.
+    fn on_gpu_recovery(&mut self, gpu: usize) {
+        let _ = gpu;
     }
 }
 
@@ -97,29 +106,15 @@ impl OfflineReplay {
     pub fn pending(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
     }
-}
 
-impl Policy for OfflineReplay {
-    fn name(&self) -> String {
-        self.name.clone()
-    }
-
-    /// Migrate the dead GPU's remaining queue to the surviving queues
-    /// (greedy rebalancing — the executor restart path of a real
-    /// deployment). Each orphan is *inserted by planned start time*, not
-    /// appended: every wait edge then still points at an earlier-planned
-    /// task, so the replay's wait graph stays acyclic and deadlock-free.
-    fn on_gpu_failure(&mut self, gpu: usize, requeued: &[usize]) {
-        let mut orphans: Vec<usize> = self.queues[gpu].drain(..).collect();
-        // The task that was mid-flight on the dead GPU re-enters the plan
-        // ahead of everything it preceded.
-        orphans.extend_from_slice(requeued);
-        orphans.sort_by_key(|&t| (self.planned[t], t));
-        self.failed.push(gpu);
+    /// Distribute `orphans` (sorted by planned start) over the live GPUs:
+    /// each lands on the survivor with the least speed-normalized backlog
+    /// (queue length over generic throughput), *inserted by planned start
+    /// time*, not appended — every wait edge then still points at an
+    /// earlier-planned task, so the replay's wait graph stays acyclic and
+    /// deadlock-free.
+    fn assign_by_planned_start(&mut self, orphans: Vec<usize>) {
         for task in orphans {
-            // Pick the survivor with the least speed-normalized backlog
-            // (queue length over generic throughput), so a dead V100's
-            // work lands on fast survivors, not on the emptiest K80.
             let target = (0..self.queues.len())
                 .filter(|g| !self.failed.contains(g))
                 .min_by(|&a, &b| {
@@ -135,6 +130,35 @@ impl Policy for OfflineReplay {
                 .unwrap_or(queue.len());
             queue.insert(pos, task);
         }
+    }
+}
+
+impl Policy for OfflineReplay {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    /// Migrate the dead GPU's remaining queue to the surviving queues
+    /// (greedy rebalancing — the executor restart path of a real
+    /// deployment).
+    fn on_gpu_failure(&mut self, gpu: usize, requeued: &[usize]) {
+        let mut orphans: Vec<usize> = self.queues[gpu].drain(..).collect();
+        // The task that was mid-flight on the dead GPU re-enters the plan
+        // ahead of everything it preceded.
+        orphans.extend_from_slice(requeued);
+        orphans.sort_by_key(|&t| (self.planned[t], t));
+        self.failed.push(gpu);
+        self.assign_by_planned_start(orphans);
+    }
+
+    /// A transiently-failed GPU rejoined: take every undispatched task
+    /// back and redistribute over the (now larger) live set, so the
+    /// recovered GPU earns a share of the backlog instead of idling.
+    fn on_gpu_recovery(&mut self, gpu: usize) {
+        self.failed.retain(|&g| g != gpu);
+        let mut orphans: Vec<usize> = self.queues.iter_mut().flat_map(|q| q.drain(..)).collect();
+        orphans.sort_by_key(|&t| (self.planned[t], t));
+        self.assign_by_planned_start(orphans);
     }
 
     fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
@@ -201,6 +225,33 @@ mod tests {
             assert_eq!(seqs[*gpu].first(), Some(task));
         }
         assert_eq!(replay.pending(), total - assignments.len());
+    }
+
+    #[test]
+    fn recovery_rebalances_pending_queues() {
+        let w = tiny_workload();
+        let out = hare_core::hare_schedule(&w.problem);
+        let mut replay = OfflineReplay::new("hare", &w, &out.schedule);
+        let total = replay.pending();
+        replay.on_gpu_failure(0, &[]);
+        assert_eq!(replay.pending(), total, "failure migration loses no task");
+        assert!(replay.queues[0].is_empty());
+        replay.on_gpu_recovery(0);
+        assert_eq!(replay.pending(), total, "recovery rebalance loses no task");
+        // Queues stay sorted by planned start (the acyclicity invariant).
+        for q in &replay.queues {
+            let tasks: Vec<usize> = q.iter().copied().collect();
+            for pair in tasks.windows(2) {
+                assert!(replay.planned[pair[0]] <= replay.planned[pair[1]]);
+            }
+        }
+        // The recovered GPU is live again: fail every other GPU and the
+        // whole backlog must land on it.
+        let survivors: Vec<usize> = (1..replay.queues.len()).collect();
+        for g in survivors {
+            replay.on_gpu_failure(g, &[]);
+        }
+        assert_eq!(replay.queues[0].len(), total);
     }
 
     #[test]

@@ -6,8 +6,16 @@
 //! times come from the cluster's [`hare_cluster::NetworkModel`], so
 //! colocated workers contend for their machine's NIC exactly as in the
 //! Fig.-18 bandwidth study.
+//!
+//! Round admission goes through the relaxed scale-fixed barrier
+//! ([`hare_core::QuorumTracker`]): exactly `sync_scale` gradients enter
+//! each round's average, and anything beyond — late copies from recovered
+//! GPUs, stragglers that lost a speculation race, pushes after the job's
+//! last round — is *dropped*, not an error. This is the paper's sync
+//! scheme acting as a fault-tolerance mechanism.
 
 use hare_cluster::{Bytes, MachineId, NetworkModel, SimTime};
+use hare_core::{Contribution, QuorumTracker};
 use serde::{Deserialize, Serialize};
 
 /// Synchronization state of one job.
@@ -21,6 +29,8 @@ pub struct ParameterServer {
     round: u32,
     /// (train finish time, worker machine) of this round's pushes.
     pushes: Vec<(SimTime, MachineId)>,
+    /// Relaxed scale-fixed admission: `sync_scale` gradients per round.
+    quorum: QuorumTracker,
 }
 
 /// Completion record of one round's synchronization.
@@ -47,6 +57,7 @@ impl ParameterServer {
             rounds,
             round: 0,
             pushes: Vec::with_capacity(sync_scale as usize),
+            quorum: QuorumTracker::new(sync_scale),
         }
     }
 
@@ -58,6 +69,27 @@ impl ParameterServer {
     /// Round currently collecting gradients.
     pub fn current_round(&self) -> u32 {
         self.round
+    }
+
+    /// Gradients still missing from the current round (0 once the job has
+    /// no round left to fill).
+    pub fn missing(&self) -> u32 {
+        if self.round >= self.rounds {
+            0
+        } else {
+            self.sync_scale - self.pushes.len() as u32
+        }
+    }
+
+    /// Total gradients accepted into round averages so far.
+    pub fn accepted(&self) -> u64 {
+        self.quorum.accepted()
+    }
+
+    /// Gradients dropped by the relaxed quorum (late duplicates, pushes
+    /// after the final round).
+    pub fn dropped(&self) -> u64 {
+        self.quorum.dropped()
     }
 
     /// A worker finished training a task of the current round at `at` on
@@ -82,19 +114,30 @@ impl ParameterServer {
         net: &NetworkModel,
         extra_flows: u32,
     ) -> Option<SyncOutcome> {
-        assert!(
-            self.round < self.rounds,
-            "push after job {} completed",
-            self.job
-        );
+        self.push_gradient_degraded(at, machine, net, extra_flows, &[], 1.0)
+    }
+
+    /// Like [`ParameterServer::push_gradient_contended`], under NIC
+    /// degradation: `machine_factors` / `backbone` are forwarded to
+    /// [`NetworkModel::round_sync_times_degraded`] when this push closes
+    /// the round. A push beyond the job's rounds is dropped by the quorum
+    /// and returns `None` (count via [`ParameterServer::dropped`]).
+    pub fn push_gradient_degraded(
+        &mut self,
+        at: SimTime,
+        machine: MachineId,
+        net: &NetworkModel,
+        extra_flows: u32,
+        machine_factors: &[f64],
+        backbone: f64,
+    ) -> Option<SyncOutcome> {
+        let completes = match self.quorum.offer(self.round < self.rounds) {
+            Contribution::Dropped => return None,
+            Contribution::Accepted { completes_round } => completes_round,
+        };
         self.pushes.push((at, machine));
-        assert!(
-            self.pushes.len() <= self.sync_scale as usize,
-            "job {}: more pushes than workers in round {}",
-            self.job,
-            self.round
-        );
-        if self.pushes.len() < self.sync_scale as usize {
+        debug_assert!(self.pushes.len() <= self.sync_scale as usize);
+        if !completes {
             return None;
         }
 
@@ -102,7 +145,13 @@ impl ParameterServer {
         // [train finish, finish + its transfer time], and the barrier is
         // the slowest worker.
         let machines: Vec<MachineId> = self.pushes.iter().map(|&(_, m)| m).collect();
-        let times = net.round_sync_times_contended(self.param_bytes, &machines, extra_flows);
+        let times = net.round_sync_times_degraded(
+            self.param_bytes,
+            &machines,
+            extra_flows,
+            machine_factors,
+            backbone,
+        );
         let done_at = self
             .pushes
             .iter()
@@ -134,9 +183,11 @@ mod tests {
     fn barrier_waits_for_all_workers() {
         let mut ps = ParameterServer::new(0, 3, 2, Bytes::mib(100));
         let n = net();
+        assert_eq!(ps.missing(), 3);
         assert!(ps
             .push_gradient(SimTime::from_secs(1), MachineId(0), &n)
             .is_none());
+        assert_eq!(ps.missing(), 2);
         assert!(ps
             .push_gradient(SimTime::from_secs(2), MachineId(1), &n)
             .is_none());
@@ -147,6 +198,7 @@ mod tests {
         assert!(!out.job_complete);
         assert!(out.done_at > SimTime::from_secs(5));
         assert_eq!(ps.current_round(), 1);
+        assert_eq!(ps.accepted(), 3);
     }
 
     #[test]
@@ -174,16 +226,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "push after job")]
-    fn extra_push_panics() {
+    fn extra_push_is_dropped_by_quorum() {
+        // Two rounds of one worker, then a stray third push — a late
+        // duplicate from a recovered GPU or a lost speculation race. The
+        // relaxed quorum drops it instead of corrupting PS state.
         let mut ps = ParameterServer::new(0, 1, 2, Bytes::mib(1));
         let n = net();
-        // Round 0 completes on the first push; a stray second push for the
-        // same round would be a simulator bug... but push_gradient advances
-        // rounds, so emulate the bug by pushing three times for 2 rounds of
-        // 1 worker: the third push targets a finished job.
-        ps.push_gradient(SimTime::ZERO, MachineId(0), &n);
-        ps.push_gradient(SimTime::ZERO, MachineId(0), &n);
-        ps.push_gradient(SimTime::ZERO, MachineId(0), &n);
+        assert!(ps.push_gradient(SimTime::ZERO, MachineId(0), &n).is_some());
+        assert!(ps.push_gradient(SimTime::ZERO, MachineId(0), &n).is_some());
+        assert!(ps.push_gradient(SimTime::ZERO, MachineId(0), &n).is_none());
+        assert_eq!(ps.dropped(), 1);
+        assert_eq!(ps.accepted(), 2);
+        assert_eq!(ps.current_round(), 2);
+        assert_eq!(ps.missing(), 0);
+    }
+
+    #[test]
+    fn degraded_push_slows_the_barrier() {
+        let n = net();
+        let run = |factors: &[f64]| {
+            let mut ps = ParameterServer::new(0, 2, 1, Bytes::mib(200));
+            ps.push_gradient_degraded(SimTime::ZERO, MachineId(0), &n, 0, factors, 1.0);
+            ps.push_gradient_degraded(SimTime::ZERO, MachineId(1), &n, 0, factors, 1.0)
+                .unwrap()
+                .done_at
+        };
+        assert!(run(&[0.2, 1.0]) > run(&[]), "a cut NIC must slow the sync");
     }
 }

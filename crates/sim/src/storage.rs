@@ -13,7 +13,8 @@
 //! visible under cold-start storms — set a lower bandwidth to study
 //! storage-bound regimes.
 
-use hare_cluster::{Bandwidth, Bytes, MachineId, SimDuration};
+use crate::faults::{finish_over_windows, StorageFault, StorageFaultKind};
+use hare_cluster::{Bandwidth, Bytes, MachineId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Shared checkpoint store with machine-local caching.
@@ -27,6 +28,11 @@ pub struct CheckpointStore {
     fetched: Bytes,
     /// Fetches served from machine-local copies.
     local_hits: u64,
+    /// Outage / latency-spike windows (fault injection) as piecewise
+    /// slowdowns: outages stall progress, slowdowns stretch it.
+    faults: Vec<(SimTime, SimTime, f64)>,
+    /// Extra wall-clock beyond the fault-free fetch times, accumulated.
+    stalled: SimDuration,
 }
 
 impl Default for CheckpointStore {
@@ -44,15 +50,50 @@ impl CheckpointStore {
             cached: Vec::new(),
             fetched: Bytes::ZERO,
             local_hits: 0,
+            faults: Vec::new(),
+            stalled: SimDuration::ZERO,
         }
+    }
+
+    /// Install outage / latency-spike windows (the engine passes the fault
+    /// plan's storage faults before the run starts).
+    pub fn set_faults(&mut self, faults: &[StorageFault]) {
+        self.faults = faults
+            .iter()
+            .map(|f| {
+                let slowdown = match f.kind {
+                    StorageFaultKind::Outage => f64::INFINITY,
+                    StorageFaultKind::Slowdown(s) => s,
+                };
+                (f.from, f.until, slowdown)
+            })
+            .collect();
+        self.faults.sort_by_key(|&(from, until, _)| (from, until));
     }
 
     /// Charge a checkpoint access for `job` on `machine`: zero when the
     /// machine already holds a copy, otherwise the shared-bandwidth fetch
     /// time of `bytes` with `concurrent_readers` other fetches in flight.
-    /// The copy is cached on the machine afterwards.
+    /// The copy is cached on the machine afterwards. Equivalent to
+    /// [`CheckpointStore::access_at`] at time zero — only correct when no
+    /// fault windows are installed.
     pub fn access(
         &mut self,
+        job: usize,
+        machine: MachineId,
+        bytes: Bytes,
+        concurrent_readers: u32,
+    ) -> SimDuration {
+        self.access_at(SimTime::ZERO, job, machine, bytes, concurrent_readers)
+    }
+
+    /// [`CheckpointStore::access`] at simulation time `now`: a fetch that
+    /// overlaps an outage window stalls until the window closes; one that
+    /// overlaps a latency spike is stretched by its slowdown factor
+    /// (piecewise, so a fetch can straddle window edges).
+    pub fn access_at(
+        &mut self,
+        now: SimTime,
         job: usize,
         machine: MachineId,
         bytes: Bytes,
@@ -64,9 +105,16 @@ impl CheckpointStore {
         }
         self.cached.push((job, machine));
         self.fetched += bytes;
-        self.read_bandwidth
+        let clean = self
+            .read_bandwidth
             .shared(concurrent_readers + 1)
-            .transfer_time(bytes)
+            .transfer_time(bytes);
+        if self.faults.is_empty() {
+            return clean;
+        }
+        let wall = finish_over_windows(&self.faults, now, clean).saturating_since(now);
+        self.stalled += wall.saturating_sub(clean);
+        wall
     }
 
     /// A job completed: its checkpoints can be garbage-collected.
@@ -82,6 +130,11 @@ impl CheckpointStore {
     /// Accesses served machine-locally so far.
     pub fn local_hits(&self) -> u64 {
         self.local_hits
+    }
+
+    /// Wall-clock added to fetches by outage / latency windows so far.
+    pub fn stalled(&self) -> SimDuration {
+        self.stalled
     }
 }
 
@@ -127,5 +180,41 @@ mod tests {
         store.evict_job(3);
         let t = store.access(3, MachineId(2), Bytes::mib(50), 0);
         assert!(t > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn outage_stalls_fetch_until_window_closes() {
+        let mut healthy = CheckpointStore::default();
+        let clean = healthy.access(1, MachineId(0), Bytes::gib(1), 0);
+
+        let mut store = CheckpointStore::default();
+        store.set_faults(&[StorageFault {
+            from: SimTime::from_secs(100),
+            until: SimTime::from_secs(160),
+            kind: StorageFaultKind::Outage,
+        }]);
+        // Fetch starting inside the outage waits for it to close.
+        let stalled = store.access_at(SimTime::from_secs(120), 1, MachineId(0), Bytes::gib(1), 0);
+        assert_eq!(stalled, SimDuration::from_secs(40) + clean);
+        assert_eq!(store.stalled(), SimDuration::from_secs(40));
+        // A fetch clear of the window is unaffected.
+        let clear = store.access_at(SimTime::from_secs(500), 1, MachineId(1), Bytes::gib(1), 0);
+        assert_eq!(clear, clean);
+    }
+
+    #[test]
+    fn latency_spike_stretches_fetch() {
+        let mut healthy = CheckpointStore::default();
+        let clean = healthy.access(1, MachineId(0), Bytes::gib(1), 0);
+
+        let mut store = CheckpointStore::default();
+        store.set_faults(&[StorageFault {
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(10_000),
+            kind: StorageFaultKind::Slowdown(3.0),
+        }]);
+        let slow = store.access_at(SimTime::from_secs(5), 1, MachineId(0), Bytes::gib(1), 0);
+        let ratio = slow.as_micros() as f64 / clean.as_micros() as f64;
+        assert!((ratio - 3.0).abs() < 0.01, "ratio {ratio}");
     }
 }

@@ -193,6 +193,9 @@ pub struct RevisedSimplex {
     pivots: u64,
     pivots_since_refactor: u64,
     refactorizations: u64,
+    /// Total-pivot budget for [`RevisedSimplex::solve_capped`]
+    /// (`u64::MAX` = uncapped).
+    pivot_cap: u64,
 }
 
 impl RevisedSimplex {
@@ -211,6 +214,7 @@ impl RevisedSimplex {
             pivots: 0,
             pivots_since_refactor: 0,
             refactorizations: 0,
+            pivot_cap: u64::MAX,
         };
         for c in &lp.constraints {
             s.push_row(c);
@@ -374,6 +378,23 @@ impl RevisedSimplex {
     /// (skipped when none), then Phase II on the real objective. Warm when
     /// called after [`add_constraint`](Self::add_constraint).
     pub fn solve(&mut self) -> LpOutcome {
+        self.pivot_cap = u64::MAX;
+        self.solve_impl().expect("uncapped solve cannot abort")
+    }
+
+    /// [`RevisedSimplex::solve`] under a *total*-pivot budget: returns
+    /// `None` when the budget is exhausted before optimality (cycling, or
+    /// a pathological cut sequence) — the caller's cue to fall back to the
+    /// dense ground-truth solver on the accumulated program. The simplex
+    /// state is left mid-flight and should be rebuilt before reuse.
+    pub fn solve_capped(&mut self, max_pivots: u64) -> Option<LpOutcome> {
+        self.pivot_cap = max_pivots;
+        let out = self.solve_impl();
+        self.pivot_cap = u64::MAX;
+        out
+    }
+
+    fn solve_impl(&mut self) -> Option<LpOutcome> {
         // Phase I only if some artificial is basic at a positive value.
         let needs_phase1 = self
             .basis
@@ -390,9 +411,10 @@ impl RevisedSimplex {
                 })
                 .collect();
             match self.optimize(&cost, true) {
-                SimplexEnd::Optimal(v) if v > 1e-7 => return LpOutcome::Infeasible,
+                SimplexEnd::Optimal(v) if v > 1e-7 => return Some(LpOutcome::Infeasible),
                 SimplexEnd::Optimal(_) => {}
                 SimplexEnd::Unbounded => unreachable!("phase 1 bounded below by 0"),
+                SimplexEnd::Aborted => return None,
             }
             self.expel_artificials();
         }
@@ -403,9 +425,10 @@ impl RevisedSimplex {
             SimplexEnd::Optimal(_) => {
                 let x = self.structural_values();
                 let objective = x.iter().zip(&self.objective).map(|(xi, ci)| xi * ci).sum();
-                LpOutcome::Optimal { x, objective }
+                Some(LpOutcome::Optimal { x, objective })
             }
-            SimplexEnd::Unbounded => LpOutcome::Unbounded,
+            SimplexEnd::Unbounded => Some(LpOutcome::Unbounded),
+            SimplexEnd::Aborted => None,
         }
     }
 
@@ -483,6 +506,9 @@ impl RevisedSimplex {
             }
             match leave {
                 Some(r) => {
+                    if self.pivots >= self.pivot_cap {
+                        return SimplexEnd::Aborted;
+                    }
                     let refactors = self.refactorizations;
                     self.pivot(r, j, &d);
                     if self.refactorizations != refactors {
@@ -685,6 +711,8 @@ impl RevisedSimplex {
 enum SimplexEnd {
     Optimal(f64),
     Unbounded,
+    /// The pivot budget ran out before optimality (revised solver only).
+    Aborted,
 }
 
 // ---------------------------------------------------------------------
@@ -796,6 +824,7 @@ pub mod dense {
                     SimplexEnd::Optimal(_) => {}
                     // Phase 1 objective is bounded below by 0.
                     SimplexEnd::Unbounded => unreachable!("phase 1 cannot be unbounded"),
+                    SimplexEnd::Aborted => unreachable!("dense solver has no pivot cap"),
                 }
                 // Drive any artificial still in the basis out (degenerate rows).
                 for r in 0..self.rows.len() {
@@ -830,6 +859,7 @@ pub mod dense {
                     LpOutcome::Optimal { x, objective: obj }
                 }
                 SimplexEnd::Unbounded => LpOutcome::Unbounded,
+                SimplexEnd::Aborted => unreachable!("dense solver has no pivot cap"),
             }
         }
 
@@ -1046,6 +1076,29 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn capped_solve_aborts_and_dense_fallback_agrees() {
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0, 2.0, 1.0]);
+        lp.constrain(vec![(0, 1.0)], Cmp::Ge, 0.0);
+        lp.constrain(vec![(1, 1.0)], Cmp::Ge, 1.0);
+        lp.constrain(vec![(2, 1.0), (0, -1.0)], Cmp::Ge, 3.0);
+        lp.constrain(vec![(3, 1.0), (1, -1.0)], Cmp::Ge, 5.0);
+        lp.constrain(vec![(0, 3.0), (1, 5.0)], Cmp::Ge, 7.5);
+
+        // Zero budget: the solve cannot pivot at all.
+        let mut s = RevisedSimplex::new(&lp);
+        assert_eq!(s.solve_capped(0), None);
+        // The fallback path: the dense solver handles the same program.
+        assert_opt(&lp.solve_dense(), 12.5, None);
+        // A generous budget behaves exactly like the uncapped solve, and
+        // the cap does not linger.
+        let mut s = RevisedSimplex::new(&lp);
+        let capped = s.solve_capped(1_000_000).expect("budget is plenty");
+        assert_opt(&capped, 12.5, None);
+        let mut u = RevisedSimplex::new(&lp);
+        assert_eq!(u.solve(), capped);
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct SolveStats {
     pub pivots: u64,
     /// LP solves performed (1 + cuts).
     pub lp_solves: usize,
+    /// Times the revised simplex exhausted its pivot budget and the
+    /// accumulated program was re-solved by the dense ground-truth solver.
+    pub dense_fallbacks: usize,
 }
 
 /// Which mode produced a solution.
@@ -186,22 +189,44 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveS
         }
     }
 
-    let take_starts = |outcome: LpOutcome| -> Vec<f64> {
+    // Per-solve pivot budget: far above anything a healthy cut round
+    // needs, so it only trips on cycling or a pathological cut sequence —
+    // in which case the accumulated program is handed to the dense
+    // ground-truth solver and the revised simplex is rebuilt fresh.
+    const PIVOT_BUDGET: u64 = 20_000;
+    fn solve_or_dense(
+        simplex: &mut RevisedSimplex,
+        lp: &LinearProgram,
+        stats: &mut SolveStats,
+        t: usize,
+    ) -> Vec<f64> {
+        let budget = simplex.pivots().saturating_add(PIVOT_BUDGET);
+        let outcome = match simplex.solve_capped(budget) {
+            Some(outcome) => outcome,
+            None => {
+                stats.pivots += simplex.pivots();
+                stats.dense_fallbacks += 1;
+                *simplex = RevisedSimplex::new(lp);
+                lp.solve_dense()
+            }
+        };
         match outcome {
             LpOutcome::Optimal { x, .. } => x[..t].to_vec(),
             other => panic!("relaxation LP must be solvable, got {other:?}"),
         }
-    };
+    }
 
     // One incremental simplex for the whole cut loop: with `warm_start` each
     // added cut re-optimizes from the previous basis (the expensive Phase I
-    // runs once, on the initial program, and never again).
+    // runs once, on the initial program, and never again). Every cut is
+    // *also* recorded in `lp`, so the dense fallback always sees the full
+    // accumulated program.
     let mut simplex = RevisedSimplex::new(&lp);
-    let mut x_hat = take_starts(simplex.solve());
     let mut stats = SolveStats {
         lp_solves: 1,
         ..SolveStats::default()
     };
+    let mut x_hat = solve_or_dense(&mut simplex, &lp, &mut stats, t);
     let m = inst.n_machines as f64;
     let mut cuts = 0usize;
 
@@ -232,6 +257,7 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveS
         let terms: Vec<(usize, f64)> = set.iter().map(|&i| (i, inst.p_max(i))).collect();
         cuts += 1;
         if opts.warm_start {
+            lp.constrain(terms.clone(), Cmp::Ge, rhs);
             simplex.add_constraint(terms, Cmp::Ge, rhs);
         } else {
             lp.constrain(terms, Cmp::Ge, rhs);
@@ -240,7 +266,7 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveS
             // Carry the counter so stats stay comparable across modes.
             stats.pivots += pivots_so_far;
         }
-        x_hat = take_starts(simplex.solve());
+        x_hat = solve_or_dense(&mut simplex, &lp, &mut stats, t);
         stats.lp_solves += 1;
     }
 

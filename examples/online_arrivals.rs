@@ -42,14 +42,18 @@ fn main() {
     // 1. Clairvoyant offline Hare: plans once, knowing all arrivals.
     let plan = HareScheduler::default().schedule(&w.problem);
     let mut offline = OfflineReplay::new("Hare (offline, clairvoyant)", &w, &plan.schedule);
-    let offline_report = Simulation::new(&w).run(&mut offline);
+    let offline_report = Simulation::new(&w).run(&mut offline).expect("simulation");
 
     // 2. Online Hare: sees jobs only when they arrive; replans per burst.
     let mut online_policy = HareOnline::new();
-    let online_report = Simulation::new(&w).run(&mut online_policy);
+    let online_report = Simulation::new(&w)
+        .run(&mut online_policy)
+        .expect("simulation");
 
     // 3. FIFO for reference.
-    let fifo_report = Simulation::new(&w).run(&mut GavelFifo::new());
+    let fifo_report = Simulation::new(&w)
+        .run(&mut GavelFifo::new())
+        .expect("simulation");
 
     println!("{:<28} {:>13} {:>10}", "scheme", "weighted JCT", "mean JCT");
     for r in [&offline_report, &online_report, &fifo_report] {

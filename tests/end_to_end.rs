@@ -78,7 +78,10 @@ fn hare_schedule_validates_and_replays_within_tolerance() {
 
     let planned = planned_report(&w, &out.schedule, "plan");
     let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
-    let simulated = Simulation::new(&w).with_noise(0.0).run(&mut replay);
+    let simulated = Simulation::new(&w)
+        .with_noise(0.0)
+        .run(&mut replay)
+        .expect("simulation");
     let gap = (simulated.weighted_completion - planned.weighted_completion).abs()
         / planned.weighted_completion;
     assert!(gap < 0.05, "plan-vs-execution gap {gap:.3} exceeds 5%");
@@ -143,8 +146,12 @@ fn mix_shifts_total_load_as_in_fig17() {
 fn extension_policies_complete_and_rank_sensibly() {
     use hare::baselines::{HareOnline, TimeSlice};
     let w = workload(16, 23);
-    let online = Simulation::new(&w).run(&mut HareOnline::new());
-    let slice = Simulation::new(&w).run(&mut TimeSlice::new());
+    let online = Simulation::new(&w)
+        .run(&mut HareOnline::new())
+        .expect("simulation");
+    let slice = Simulation::new(&w)
+        .run(&mut TimeSlice::new())
+        .expect("simulation");
     let fifo = run_scheme(Scheme::GavelFifo, &w, RunOptions::default());
     assert_eq!(online.completion.len(), 16);
     assert_eq!(slice.completion.len(), 16);
@@ -182,6 +189,7 @@ fn switching_runtime_matters_under_preemptive_sharing() {
             .with_noise(0.0)
             .with_switch_policy(policy)
             .run(&mut replay)
+            .expect("simulation")
     };
     let hare = run(SwitchPolicy::Hare);
     let default = run(SwitchPolicy::Default);

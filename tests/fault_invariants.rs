@@ -1,0 +1,335 @@
+//! Chaos property tests for the fault-injection & recovery subsystem:
+//! arbitrary sanitized fault plans — transient and permanent GPU
+//! failures, straggler windows, NIC/backbone degradation, checkpoint
+//! store outages and latency spikes, optional speculation — thrown at
+//! every scheduler, checking the invariants recovery must preserve no
+//! matter what the plan looks like:
+//!
+//! 1. the run completes (`Ok`), every job finishes, never before arrival;
+//! 2. gradient conservation: exactly `Σ_jobs rounds × sync_scale`
+//!    gradients are accepted into round averages, faults or not — lost
+//!    work is re-executed, late duplicates are dropped by the relaxed
+//!    quorum rather than double-counted;
+//! 3. fault accounting is internally consistent (recoveries never exceed
+//!    failures, re-execution and lost work only exist when something
+//!    failed or speculated);
+//! 4. runs are bit-for-bit deterministic under identical plans.
+
+use hare::baselines::{
+    build_simulation, GavelFifo, HareOnline, RunOptions, SchedAllox, SchedHomo, Scheme, Srtf,
+};
+use hare::cluster::{Cluster, SimDuration, SimTime};
+use hare::core::HareScheduler;
+use hare::sim::{
+    FaultPlan, GpuFault, NetworkFault, OfflineReplay, SimError, SimReport, SimWorkload,
+    SpeculationConfig, StorageFault, StorageFaultKind, StragglerWindow,
+};
+use hare::workload::{testbed_trace, ProfileDb};
+use proptest::prelude::*;
+
+/// The paper's testbed: 15 GPUs across 4 machines.
+const N_GPUS: usize = 15;
+/// Permanent-loss cap: the widest trace gang (`sync_scale` 6) must still
+/// fit on the surviving GPUs even while every transient window overlaps.
+const MAX_PERMANENT: usize = 3;
+
+fn workload(seed: u64) -> SimWorkload {
+    let db = ProfileDb::with_noise(seed, 0.0);
+    let mut trace = testbed_trace(seed);
+    trace.truncate(4);
+    SimWorkload::build(Cluster::testbed15(), trace, &db)
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_secs(secs)
+}
+
+/// Raw GPU faults sanitized into a valid plan fragment: per-GPU down
+/// windows made disjoint (later overlapping windows dropped) and
+/// permanent losses capped so the cluster stays schedulable.
+fn gpu_faults() -> impl Strategy<Value = Vec<GpuFault>> {
+    prop::collection::vec(
+        (0usize..N_GPUS, 0u64..2_400, any::<bool>(), 30u64..1_200),
+        0..6,
+    )
+    .prop_map(|raw| {
+        let mut faults: Vec<GpuFault> = raw
+            .into_iter()
+            .map(|(gpu, at, transient, down)| GpuFault {
+                gpu,
+                at: t(at),
+                recover_after: transient.then(|| SimDuration::from_secs(down)),
+            })
+            .collect();
+        faults.sort_by_key(|f| (f.gpu, f.at));
+        let mut out: Vec<GpuFault> = Vec::new();
+        let mut permanent = 0;
+        for f in faults {
+            let overlaps = out.iter().any(|p| {
+                p.gpu == f.gpu
+                    && match p.recover_after {
+                        None => true,
+                        Some(d) => f.at < p.at + d,
+                    }
+            });
+            if overlaps {
+                continue;
+            }
+            if f.recover_after.is_none() {
+                if permanent == MAX_PERMANENT {
+                    continue;
+                }
+                permanent += 1;
+            }
+            out.push(f);
+        }
+        out
+    })
+}
+
+/// Straggler windows; overlaps are legal (the engine takes the worst
+/// factor), so only `from < until` and `slowdown ≥ 1` need construction.
+fn stragglers() -> impl Strategy<Value = Vec<StragglerWindow>> {
+    prop::collection::vec(
+        (0usize..N_GPUS, 0u64..4_000, 60u64..1_800, 1.0f64..4.0),
+        0..5,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(gpu, from, len, slowdown)| StragglerWindow {
+                gpu,
+                from: t(from),
+                until: t(from + len),
+                slowdown,
+            })
+            .collect()
+    })
+}
+
+fn network_faults() -> impl Strategy<Value = Vec<NetworkFault>> {
+    prop::collection::vec((0usize..5, 0u64..4_000, 60u64..1_500, 0.05f64..1.0), 0..4).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(m, from, len, factor)| NetworkFault {
+                    // Machine 4 does not exist: index 4 means the backbone.
+                    machine: (m < 4).then_some(m),
+                    from: t(from),
+                    until: t(from + len),
+                    factor,
+                })
+                .collect()
+        },
+    )
+}
+
+fn storage_faults() -> impl Strategy<Value = Vec<StorageFault>> {
+    prop::collection::vec((0u64..3_000, 30u64..600, 1.0f64..5.0, any::<bool>()), 0..3).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(from, len, slow, outage)| StorageFault {
+                    from: t(from),
+                    until: t(from + len),
+                    kind: if outage {
+                        StorageFaultKind::Outage
+                    } else {
+                        StorageFaultKind::Slowdown(slow)
+                    },
+                })
+                .collect()
+        },
+    )
+}
+
+fn speculation() -> impl Strategy<Value = Option<SpeculationConfig>> {
+    (any::<bool>(), 1.2f64..3.0)
+        .prop_map(|(on, threshold)| on.then_some(SpeculationConfig { threshold }))
+}
+
+/// A full sanitized chaos plan plus the workload seed it runs against.
+fn chaos() -> impl Strategy<Value = (u64, FaultPlan)> {
+    (
+        0u64..48,
+        gpu_faults(),
+        stragglers(),
+        network_faults(),
+        storage_faults(),
+        speculation(),
+    )
+        .prop_map(
+            |(seed, gpu_faults, stragglers, network_faults, storage_faults, speculation)| {
+                (
+                    seed,
+                    FaultPlan {
+                        gpu_faults,
+                        stragglers,
+                        network_faults,
+                        storage_faults,
+                        speculation,
+                    },
+                )
+            },
+        )
+}
+
+fn run_one(w: &SimWorkload, plan: &FaultPlan, scheme: Scheme) -> Result<SimReport, SimError> {
+    let opts = RunOptions {
+        noise: 0.0,
+        ..RunOptions::default()
+    };
+    let sim = build_simulation(scheme, w, opts, plan);
+    match scheme {
+        Scheme::Hare => {
+            let out = HareScheduler::default().schedule(&w.problem);
+            sim.run(&mut OfflineReplay::new("Hare", w, &out.schedule))
+        }
+        Scheme::GavelFifo => sim.run(&mut GavelFifo::new()),
+        Scheme::Srtf => sim.run(&mut Srtf::new()),
+        Scheme::SchedHomo => sim.run(&mut SchedHomo::new()),
+        Scheme::SchedAllox => sim.run(&mut SchedAllox::new()),
+    }
+}
+
+fn run_online(w: &SimWorkload, plan: &FaultPlan) -> Result<SimReport, SimError> {
+    let opts = RunOptions {
+        noise: 0.0,
+        ..RunOptions::default()
+    };
+    build_simulation(Scheme::Hare, w, opts, plan).run(&mut HareOnline::new())
+}
+
+/// The recovery invariants every completed chaos run must satisfy.
+fn check_invariants(w: &SimWorkload, plan: &FaultPlan, report: &SimReport) {
+    let n = w.problem.jobs.len();
+    assert_eq!(report.completion.len(), n, "{}: jobs lost", report.scheme);
+    for (j, info) in w.problem.jobs.iter().enumerate() {
+        assert!(
+            report.completion[j] >= info.arrival,
+            "{}: job {j} completed at {} before arriving at {}",
+            report.scheme,
+            report.completion[j],
+            info.arrival
+        );
+    }
+    assert!(report.weighted_jct.is_finite() && report.weighted_jct > 0.0);
+
+    // Gradient conservation: re-execution and quorum drops must balance
+    // to exactly the fault-free count.
+    let expected: u64 = w
+        .problem
+        .jobs
+        .iter()
+        .map(|j| j.rounds as u64 * j.sync_scale as u64)
+        .sum();
+    let f = &report.faults;
+    assert_eq!(
+        f.gradients_accepted, expected,
+        "{}: accepted {} gradients, expected {expected}",
+        report.scheme, f.gradients_accepted
+    );
+
+    // Accounting consistency.
+    assert!(f.gpu_recoveries <= f.gpu_failures);
+    let transients = plan
+        .gpu_faults
+        .iter()
+        .filter(|g| g.recover_after.is_some())
+        .count() as u32;
+    assert!(f.gpu_recoveries <= transients);
+    let quiet = f.gpu_failures == 0 && f.speculated_tasks == 0;
+    if quiet {
+        assert_eq!(
+            f.reexecuted_tasks, 0,
+            "{}: re-exec without cause",
+            report.scheme
+        );
+        assert_eq!(
+            f.dropped_gradients, 0,
+            "{}: drops without cause",
+            report.scheme
+        );
+        assert!(
+            f.lost_work.is_zero(),
+            "{}: lost work without cause",
+            report.scheme
+        );
+    }
+    if plan.stragglers.is_empty() && plan.speculation.is_none() {
+        assert!(f.straggler_delay.is_zero());
+    }
+    if plan.storage_faults.is_empty() {
+        assert!(f.storage_stall.is_zero());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hare_replay_survives_chaos(case in chaos()) {
+        let (seed, plan) = case;
+        let w = workload(seed);
+        let report = run_one(&w, &plan, Scheme::Hare).expect("chaos run failed");
+        check_invariants(&w, &plan, &report);
+    }
+
+    #[test]
+    fn gavel_fifo_survives_chaos(case in chaos()) {
+        let (seed, plan) = case;
+        let w = workload(seed);
+        let report = run_one(&w, &plan, Scheme::GavelFifo).expect("chaos run failed");
+        check_invariants(&w, &plan, &report);
+    }
+
+    #[test]
+    fn srtf_survives_chaos(case in chaos()) {
+        let (seed, plan) = case;
+        let w = workload(seed);
+        let report = run_one(&w, &plan, Scheme::Srtf).expect("chaos run failed");
+        check_invariants(&w, &plan, &report);
+    }
+
+    #[test]
+    fn sched_homo_survives_chaos(case in chaos()) {
+        let (seed, plan) = case;
+        let w = workload(seed);
+        let report = run_one(&w, &plan, Scheme::SchedHomo).expect("chaos run failed");
+        check_invariants(&w, &plan, &report);
+    }
+
+    #[test]
+    fn sched_allox_survives_chaos(case in chaos()) {
+        let (seed, plan) = case;
+        let w = workload(seed);
+        let report = run_one(&w, &plan, Scheme::SchedAllox).expect("chaos run failed");
+        check_invariants(&w, &plan, &report);
+    }
+
+    #[test]
+    fn hare_online_survives_chaos(case in chaos()) {
+        let (seed, plan) = case;
+        let w = workload(seed);
+        let report = run_online(&w, &plan).expect("chaos run failed");
+        check_invariants(&w, &plan, &report);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical plan, identical run: the whole fault pipeline (failure
+    /// events, straggler integration, quorum drops, recovery rejoins) is
+    /// replayable bit for bit.
+    #[test]
+    fn chaos_runs_are_deterministic(case in chaos()) {
+        let (seed, plan) = case;
+        let w = workload(seed);
+        for scheme in Scheme::ALL {
+            let a = run_one(&w, &plan, scheme).expect("chaos run failed");
+            let b = run_one(&w, &plan, scheme).expect("chaos run failed");
+            assert_eq!(a, b, "{scheme:?} diverged under an identical plan");
+        }
+        let a = run_online(&w, &plan).expect("chaos run failed");
+        let b = run_online(&w, &plan).expect("chaos run failed");
+        assert_eq!(a, b, "online Hare diverged under an identical plan");
+    }
+}
