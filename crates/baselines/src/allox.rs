@@ -54,7 +54,7 @@ impl Policy for SchedAllox {
         self.ensure_len(p.jobs.len());
         for job in 0..self.placed.len() {
             if self.placed[job].is_some() && job_done(view, job) {
-                let gang = self.placed[job].take().unwrap();
+                let gang = self.placed[job].take().expect("is_some checked above");
                 self.reservations.release(&gang);
             }
         }
@@ -143,7 +143,7 @@ impl Policy for SchedAllox {
                     .then(
                         kb.generic_speedup()
                             .partial_cmp(&ka.generic_speedup())
-                            .unwrap(),
+                            .expect("generic speedups are finite"),
                     )
                     .then(a.cmp(&b))
             });
@@ -171,6 +171,7 @@ impl Policy for SchedAllox {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hare_cluster::{Cluster, GpuKind};

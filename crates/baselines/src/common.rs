@@ -22,7 +22,9 @@ pub fn fastest_idle(view: &SimView<'_>, n: usize) -> Vec<usize> {
     idle.sort_by(|&a, &b| {
         let sa = view.workload.cluster.gpus()[a].kind.generic_speedup();
         let sb = view.workload.cluster.gpus()[b].kind.generic_speedup();
-        sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+        sb.partial_cmp(&sa)
+            .expect("generic speedups are finite")
+            .then(a.cmp(&b))
     });
     idle.truncate(n);
     idle
@@ -117,7 +119,7 @@ pub fn release_completed(
     let mut freed = Vec::new();
     for (job, slot) in placed.iter_mut().enumerate() {
         if slot.is_some() && job_done(view, job) {
-            let gang = slot.take().unwrap();
+            let gang = slot.take().expect("is_some checked above");
             reservations.release(&gang);
             freed.extend(gang);
         }

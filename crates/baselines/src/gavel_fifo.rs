@@ -104,6 +104,7 @@ impl Policy for GavelFifo {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hare_cluster::Cluster;

@@ -12,9 +12,55 @@
 //! Compared against clairvoyant offline Hare in the `online` experiment
 //! binary, the regret from losing future knowledge is small (the
 //! relaxation's priorities depend mostly on already-arrived work).
+//!
+//! ## Budgeted replanning
+//!
+//! By default every replan solves the relaxation to completion and the
+//! solve is free in simulated time — the historical behaviour, preserved
+//! bit-for-bit. Opting in with [`HareOnline::with_budget`] makes solver
+//! latency a first-class simulated cost: each replan runs the anytime
+//! degradation ladder ([`hare_core::anytime_schedule`]) under a
+//! [`hare_solver::SolveBudget`] scaled by the live
+//! [`SimView::solver_budget_frac`] (shrunk by
+//! [`hare_sim::SolverDegradation`] windows), and the new priorities only
+//! take effect once the plan's deterministic work, priced at
+//! [`ReplanBudget::cost_per_work`], has elapsed on the simulation clock.
+//! Until then dispatch continues under the previous priorities — exactly
+//! what a real control plane does while its solver is still thinking.
 
-use hare_core::{HareScheduler, JobInfo, SchedProblem};
+use hare_cluster::{SimDuration, SimTime};
+use hare_core::{
+    anytime_schedule, AnytimeOptions, HareScheduler, JobInfo, PlanProvenance, Rung, SchedProblem,
+    StalePlan,
+};
 use hare_sim::{Policy, SimView};
+use hare_solver::{CancelToken, SolveBudget};
+
+/// Opt-in configuration for deadline-budgeted replanning.
+#[derive(Copy, Clone, Debug)]
+pub struct ReplanBudget {
+    /// Per-replan budget at full control-plane health. Only the
+    /// deterministic caps matter in simulation (wall-clock deadlines would
+    /// break reproducibility); the engine's live
+    /// [`SimView::solver_budget_frac`] scales it before every solve.
+    pub budget: SolveBudget,
+    /// Anytime-pipeline options (ladder configuration).
+    pub options: AnytimeOptions,
+    /// Simulated seconds charged per unit of solver work (pivots, B&B
+    /// nodes, or per-task passes — the pipeline's common currency).
+    pub cost_per_work: f64,
+}
+
+impl Default for ReplanBudget {
+    fn default() -> Self {
+        ReplanBudget {
+            budget: SolveBudget::capped(200_000, 100_000),
+            options: AnytimeOptions::default(),
+            // 100k pivots ≈ 1 simulated second of solver latency.
+            cost_per_work: 1e-5,
+        }
+    }
+}
 
 /// Online variant of Hare's scheduler: replans on every arrival.
 #[derive(Debug, Default)]
@@ -37,6 +83,17 @@ pub struct HareOnline {
     /// is wasted switching time in a healthy run and a stall under
     /// checkpoint-store faults.
     warm: Vec<std::collections::BTreeSet<hare_cluster::MachineId>>,
+    /// Budgeted-replanning configuration; `None` = legacy free replans.
+    budget: Option<ReplanBudget>,
+    /// A computed plan whose solver latency has not elapsed yet: the new
+    /// global priority vector and the simulated instant it becomes usable.
+    pending: Option<(SimTime, Vec<f64>)>,
+    /// Replans won by each ladder rung (indexed as [`Rung::ALL`]).
+    rung_hits: [u64; 4],
+    /// Provenance of the most recent budgeted replan.
+    last_provenance: Option<PlanProvenance>,
+    /// Total simulated solver latency charged across all replans.
+    solver_latency: SimDuration,
 }
 
 impl HareOnline {
@@ -53,9 +110,40 @@ impl HareOnline {
         }
     }
 
+    /// With budgeted replanning: every replan runs the anytime ladder
+    /// under `cfg.budget` (scaled by the live solver-degradation factor)
+    /// and pays its solver latency on the simulation clock.
+    pub fn with_budget(cfg: ReplanBudget) -> Self {
+        HareOnline {
+            budget: Some(cfg),
+            ..HareOnline::default()
+        }
+    }
+
     /// Replans performed so far.
     pub fn replans(&self) -> u32 {
         self.replans
+    }
+
+    /// Replans won by each ladder rung, as `(rung name, count)` in ladder
+    /// order. All zeros in legacy (unbudgeted) mode.
+    pub fn rung_hits(&self) -> [(&'static str, u64); 4] {
+        let mut out = [("", 0u64); 4];
+        for (slot, (rung, &hits)) in out.iter_mut().zip(Rung::ALL.iter().zip(&self.rung_hits)) {
+            *slot = (rung.name(), hits);
+        }
+        out
+    }
+
+    /// Provenance of the most recent budgeted replan (`None` before the
+    /// first replan or in legacy mode).
+    pub fn last_provenance(&self) -> Option<&PlanProvenance> {
+        self.last_provenance.as_ref()
+    }
+
+    /// Total simulated solver latency charged so far.
+    pub fn solver_latency(&self) -> SimDuration {
+        self.solver_latency
     }
 
     /// Re-solve the relaxation over the remaining rounds of every arrived,
@@ -92,18 +180,72 @@ impl HareOnline {
             return;
         }
         let sub = SchedProblem::new(p.n_gpus, sub_jobs);
-        let out = self.scheduler.schedule(&sub);
 
-        // Map sub-task priorities back onto global task ids: sub round q of
-        // sub job s is global round synced_rounds[g] + q of job g.
-        for (i, task) in sub.tasks.iter().enumerate() {
-            let g = global_job[task.job];
-            let global_round = view.synced_rounds[g] + task.round;
-            let slots = p.round_tasks(g, global_round);
-            let global_task = slots[task.slot as usize];
-            self.priority[global_task] = out.h[i];
+        // Map sub-task indices to global task ids: sub round q of sub job
+        // s is global round synced_rounds[g] + q of job g.
+        let globals: Vec<usize> = sub
+            .tasks
+            .iter()
+            .map(|task| {
+                let g = global_job[task.job];
+                let global_round = view.synced_rounds[g] + task.round;
+                let slots = p.round_tasks(g, global_round);
+                slots[task.slot as usize]
+            })
+            .collect();
+
+        match self.budget {
+            None => {
+                // Legacy path: a free, uncapped relaxation solve whose
+                // priorities take effect immediately.
+                let out = self.scheduler.schedule(&sub);
+                for (i, &global_task) in globals.iter().enumerate() {
+                    self.priority[global_task] = out.h[i];
+                }
+            }
+            Some(cfg) => {
+                // The previous plan's priorities, pulled into sub-problem
+                // indexing, seed the ladder's stale-plan rung (INFINITY
+                // marks tasks the previous plan never saw).
+                let stale = StalePlan {
+                    h: globals.iter().map(|&g| self.priority[g]).collect(),
+                };
+                let scaled = cfg.budget.scaled(view.solver_budget_frac);
+                let out = anytime_schedule(
+                    &sub,
+                    &cfg.options,
+                    &scaled,
+                    &CancelToken::new(),
+                    Some(&stale),
+                );
+                if let Some(i) = Rung::ALL.iter().position(|r| *r == out.provenance.chosen) {
+                    self.rung_hits[i] += 1;
+                }
+                let latency =
+                    SimDuration::from_secs_f64(out.provenance.work as f64 * cfg.cost_per_work);
+                self.solver_latency += latency;
+                // The plan is installed once its solve "finishes" on the
+                // simulation clock; dispatch keeps the old priorities
+                // until then.
+                let mut next = self.priority.clone();
+                for (i, &global_task) in globals.iter().enumerate() {
+                    next[global_task] = out.h[i];
+                }
+                self.pending = Some((view.now + latency, next));
+                self.last_provenance = Some(out.provenance);
+            }
         }
         self.replans += 1;
+    }
+
+    /// Install a pending budgeted plan whose solver latency has elapsed.
+    fn install_ready_plan(&mut self, now: SimTime) {
+        if let Some((ready_at, _)) = self.pending {
+            if now >= ready_at {
+                let (_, h) = self.pending.take().expect("pending is Some");
+                self.priority = h;
+            }
+        }
     }
 }
 
@@ -123,11 +265,15 @@ impl Policy for HareOnline {
     }
 
     fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
+        self.install_ready_plan(view.now);
         let arrivals = view.arrived.iter().filter(|&&a| a).count();
         if self.dirty || arrivals > self.planned_arrivals {
             self.replan(view);
             self.planned_arrivals = arrivals;
             self.dirty = false;
+            // A zero-latency plan (work priced at 0, or an empty replan)
+            // is usable in this very dispatch round.
+            self.install_ready_plan(view.now);
         }
         if self.priority.len() < view.workload.problem.n_tasks() {
             self.priority
@@ -155,7 +301,11 @@ impl Policy for HareOnline {
             let job = p.tasks[task].job;
             let gpus = view.workload.cluster.gpus();
             let fastest = |g: usize| (p.train(task, g), g);
-            let best = idle.iter().map(|&g| p.train(task, g)).min().unwrap();
+            let best = idle
+                .iter()
+                .map(|&g| p.train(task, g))
+                .min()
+                .expect("idle is non-empty: checked at loop top");
             // Warm-placement affinity: among idle GPUs within 20% of the
             // fastest, prefer one on a machine that already holds this
             // job's checkpoint. Migrating to a cold machine pays a
@@ -172,7 +322,7 @@ impl Policy for HareOnline {
                 })
                 .min_by_key(|&(_, &g)| fastest(g))
                 .or_else(|| idle.iter().enumerate().min_by_key(|&(_, &g)| fastest(g)))
-                .unwrap();
+                .expect("idle is non-empty: checked at loop top");
             self.warm[job].insert(gpus[gpu].machine);
             out.push((task, gpu));
             idle.remove(pos);
@@ -182,6 +332,7 @@ impl Policy for HareOnline {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hare_cluster::Cluster;
@@ -308,6 +459,111 @@ mod tests {
             .expect("simulation");
         let b = Simulation::new(&w)
             .run(&mut HareOnline::new())
+            .expect("simulation");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_budget_still_completes_every_plan() {
+        // The acceptance test for graceful degradation: with a deliberately
+        // tiny budget every replan must still produce a plan (lower rungs),
+        // no panics, no missed replans, and all jobs finish.
+        let w = workload(12, 7);
+        let mut policy = HareOnline::with_budget(ReplanBudget {
+            budget: hare_solver::SolveBudget::capped(1, 1),
+            ..ReplanBudget::default()
+        });
+        let report = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut policy)
+            .expect("simulation");
+        assert_eq!(report.completion.len(), 12);
+        assert!(policy.replans() >= 1);
+        let hits = policy.rung_hits();
+        assert_eq!(
+            hits.iter().map(|(_, n)| n).sum::<u64>() as u32,
+            policy.replans()
+        );
+        // The relaxation cannot run on one pivot: every replan fell to the
+        // stale-plan or greedy rung.
+        assert_eq!(hits[0].1 + hits[1].1, 0, "upper rungs impossible: {hits:?}");
+        assert!(hits[2].1 + hits[3].1 > 0);
+        let prov = policy
+            .last_provenance()
+            .expect("budgeted replans record provenance");
+        assert!(matches!(
+            prov.chosen,
+            hare_core::Rung::StalePlan | hare_core::Rung::Greedy
+        ));
+    }
+
+    #[test]
+    fn generous_budget_uses_the_relaxation_and_stays_competitive() {
+        let w = workload(12, 7);
+        let mut policy = HareOnline::with_budget(ReplanBudget::default());
+        let budgeted = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut policy)
+            .expect("simulation");
+        assert_eq!(budgeted.completion.len(), 12);
+        // Solver latency is charged on the simulation clock.
+        assert!(policy.solver_latency() > hare_cluster::SimDuration::ZERO);
+        // The degraded-mode result cannot beat physics: compare to legacy
+        // online Hare within a loose factor (latency delays plans).
+        let legacy = Simulation::new(&w)
+            .with_noise(0.0)
+            .run(&mut HareOnline::new())
+            .expect("simulation");
+        assert!(budgeted.weighted_jct < legacy.weighted_jct * 1.5);
+    }
+
+    #[test]
+    fn solver_degradation_fault_pushes_replans_down_the_ladder() {
+        let w = workload(12, 7);
+        let run = |plan: hare_sim::FaultPlan| {
+            let mut policy = HareOnline::with_budget(ReplanBudget::default());
+            let report = Simulation::new(&w)
+                .with_noise(0.0)
+                .with_fault_plan(plan)
+                .run(&mut policy)
+                .expect("simulation");
+            (report, policy.rung_hits())
+        };
+        let (healthy, healthy_hits) = run(hare_sim::FaultPlan::default());
+        // A brownout covering the whole run shrinks every replan's budget
+        // to a sliver of the default caps.
+        let (degraded, degraded_hits) = run(hare_sim::FaultPlan {
+            solver_degradations: vec![hare_sim::SolverDegradation {
+                from: hare_cluster::SimTime::ZERO,
+                until: hare_cluster::SimTime::from_secs(1_000_000),
+                factor: 1e-5,
+            }],
+            ..hare_sim::FaultPlan::default()
+        });
+        assert_eq!(healthy.completion.len(), 12);
+        assert_eq!(degraded.completion.len(), 12);
+        // Healthy replans run the relaxation; browned-out ones cannot.
+        assert!(healthy_hits[1].1 > 0, "healthy: {healthy_hits:?}");
+        assert_eq!(
+            degraded_hits[0].1 + degraded_hits[1].1,
+            0,
+            "degraded: {degraded_hits:?}"
+        );
+        assert!(degraded_hits[2].1 + degraded_hits[3].1 > 0);
+    }
+
+    #[test]
+    fn budgeted_mode_is_deterministic() {
+        let w = workload(10, 9);
+        let cfg = ReplanBudget {
+            budget: hare_solver::SolveBudget::capped(5_000, 100),
+            ..ReplanBudget::default()
+        };
+        let a = Simulation::new(&w)
+            .run(&mut HareOnline::with_budget(cfg))
+            .expect("simulation");
+        let b = Simulation::new(&w)
+            .run(&mut HareOnline::with_budget(cfg))
             .expect("simulation");
         assert_eq!(a, b);
     }

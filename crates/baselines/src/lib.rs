@@ -4,6 +4,7 @@
 //! comparison suite every end-to-end experiment drives.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod allox;
 pub mod common;
@@ -16,7 +17,7 @@ pub mod timeslice;
 
 pub use allox::SchedAllox;
 pub use gavel_fifo::GavelFifo;
-pub use hare_online::HareOnline;
+pub use hare_online::{HareOnline, ReplanBudget};
 pub use sched_homo::SchedHomo;
 pub use srtf::Srtf;
 pub use suite::{build_simulation, run_all, run_scheme, run_scheme_faulted, RunOptions, Scheme};

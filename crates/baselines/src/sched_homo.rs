@@ -108,6 +108,7 @@ impl Policy for SchedHomo {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hare_cluster::{Cluster, GpuKind};

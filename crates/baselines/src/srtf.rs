@@ -113,6 +113,7 @@ impl Policy for Srtf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hare_cluster::{Cluster, GpuKind, SimTime};

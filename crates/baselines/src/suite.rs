@@ -135,6 +135,7 @@ pub fn run_all(workload: &SimWorkload, opts: RunOptions) -> Vec<SimReport> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hare_cluster::Cluster;

@@ -62,7 +62,7 @@ impl Policy for TimeSlice {
                     .iter()
                     .enumerate()
                     .min_by_key(|&(_, &g)| (view.workload.problem.train(task, g), g))
-                    .unwrap();
+                    .expect("idle is non-empty: checked at loop top");
                 idle.remove(pos);
                 self.tick += 1;
                 self.last_served[job] = self.tick;
@@ -77,6 +77,7 @@ impl Policy for TimeSlice {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hare_cluster::{Cluster, GpuKind};

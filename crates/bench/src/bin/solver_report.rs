@@ -160,13 +160,25 @@ fn main() {
     let warm_ms = time_ms(|| relax::solve(&contended, &warm_opts));
     let cold_ms = time_ms(|| relax::solve(&contended, &cold_opts));
     println!(
-        "cut loop: {} cuts; warm {} pivots / {warm_ms:.3} ms vs cold {} pivots / {cold_ms:.3} ms",
-        warm.stats.cuts, warm.stats.pivots, cold.stats.pivots
+        "cut loop: {} cuts; warm {} pivots / {warm_ms:.3} ms vs cold {} pivots / {cold_ms:.3} ms \
+         (discarded on dense fallback: warm {}, cold {})",
+        warm.stats.cuts,
+        warm.stats.revised_pivots,
+        cold.stats.revised_pivots,
+        warm.stats.discarded_pivots,
+        cold.stats.discarded_pivots
     );
     let _ = writeln!(
         json,
-        "  \"cut_loop\": {{\"instance\": \"contended_36_tasks\", \"cuts\": {}, \"lp_solves\": {}, \"warm_pivots\": {}, \"cold_pivots\": {}, \"warm_median_ms\": {warm_ms:.4}, \"cold_median_ms\": {cold_ms:.4}}},",
-        warm.stats.cuts, warm.stats.lp_solves, warm.stats.pivots, cold.stats.pivots
+        "  \"cut_loop\": {{\"instance\": \"contended_36_tasks\", \"cuts\": {}, \"lp_solves\": {}, \"warm_revised_pivots\": {}, \"cold_revised_pivots\": {}, \"warm_discarded_pivots\": {}, \"cold_discarded_pivots\": {}, \"warm_dense_fallbacks\": {}, \"cold_dense_fallbacks\": {}, \"warm_median_ms\": {warm_ms:.4}, \"cold_median_ms\": {cold_ms:.4}}},",
+        warm.stats.cuts,
+        warm.stats.lp_solves,
+        warm.stats.revised_pivots,
+        cold.stats.revised_pivots,
+        warm.stats.discarded_pivots,
+        cold.stats.discarded_pivots,
+        warm.stats.dense_fallbacks,
+        cold.stats.dense_fallbacks
     );
 
     // --- Branch and bound --------------------------------------------

@@ -120,27 +120,34 @@ impl HareScheduler {
                 .iter()
                 .map(|t| p.jobs[t.job].arrival.as_secs_f64() + t.round as f64 * 1e-6)
                 .collect(),
-            PriorityOrder::Smith => {
-                let inst = p.to_instance();
-                (0..p.n_tasks())
-                    .map(|i| {
-                        let t = &p.tasks[i];
-                        p.jobs[t.job].arrival.as_secs_f64()
-                            + inst.p_min(i) / p.jobs[t.job].weight
-                            + t.round as f64 * 1e-6
-                    })
-                    .collect()
-            }
+            PriorityOrder::Smith => smith_priorities(p),
         }
     }
 }
 
-/// The Step-2 list scheduler, shared by all priority orders.
+/// Smith-ratio priorities `arrival + pᵢ^min/wₙ + round·10⁻⁶` — the
+/// heterogeneity-aware greedy order (WSPT-shaped), shared by the
+/// [`PriorityOrder::Smith`] ablation and the anytime pipeline's Greedy
+/// rung (`crate::anytime`).
+pub(crate) fn smith_priorities(p: &SchedProblem) -> Vec<f64> {
+    let inst = p.to_instance();
+    (0..p.n_tasks())
+        .map(|i| {
+            let t = &p.tasks[i];
+            p.jobs[t.job].arrival.as_secs_f64()
+                + inst.p_min(i) / p.jobs[t.job].weight
+                + t.round as f64 * 1e-6
+        })
+        .collect()
+}
+
+/// The Step-2 list scheduler, shared by all priority orders (and by every
+/// rung of the anytime pipeline in `crate::anytime`).
 ///
 /// Maintains per-(job, round) scheduling state so a round's tasks become
 /// dispatchable exactly when the previous round is fully scheduled; among
 /// dispatchable tasks, always pick the smallest priority (ties: task index).
-fn list_schedule(
+pub(crate) fn list_schedule(
     p: &SchedProblem,
     priority: &[f64],
     rule: AssignmentRule,

@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod anytime;
 pub mod gantt;
 pub mod problem;
 pub mod schedule;
@@ -14,6 +15,10 @@ pub mod theory;
 
 pub use algorithm::{
     hare_schedule, relaxed_round_assign, AssignmentRule, HareOutput, HareScheduler, PriorityOrder,
+};
+pub use anytime::{
+    anytime_schedule, AnytimeOptions, AnytimeOutput, PlanProvenance, Rung, RungAttempt,
+    RungOutcome, StalePlan,
 };
 pub use gantt::render as render_gantt;
 pub use problem::{GpuIdx, JobIdx, JobInfo, SchedProblem, TaskIdx, TaskInfo};

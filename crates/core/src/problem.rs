@@ -9,7 +9,7 @@
 //! *job* here and every task of a job shares them.
 
 use hare_cluster::{SimDuration, SimTime};
-use hare_solver::{Instance, JobMeta, TaskMeta};
+use hare_solver::{Instance, JobMeta, ProblemError, TaskMeta};
 use serde::{Deserialize, Serialize};
 
 /// Index of a GPU in the problem (dense, matches `Cluster` GPU ids).
@@ -85,34 +85,43 @@ impl SchedProblem {
         p
     }
 
-    /// Structural validation.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Structural validation with a typed error (shared with the solver's
+    /// [`Instance`] validation so callers handle one error type).
+    pub fn validate(&self) -> Result<(), ProblemError> {
         if self.n_gpus == 0 {
-            return Err("no GPUs".into());
+            return Err(ProblemError::NoMachines);
         }
         if self.jobs.is_empty() {
-            return Err("no jobs".into());
+            return Err(ProblemError::NoJobs);
         }
+        let bad_job = |j: usize, why: String| -> Result<(), ProblemError> {
+            Err(ProblemError::Job { job: j, why })
+        };
         for (j, job) in self.jobs.iter().enumerate() {
             if !(job.weight > 0.0 && job.weight.is_finite()) {
-                return Err(format!("job {j}: weight {}", job.weight));
+                return bad_job(j, format!("weight {}", job.weight));
             }
             if job.rounds == 0 || job.sync_scale == 0 {
-                return Err(format!("job {j}: empty rounds/scale"));
+                return bad_job(j, "empty rounds/scale".into());
             }
             if job.train.len() != self.n_gpus || job.sync.len() != self.n_gpus {
-                return Err(format!("job {j}: time vector length"));
+                return bad_job(j, "time vector length".into());
             }
             if job.train.iter().any(|t| t.is_zero()) {
-                return Err(format!("job {j}: zero training time"));
+                return bad_job(j, "zero training time".into());
             }
             // The paper's standing assumption: training dominates sync.
-            let t_min = job.train.iter().min().unwrap();
-            let s_max = job.sync.iter().max().unwrap();
+            // Both vectors are non-empty here: their length equals
+            // n_gpus, checked > 0 above.
+            let t_min = job.train.iter().min().expect("train.len() == n_gpus > 0");
+            let s_max = job.sync.iter().max().expect("sync.len() == n_gpus > 0");
             if s_max > t_min {
-                return Err(format!(
-                    "job {j}: sync {s_max} exceeds training {t_min} — violates the paper's assumption"
-                ));
+                return bad_job(
+                    j,
+                    format!(
+                        "sync {s_max} exceeds training {t_min} — violates the paper's assumption"
+                    ),
+                );
             }
         }
         let expected: usize = self
@@ -121,11 +130,11 @@ impl SchedProblem {
             .map(|j| (j.rounds * j.sync_scale) as usize)
             .sum();
         if self.tasks.len() != expected {
-            return Err(format!(
+            return Err(ProblemError::Inconsistent(format!(
                 "task count {} != expanded {}",
                 self.tasks.len(),
                 expected
-            ));
+            )));
         }
         Ok(())
     }
@@ -169,12 +178,16 @@ impl SchedProblem {
     /// `max_i { T^c_max/T^c_min, T^s_max/T^s_min }`.
     pub fn alpha(&self) -> f64 {
         let mut alpha: f64 = 1.0;
+        // Time vectors are non-empty for any validated problem (length
+        // n_gpus > 0), so the min/max always exist.
+        let micros =
+            |d: Option<&SimDuration>| d.expect("time vectors are non-empty").as_micros() as f64;
         for job in &self.jobs {
-            let t_max = job.train.iter().max().unwrap().as_micros() as f64;
-            let t_min = job.train.iter().min().unwrap().as_micros() as f64;
+            let t_max = micros(job.train.iter().max());
+            let t_min = micros(job.train.iter().min());
             alpha = alpha.max(t_max / t_min);
-            let s_max = job.sync.iter().max().unwrap().as_micros() as f64;
-            let s_min = job.sync.iter().min().unwrap().as_micros() as f64;
+            let s_max = micros(job.sync.iter().max());
+            let s_min = micros(job.sync.iter().min());
             if s_min > 0.0 {
                 alpha = alpha.max(s_max / s_min);
             }

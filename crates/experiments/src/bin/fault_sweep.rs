@@ -11,10 +11,17 @@
 //! the harshest level, plus delta-based views of the same data).
 //!
 //! Smoke mode for CI: `--seeds 1 --small` (12 jobs, same structure).
+//!
+//! Pass `--journal PATH` to make the sweep resumable: every completed
+//! (scheme, level, seed) cell is recorded durably, and a restarted run
+//! replays journaled cells instead of re-simulating them. Because every
+//! cell is deterministic, a run killed mid-sweep and restarted with the
+//! same journal produces byte-identical final output — CI kills a smoke
+//! run with `timeout` and asserts exactly that.
 
 use hare_baselines::{build_simulation, run_scheme_faulted, HareOnline, RunOptions, Scheme};
 use hare_cluster::{Cluster, SimDuration, SimTime};
-use hare_experiments::{parse_args, testbed_workload, Table};
+use hare_experiments::{parse_args, testbed_workload, Journal, Table};
 use hare_sim::{
     FaultPlan, GpuFault, NetworkFault, SimReport, SimWorkload, StorageFault, StorageFaultKind,
     StragglerWindow,
@@ -143,6 +150,26 @@ fn pct(base: f64, x: f64) -> String {
     format!("{:+.1}%", (x / base - 1.0) * 100.0)
 }
 
+/// The per-scheme fault-accounting line printed under "L3 fault
+/// accounting". Journaled verbatim as the cell note so a resumed sweep
+/// reprints it byte-for-byte without re-simulating.
+fn fault_line(name: &str, report: &SimReport) -> String {
+    let f = &report.faults;
+    format!(
+        "  {name:<12} failures={} recoveries={} reexec={} lost={:.0}s \
+         straggler_delay={:.0}s storage_stall={:.0}s fetched={} dropped={} accepted={}",
+        f.gpu_failures,
+        f.gpu_recoveries,
+        f.reexecuted_tasks,
+        f.lost_work.as_secs_f64(),
+        f.straggler_delay.as_secs_f64(),
+        f.storage_stall.as_secs_f64(),
+        report.storage_fetched,
+        f.dropped_gradients,
+        f.gradients_accepted,
+    )
+}
+
 fn online_report(w: &SimWorkload, opts: RunOptions, plan: &FaultPlan) -> SimReport {
     // Online Hare shares the builder with the five suite schemes (Hare's
     // switch runtime) so the comparison is apples-to-apples.
@@ -169,6 +196,18 @@ fn build_workload(seed: u64, small: bool) -> SimWorkload {
 fn main() {
     let (seeds, _csv, extra) = parse_args();
     let small = extra.iter().any(|a| a == "--small");
+    let mut journal = extra.iter().position(|a| a == "--journal").map(|i| {
+        let path = extra
+            .get(i + 1)
+            .expect("--journal requires a PATH argument");
+        Journal::open(path).expect("open resume journal")
+    });
+    if let Some(j) = &journal {
+        if !j.is_empty() {
+            // stderr, so resumed stdout stays byte-identical to a clean run.
+            eprintln!("resuming: {} journaled cell(s) will be replayed", j.len());
+        }
+    }
     // One workload per seed; every (scheme, level) cell below is the mean
     // wJCT across seeds. Single-seed runs are perturbation-sensitive: a
     // fault can reshuffle a saturated queue-based scheduler into a luckier
@@ -183,7 +222,7 @@ fn main() {
         .chain(std::iter::once("Hare_Online".to_string()))
         .collect();
     let mut wjct: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
-    let mut last_reports: Vec<Option<SimReport>> = vec![None; names.len()];
+    let mut last_line: Vec<Option<String>> = vec![None; names.len()];
 
     let mut header: Vec<&str> = vec!["scheme"];
     let labels: Vec<String> = levels
@@ -195,20 +234,33 @@ fn main() {
 
     for (s_idx, name) in names.iter().enumerate() {
         let mut row = vec![name.clone()];
-        for (_, plan) in &levels {
+        for (level, plan) in &levels {
             let mut sum = 0.0;
             for (&seed, w) in seeds.iter().zip(&workloads) {
-                let opts = RunOptions {
-                    seed,
-                    ..RunOptions::default()
+                let key = Journal::key(name, level, seed);
+                let (cell_wjct, line) = match journal.as_ref().and_then(|j| j.get(&key)) {
+                    // Journaled cell: replay without re-simulating.
+                    Some((v, note)) => (v, note.to_string()),
+                    None => {
+                        let opts = RunOptions {
+                            seed,
+                            ..RunOptions::default()
+                        };
+                        let report = if s_idx < Scheme::ALL.len() {
+                            run_scheme_faulted(Scheme::ALL[s_idx], w, opts, plan)
+                        } else {
+                            online_report(w, opts, plan)
+                        };
+                        let line = fault_line(name, &report);
+                        if let Some(j) = journal.as_mut() {
+                            j.record(&key, report.weighted_jct, &line)
+                                .expect("journal write");
+                        }
+                        (report.weighted_jct, line)
+                    }
                 };
-                let report = if s_idx < Scheme::ALL.len() {
-                    run_scheme_faulted(Scheme::ALL[s_idx], w, opts, plan)
-                } else {
-                    online_report(w, opts, plan)
-                };
-                sum += report.weighted_jct;
-                last_reports[s_idx] = Some(report);
+                sum += cell_wjct;
+                last_line[s_idx] = Some(line);
             }
             let mean = sum / seeds.len() as f64;
             let base = wjct[s_idx].first().copied().unwrap_or(mean);
@@ -230,22 +282,8 @@ fn main() {
 
     // Fault accounting at the harshest level (one line per scheme, last seed).
     println!("\nL3 fault accounting (last seed):");
-    for (name, report) in names.iter().zip(&last_reports) {
-        let f = &report.as_ref().expect("ran").faults;
-        let r = report.as_ref().expect("ran");
-        println!(
-            "  {name:<12} failures={} recoveries={} reexec={} lost={:.0}s \
-             straggler_delay={:.0}s storage_stall={:.0}s fetched={} dropped={} accepted={}",
-            f.gpu_failures,
-            f.gpu_recoveries,
-            f.reexecuted_tasks,
-            f.lost_work.as_secs_f64(),
-            f.straggler_delay.as_secs_f64(),
-            f.storage_stall.as_secs_f64(),
-            r.storage_fetched,
-            f.dropped_gradients,
-            f.gradients_accepted,
-        );
+    for line in &last_line {
+        println!("{}", line.as_deref().expect("ran"));
     }
 
     // Monotonicity verdict: nested plans must never *improve* wJCT.

@@ -1,0 +1,185 @@
+//! Crash-consistent experiment journal: resumable sweeps.
+//!
+//! Long sweeps (the fault sweep, the large-scale figure binaries) run many
+//! independent (scenario, seed) cells. Killing such a run — a CI timeout,
+//! a preempted node — used to throw every finished cell away. The journal
+//! makes runs resumable: each completed cell is appended as one line, and
+//! on restart completed cells are read back instead of re-simulated.
+//! Because every cell is deterministic in (workload, scheme, plan, seed),
+//! a resumed run's final output is byte-identical to an uninterrupted one
+//! — the property the CI kill-and-resume step asserts.
+//!
+//! Crash consistency comes from the append-only, line-framed format: a
+//! line is the atomic unit, each record is flushed and fsynced before the
+//! cell is considered durable, and a torn final line (the process died
+//! mid-write) is simply ignored on load. Duplicate keys are legal; the
+//! last complete record wins.
+//!
+//! The format is deliberately dependency-free (no JSON library in the
+//! offline vendor set): one record per line,
+//! `key TAB f64-bits-as-hex TAB note`. The primary value (a weighted JCT,
+//! a mean, …) travels as the hex of [`f64::to_bits`], so reloading is
+//! bit-exact — no decimal round-tripping. The free-form `note` carries
+//! preformatted report text (it must not contain tabs or newlines).
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+
+/// An append-only journal of completed experiment cells.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    done: BTreeMap<String, (f64, String)>,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path`, loading every complete
+    /// record. Torn trailing lines and malformed records are skipped.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Journal> {
+        let path = path.into();
+        let mut done = BTreeMap::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                // Only newline-terminated lines are complete records: a
+                // crash mid-append leaves a torn tail, which must not be
+                // trusted (it may hold a truncated value).
+                let complete = match text.rfind('\n') {
+                    Some(end) => &text[..end],
+                    None => "",
+                };
+                for line in complete.lines() {
+                    if let Some((key, value, note)) = parse_record(line) {
+                        done.insert(key.to_string(), (value, note.to_string()));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Journal { path, done })
+    }
+
+    /// The canonical cell key of a (scheme, scenario, seed) triple.
+    pub fn key(scheme: &str, scenario: &str, seed: u64) -> String {
+        format!("{scheme}/{scenario}/{seed}")
+    }
+
+    /// The value and note of a completed cell, if journaled.
+    pub fn get(&self, key: &str) -> Option<(f64, &str)> {
+        self.done.get(key).map(|(v, note)| (*v, note.as_str()))
+    }
+
+    /// Number of completed cells.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// True when no cell has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// Record a completed cell durably: append one line, flush, and fsync
+    /// before returning, so a kill after this call never loses the cell.
+    /// `key` and `note` must not contain tabs or newlines.
+    pub fn record(&mut self, key: &str, value: f64, note: &str) -> io::Result<()> {
+        assert!(
+            !key.contains(['\t', '\n']) && !note.contains(['\t', '\n']),
+            "journal keys/notes must be single-line and tab-free"
+        );
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{key}\t{:016x}\t{note}", value.to_bits())?;
+        file.flush()?;
+        file.sync_data()?;
+        self.done.insert(key.to_string(), (value, note.to_string()));
+        Ok(())
+    }
+}
+
+/// Parse one complete record line; `None` on any malformation.
+fn parse_record(line: &str) -> Option<(&str, f64, &str)> {
+    let mut parts = line.splitn(3, '\t');
+    let key = parts.next()?;
+    let bits = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let note = parts.next().unwrap_or("");
+    if key.is_empty() {
+        return None;
+    }
+    Some((key, f64::from_bits(bits), note))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hare-journal-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn round_trips_bit_exact_values() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::open(&path).unwrap();
+        assert!(j.is_empty());
+        let v = 12345.6789f64 / 3.1;
+        j.record(&Journal::key("Hare", "L3 harsh", 7), v, "note text")
+            .unwrap();
+        j.record("plain-key", f64::NAN, "").unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        let (got, note) = j.get(&Journal::key("Hare", "L3 harsh", 7)).unwrap();
+        assert_eq!(got.to_bits(), v.to_bits(), "bit-exact reload");
+        assert_eq!(note, "note text");
+        let (nan, _) = j.get("plain-key").unwrap();
+        assert!(nan.is_nan());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_last_record_wins() {
+        let path = tmp("torn");
+        let mut j = Journal::open(&path).unwrap();
+        j.record("cell", 1.0, "first").unwrap();
+        j.record("cell", 2.0, "second").unwrap();
+        // Simulate a crash mid-append: a record without its newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("cell\tdeadbeefdeadbeef");
+        std::fs::write(&path, &text).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        let (v, note) = j.get("cell").unwrap();
+        assert_eq!(v, 2.0, "last complete record wins; torn tail ignored");
+        assert_eq!(note, "second");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let path = tmp("malformed");
+        std::fs::write(
+            &path,
+            "not a record\n\tmissing key\nok\t3ff0000000000000\tn\n",
+        )
+        .unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.get("ok").unwrap().0, 1.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let j = Journal::open(tmp("missing")).unwrap();
+        assert!(j.is_empty());
+        assert_eq!(j.get("anything"), None);
+    }
+}

@@ -7,7 +7,9 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod journal;
 pub mod scenarios;
 
 pub use harness::{mean_std, paper_line, parallel_over_seeds, parse_args, Table};
+pub use journal::Journal;
 pub use scenarios::{sweep_table, testbed_workload, LargeScale};

@@ -138,6 +138,9 @@ impl<'a> Simulation<'a> {
         self.faults.stragglers.extend(plan.stragglers);
         self.faults.network_faults.extend(plan.network_faults);
         self.faults.storage_faults.extend(plan.storage_faults);
+        self.faults
+            .solver_degradations
+            .extend(plan.solver_degradations);
         self.faults.speculation = plan.speculation.or(self.faults.speculation);
         self
     }
@@ -613,6 +616,7 @@ impl<'a, 'b> Engine<'a, 'b> {
                 idle_gpus: &idle,
                 synced_rounds: &self.synced_rounds,
                 arrived: &self.arrived,
+                solver_budget_frac: self.cfg.faults.solver_frac_at(self.now),
             };
             let assignments = self.policy.dispatch(&view);
             if assignments.is_empty() {

@@ -137,6 +137,21 @@ pub struct StorageFault {
     pub kind: StorageFaultKind,
 }
 
+/// A solver-degradation window: while it is open, the scheduler's replan
+/// budget is multiplied by `factor` (a control-plane brownout — the solver
+/// host is overloaded, so each replan gets only a fraction of its normal
+/// pivot/node budget and the anytime ladder degrades to lower rungs).
+/// Only budget-aware policies react; others ignore it.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolverDegradation {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Remaining budget fraction, in (0, 1].
+    pub factor: f64,
+}
+
 /// Speculative re-execution config (the relaxed-sync escape hatch): when a
 /// round is waiting on exactly one gradient and the GPU computing it is
 /// currently straggling by at least `threshold`, the engine clones the
@@ -168,6 +183,8 @@ pub struct FaultPlan {
     pub network_faults: Vec<NetworkFault>,
     /// Checkpoint-store outage / latency windows.
     pub storage_faults: Vec<StorageFault>,
+    /// Solver-budget brownout windows (control-plane degradation).
+    pub solver_degradations: Vec<SolverDegradation>,
     /// Enable speculative re-execution of straggling last gradients.
     pub speculation: Option<SpeculationConfig>,
 }
@@ -179,6 +196,7 @@ impl FaultPlan {
             && self.stragglers.is_empty()
             && self.network_faults.is_empty()
             && self.storage_faults.is_empty()
+            && self.solver_degradations.is_empty()
     }
 
     /// Check the plan against a cluster of `n_gpus` GPUs on `n_machines`
@@ -265,6 +283,20 @@ impl FaultPlan {
                 }
             }
         }
+        for s in &self.solver_degradations {
+            if s.from >= s.until {
+                return bad(format!(
+                    "solver-degradation window [{}, {}) is empty",
+                    s.from, s.until
+                ));
+            }
+            if !s.factor.is_finite() || s.factor <= 0.0 || s.factor > 1.0 {
+                return bad(format!(
+                    "solver-degradation factor {} is not in (0, 1]",
+                    s.factor
+                ));
+            }
+        }
         if let Some(spec) = &self.speculation {
             if !spec.threshold.is_finite() || spec.threshold <= 1.0 {
                 return bad(format!(
@@ -287,6 +319,16 @@ impl FaultPlan {
             .collect();
         ws.sort_by_key(|&(from, until, _)| (from, until));
         ws
+    }
+
+    /// Solver-budget fraction available at `t`: the *worst* (smallest)
+    /// factor among open degradation windows, 1.0 when none are open.
+    pub fn solver_frac_at(&self, t: SimTime) -> f64 {
+        self.solver_degradations
+            .iter()
+            .filter(|s| s.from <= t && t < s.until)
+            .map(|s| s.factor)
+            .fold(1.0, f64::min)
     }
 }
 
@@ -647,6 +689,52 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(storage.validate(4, 2).is_err());
+    }
+
+    #[test]
+    fn solver_degradation_validates_and_composes() {
+        let plan = FaultPlan {
+            solver_degradations: vec![
+                SolverDegradation {
+                    from: t(10),
+                    until: t(100),
+                    factor: 0.5,
+                },
+                SolverDegradation {
+                    from: t(50),
+                    until: t(200),
+                    factor: 0.1,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_empty());
+        assert!(plan.validate(4, 2).is_ok());
+        assert_eq!(plan.solver_frac_at(t(0)), 1.0);
+        assert_eq!(plan.solver_frac_at(t(20)), 0.5);
+        // Overlap takes the worst factor; windows are half-open.
+        assert_eq!(plan.solver_frac_at(t(60)), 0.1);
+        assert_eq!(plan.solver_frac_at(t(150)), 0.1);
+        assert_eq!(plan.solver_frac_at(t(200)), 1.0);
+
+        let empty_window = FaultPlan {
+            solver_degradations: vec![SolverDegradation {
+                from: t(10),
+                until: t(10),
+                factor: 0.5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(empty_window.validate(4, 2).is_err());
+        let bad_factor = FaultPlan {
+            solver_degradations: vec![SolverDegradation {
+                from: t(0),
+                until: t(10),
+                factor: 1.5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(bad_factor.validate(4, 2).is_err());
     }
 
     #[test]

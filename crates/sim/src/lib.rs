@@ -22,8 +22,8 @@ pub use control::{
 pub use engine::{planned_report, Simulation};
 pub use event::{Event, EventQueue};
 pub use faults::{
-    FaultPlan, FaultProfile, GpuFault, NetworkFault, SimError, SpeculationConfig, StorageFault,
-    StorageFaultKind, StragglerWindow,
+    FaultPlan, FaultProfile, GpuFault, NetworkFault, SimError, SolverDegradation,
+    SpeculationConfig, StorageFault, StorageFaultKind, StragglerWindow,
 };
 pub use metrics::{jct_cdf, FaultMetrics, GpuReport, SimReport, UtilSpan};
 pub use policy::{OfflineReplay, Policy, SimView};

@@ -28,6 +28,12 @@ pub struct SimView<'a> {
     pub synced_rounds: &'a [u32],
     /// Per job: whether it has arrived.
     pub arrived: &'a [bool],
+    /// Fraction of the scheduler's replan budget currently available, in
+    /// (0, 1]; 1.0 when the control plane is healthy. Shrunk by open
+    /// [`crate::faults::SolverDegradation`] windows. Budget-aware
+    /// policies scale their per-replan [`hare_solver::SolveBudget`] by
+    /// it; others are free to ignore it.
+    pub solver_budget_frac: f64,
 }
 
 /// A scheduling policy driven by the simulator.
@@ -205,6 +211,7 @@ mod tests {
             idle_gpus: &idle,
             synced_rounds: &vec![0; w.problem.jobs.len()],
             arrived: &vec![true; w.problem.jobs.len()],
+            solver_budget_frac: 1.0,
         };
         assert!(replay.dispatch(&view).is_empty());
 
@@ -218,6 +225,7 @@ mod tests {
             idle_gpus: &idle,
             synced_rounds: &vec![0; w.problem.jobs.len()],
             arrived: &vec![true; w.problem.jobs.len()],
+            solver_budget_frac: 1.0,
         };
         let assignments = replay.dispatch(&view);
         assert!(!assignments.is_empty());
@@ -271,6 +279,7 @@ mod tests {
             idle_gpus: &[busy_gpu],
             synced_rounds: &vec![0; w.problem.jobs.len()],
             arrived: &vec![true; w.problem.jobs.len()],
+            solver_budget_frac: 1.0,
         };
         assert!(replay.dispatch(&view).is_empty());
     }

@@ -34,6 +34,7 @@
 //! bound of Theorem 4, and the relaxation's `lower_bound` is checked to sit
 //! below the optimum.
 
+use crate::budget::{CancelToken, SolveBudget};
 use crate::instance::Instance;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,6 +138,64 @@ pub fn solve_exact(inst: &Instance) -> ExactSolution {
     }
 }
 
+/// [`solve_exact`] under a [`SolveBudget`] and [`CancelToken`]: aborts
+/// with `None` once `budget.node_cap` search nodes have been explored, or
+/// at the first (periodic) check finding the deadline passed or the token
+/// cancelled.
+///
+/// Unlike [`solve_exact`] the budgeted search is **sequential**: under a
+/// finite budget the abort point must be deterministic, and a parallel
+/// search's node totals depend on bound-propagation timing across threads.
+/// An unlimited budget delegates to the parallel [`solve_exact`] verbatim.
+pub fn solve_exact_budgeted(
+    inst: &Instance,
+    budget: &SolveBudget,
+    cancel: &CancelToken,
+) -> Option<ExactSolution> {
+    if cancel.is_cancelled() || budget.deadline_passed() {
+        return None;
+    }
+    if budget.is_unlimited() {
+        return Some(solve_exact(inst));
+    }
+    inst.validate().expect("invalid instance");
+    assert!(
+        inst.n_tasks() <= MAX_TASKS,
+        "branch-and-bound limited to {MAX_TASKS} tasks; got {}",
+        inst.n_tasks()
+    );
+
+    let sym = Symmetry::analyze(inst);
+    let global = AtomicU64::new(f64::INFINITY.to_bits());
+    let branches = Search::fresh(inst, &sym, &global).root_branches();
+    assert!(!branches.is_empty(), "instance has no schedulable task");
+
+    let mut nodes = 1u64; // the root itself
+    let mut best: Option<(f64, Vec<f64>, Vec<usize>)> = None;
+    for (task, machine) in branches {
+        let mut s = Search::fresh(inst, &sym, &global);
+        s.node_cap = budget.node_cap.saturating_sub(nodes);
+        s.budget = Some(budget);
+        s.cancel = Some(cancel);
+        s.apply_and_dfs(task, machine);
+        nodes = nodes.saturating_add(s.nodes);
+        if s.aborted {
+            return None;
+        }
+        // Ties keep the earlier branch, matching solve_exact's reduction.
+        if s.best.is_finite() && best.as_ref().is_none_or(|&(b, _, _)| s.best < b) {
+            best = Some((s.best, s.best_start, s.best_machine));
+        }
+    }
+    let (objective, start, machine) = best.expect("search must find at least one schedule");
+    Some(ExactSolution {
+        start,
+        machine,
+        objective,
+        nodes,
+    })
+}
+
 struct BranchResult {
     objective: f64,
     start: Vec<f64>,
@@ -205,6 +264,14 @@ struct Search<'a> {
     best_start: Vec<f64>,
     best_machine: Vec<usize>,
     nodes: u64,
+    /// Node budget for this search (remaining from the caller's
+    /// [`SolveBudget::node_cap`]); `u64::MAX` in the unbudgeted search.
+    node_cap: u64,
+    /// Wall-clock/cancel sources, polled periodically ([`solve_exact_budgeted`]).
+    budget: Option<&'a SolveBudget>,
+    cancel: Option<&'a CancelToken>,
+    /// Set when the budget tripped; the search result is then meaningless.
+    aborted: bool,
 }
 
 impl<'a> Search<'a> {
@@ -223,7 +290,29 @@ impl<'a> Search<'a> {
             best_start: vec![f64::NAN; t],
             best_machine: vec![usize::MAX; t],
             nodes: 0,
+            node_cap: u64::MAX,
+            budget: None,
+            cancel: None,
+            aborted: false,
         }
+    }
+
+    /// Cooperative budget check at one search node. The node cap is exact;
+    /// cancellation and the wall-clock deadline are polled every 512 nodes
+    /// to keep the per-node cost a counter comparison.
+    fn over_budget(&self) -> bool {
+        if self.nodes > self.node_cap {
+            return true;
+        }
+        if self.nodes.is_multiple_of(512) {
+            if self.cancel.is_some_and(|c| c.is_cancelled()) {
+                return true;
+            }
+            if self.budget.is_some_and(|b| b.deadline_passed()) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Enumerate the root's (task, machine) branches after symmetry
@@ -293,6 +382,10 @@ impl<'a> Search<'a> {
 
     fn dfs(&mut self, scheduled_count: usize) {
         self.nodes += 1;
+        if self.over_budget() {
+            self.aborted = true;
+            return;
+        }
         if scheduled_count == self.inst.n_tasks() {
             let obj = self.objective();
             if obj < self.best {
@@ -330,6 +423,9 @@ impl<'a> Search<'a> {
                 let saved = self.place(i, m, ready);
                 self.dfs(scheduled_count + 1);
                 self.unplace(i, m, saved);
+                if self.aborted {
+                    return;
+                }
             }
         }
     }
@@ -406,10 +502,62 @@ impl<'a> Search<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::instance::{fig1_instance, InstanceBuilder};
     use crate::relax::certified_lower_bound;
+
+    #[test]
+    fn budgeted_search_aborts_and_matches_when_generous() {
+        let inst = fig1_instance();
+        let token = CancelToken::new();
+
+        // A handful of nodes is nowhere near enough for Fig. 1.
+        assert_eq!(
+            solve_exact_budgeted(&inst, &SolveBudget::capped(0, 5), &token),
+            None
+        );
+        // A pre-cancelled token aborts before any search.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert_eq!(
+            solve_exact_budgeted(&inst, &SolveBudget::capped(0, 1 << 40), &cancelled),
+            None
+        );
+
+        // Generous finite cap: same optimum as the parallel search (the
+        // node counter may differ — sequential vs parallel propagation).
+        let exact = solve_exact(&inst);
+        let budgeted = solve_exact_budgeted(&inst, &SolveBudget::capped(0, 1 << 40), &token)
+            .expect("cap is plenty");
+        assert_eq!(budgeted.objective, exact.objective);
+        assert_eq!(budgeted.start, exact.start);
+        assert_eq!(budgeted.machine, exact.machine);
+
+        // Unlimited budget delegates to solve_exact verbatim.
+        let unlimited = solve_exact_budgeted(&inst, &SolveBudget::UNLIMITED, &token)
+            .expect("unlimited cannot abort");
+        assert_eq!(unlimited.objective, exact.objective);
+    }
+
+    #[test]
+    fn budgeted_search_is_deterministic() {
+        let inst = fig1_instance();
+        let token = CancelToken::new();
+        let budget = SolveBudget::capped(0, 1 << 40);
+        let a = solve_exact_budgeted(&inst, &budget, &token).expect("cap is plenty");
+        for _ in 0..3 {
+            let b = solve_exact_budgeted(&inst, &budget, &token).expect("cap is plenty");
+            // Sequential search: even the node counter is reproducible.
+            assert_eq!(a, b);
+        }
+        // And the abort point is too: the largest insufficient cap yields
+        // None every time.
+        let short = SolveBudget::capped(0, a.nodes - 1);
+        assert_eq!(solve_exact_budgeted(&inst, &short, &token), None);
+        assert_eq!(solve_exact_budgeted(&inst, &short, &token), None);
+    }
 
     #[test]
     fn single_task_single_machine() {

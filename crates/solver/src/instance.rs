@@ -8,6 +8,50 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A structural defect in a scheduling instance or problem: empty machine
+/// or job sets, out-of-domain numbers (NaN, negative, or zero durations),
+/// or inconsistent job/round/task bookkeeping. Returned by
+/// [`Instance::validate`] (and by `hare-core`'s problem validation) so
+/// garbage is rejected with a typed error instead of propagating into the
+/// LP.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProblemError {
+    /// The machine/GPU set is empty.
+    NoMachines,
+    /// There are no jobs.
+    NoJobs,
+    /// A job-level field is out of domain or inconsistent.
+    Job {
+        /// Offending job index.
+        job: usize,
+        /// What is wrong with it.
+        why: String,
+    },
+    /// A task-level field is out of domain or inconsistent.
+    Task {
+        /// Offending task index.
+        task: usize,
+        /// What is wrong with it.
+        why: String,
+    },
+    /// Bookkeeping across jobs/rounds/tasks is inconsistent.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProblemError::NoMachines => write!(f, "no machines"),
+            ProblemError::NoJobs => write!(f, "no jobs"),
+            ProblemError::Job { job, why } => write!(f, "job {job}: {why}"),
+            ProblemError::Task { task, why } => write!(f, "task {task}: {why}"),
+            ProblemError::Inconsistent(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
 /// Per-job metadata.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobMeta {
@@ -44,24 +88,27 @@ pub struct Instance {
 }
 
 impl Instance {
-    /// Validate shape and positivity; returns a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate shape and positivity; returns a typed description of the
+    /// first problem found. Rejects NaN, negative, or zero training
+    /// durations and empty machine/job sets before they can poison the LP.
+    pub fn validate(&self) -> Result<(), ProblemError> {
         if self.n_machines == 0 {
-            return Err("no machines".into());
+            return Err(ProblemError::NoMachines);
         }
         if self.jobs.is_empty() {
-            return Err("no jobs".into());
+            return Err(ProblemError::NoJobs);
         }
+        let bad_job = |job: usize, why: String| Err(ProblemError::Job { job, why });
+        let bad_task = |task: usize, why: String| Err(ProblemError::Task { task, why });
         for (j, job) in self.jobs.iter().enumerate() {
             if !(job.weight > 0.0 && job.weight.is_finite()) {
-                return Err(format!("job {j}: weight {}", job.weight));
+                return bad_job(j, format!("weight {}", job.weight));
             }
             if !(job.release >= 0.0 && job.release.is_finite()) {
-                return Err(format!("job {j}: release {}", job.release));
+                return bad_job(j, format!("release {}", job.release));
             }
             if job.rounds == 0 {
-                return Err(format!("job {j}: zero rounds"));
+                return bad_job(j, "zero rounds".into());
             }
         }
         let mut seen = vec![vec![0u32; 0]; self.jobs.len()];
@@ -70,26 +117,29 @@ impl Instance {
         }
         for (t, task) in self.tasks.iter().enumerate() {
             if task.job >= self.jobs.len() {
-                return Err(format!("task {t}: job {} out of range", task.job));
+                return bad_task(t, format!("job {} out of range", task.job));
             }
             if task.round >= self.jobs[task.job].rounds {
-                return Err(format!("task {t}: round {} out of range", task.round));
+                return bad_task(t, format!("round {} out of range", task.round));
             }
             if task.p.len() != self.n_machines || task.s.len() != self.n_machines {
-                return Err(format!("task {t}: wrong machine-vector length"));
+                return bad_task(t, "wrong machine-vector length".into());
             }
             if task.p.iter().any(|&v| !(v > 0.0 && v.is_finite())) {
-                return Err(format!("task {t}: non-positive training time"));
+                return bad_task(t, "non-positive training time".into());
             }
             if task.s.iter().any(|&v| !(v >= 0.0 && v.is_finite())) {
-                return Err(format!("task {t}: negative sync time"));
+                return bad_task(t, "negative sync time".into());
             }
             seen[task.job][task.round as usize] += 1;
         }
         for (j, rounds) in seen.iter().enumerate() {
             for (r, &count) in rounds.iter().enumerate() {
                 if count == 0 {
-                    return Err(format!("job {j}: round {r} has no tasks"));
+                    return Err(ProblemError::Job {
+                        job: j,
+                        why: format!("round {r} has no tasks"),
+                    });
                 }
             }
         }
@@ -246,6 +296,7 @@ pub fn fig1_instance() -> Instance {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -291,16 +342,28 @@ mod tests {
             }],
         };
         let err = inst.validate().unwrap_err();
-        assert!(err.contains("round 1"), "{err}");
+        assert!(err.to_string().contains("round 1"), "{err}");
     }
 
     #[test]
     fn validation_catches_bad_times() {
         let mut inst = fig1_instance();
         inst.tasks[0].p[1] = 0.0;
-        assert!(inst.validate().is_err());
+        assert!(matches!(
+            inst.validate(),
+            Err(ProblemError::Task { task: 0, .. })
+        ));
         let mut inst2 = fig1_instance();
         inst2.tasks[0].s[0] = -1.0;
         assert!(inst2.validate().is_err());
+        let mut inst3 = fig1_instance();
+        inst3.tasks[1].p[0] = f64::NAN;
+        assert!(inst3.validate().is_err());
+        let empty = Instance {
+            n_machines: 0,
+            jobs: vec![],
+            tasks: vec![],
+        };
+        assert_eq!(empty.validate(), Err(ProblemError::NoMachines));
     }
 }

@@ -12,20 +12,26 @@
 //! * [`relax`] — the `Hare_Sched_RL` relaxation (LP + Queyranne cuts for
 //!   small instances, a combinatorial sweep for large ones) plus a
 //!   certified lower bound on the optimum;
-//! * [`bb`] — exact branch-and-bound ground truth for tiny instances.
+//! * [`bb`] — exact branch-and-bound ground truth for tiny instances;
+//! * [`budget`] — cooperative solve budgets and cancellation, honored by
+//!   every solver above so a solve can be bounded or aborted mid-flight.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod bb;
+pub mod budget;
 pub mod instance;
 pub mod lp;
 pub mod matching;
 pub mod relax;
 
-pub use bb::{solve_exact, ExactSolution};
-pub use instance::{fig1_instance, Instance, InstanceBuilder, JobMeta, TaskMeta};
+pub use bb::{solve_exact, solve_exact_budgeted, ExactSolution};
+pub use budget::{CancelToken, SolveBudget};
+pub use instance::{fig1_instance, Instance, InstanceBuilder, JobMeta, ProblemError, TaskMeta};
 pub use lp::{Cmp, Constraint, LinearProgram, LpOutcome, RevisedSimplex};
 pub use matching::{min_cost_matching, Matching};
 pub use relax::{
-    certified_lower_bound, midpoints, min_max, RelaxMode, RelaxOptions, RelaxSolution, SolveStats,
+    certified_lower_bound, combinatorial_work, midpoints, min_max, solve_budgeted, RelaxMode,
+    RelaxOptions, RelaxSolution, SolveStats,
 };

@@ -23,6 +23,7 @@
 //! runs are deterministic. Conventions: minimize `c·x` subject to sparse
 //! row constraints with `<=`, `>=` or `=` senses, and `x >= 0`.
 
+use crate::budget::{CancelToken, SolveBudget};
 use serde::{Deserialize, Serialize};
 
 /// Constraint sense.
@@ -196,6 +197,12 @@ pub struct RevisedSimplex {
     /// Total-pivot budget for [`RevisedSimplex::solve_capped`]
     /// (`u64::MAX` = uncapped).
     pivot_cap: u64,
+    /// Wall-clock deadline for [`RevisedSimplex::solve_under`], checked
+    /// once per pivot (`None` = no deadline).
+    deadline: Option<std::time::Instant>,
+    /// Cooperative cancellation for [`RevisedSimplex::solve_under`],
+    /// polled once per pivot.
+    cancel: Option<CancelToken>,
 }
 
 impl RevisedSimplex {
@@ -215,6 +222,8 @@ impl RevisedSimplex {
             pivots_since_refactor: 0,
             refactorizations: 0,
             pivot_cap: u64::MAX,
+            deadline: None,
+            cancel: None,
         };
         for c in &lp.constraints {
             s.push_row(c);
@@ -394,6 +403,42 @@ impl RevisedSimplex {
         out
     }
 
+    /// [`RevisedSimplex::solve`] under a full [`SolveBudget`] plus a
+    /// [`CancelToken`], all checked cooperatively before every pivot.
+    /// `max_pivots` is an absolute *total*-pivot budget with the same
+    /// convention as [`RevisedSimplex::solve_capped`] (compare against
+    /// [`RevisedSimplex::pivots`]); the budget's own `pivot_cap` is *not*
+    /// consulted here — the caller (the cut loop) apportions it across
+    /// re-solves. Returns `None` on abort, leaving the simplex mid-flight.
+    pub fn solve_under(
+        &mut self,
+        max_pivots: u64,
+        budget: &SolveBudget,
+        cancel: &CancelToken,
+    ) -> Option<LpOutcome> {
+        self.pivot_cap = max_pivots;
+        self.deadline = budget.deadline;
+        self.cancel = Some(cancel.clone());
+        let out = self.solve_impl();
+        self.pivot_cap = u64::MAX;
+        self.deadline = None;
+        self.cancel = None;
+        out
+    }
+
+    /// Cooperative abort check: cancellation requested or the wall-clock
+    /// deadline passed. Both are `None` outside `solve_under`, so plain
+    /// solves never pay the `Instant::now()` call.
+    fn interrupted(&self) -> bool {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return true;
+            }
+        }
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
     fn solve_impl(&mut self) -> Option<LpOutcome> {
         // Phase I only if some artificial is basic at a positive value.
         let needs_phase1 = self
@@ -506,7 +551,7 @@ impl RevisedSimplex {
             }
             match leave {
                 Some(r) => {
-                    if self.pivots >= self.pivot_cap {
+                    if self.pivots >= self.pivot_cap || self.interrupted() {
                         return SimplexEnd::Aborted;
                     }
                     let refactors = self.refactorizations;
@@ -944,6 +989,7 @@ pub mod dense {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -1099,6 +1145,40 @@ mod tests {
         assert_opt(&capped, 12.5, None);
         let mut u = RevisedSimplex::new(&lp);
         assert_eq!(u.solve(), capped);
+    }
+
+    #[test]
+    fn budgeted_solve_honors_cancel_and_deadline() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 4.0);
+        lp.constrain(vec![(0, 3.0), (1, 1.0)], Cmp::Ge, 6.0);
+
+        // A pre-cancelled token aborts before the first pivot.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let mut s = RevisedSimplex::new(&lp);
+        assert_eq!(
+            s.solve_under(u64::MAX, &SolveBudget::UNLIMITED, &cancelled),
+            None
+        );
+
+        // An already-passed deadline aborts likewise.
+        let expired = SolveBudget {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..SolveBudget::UNLIMITED
+        };
+        let mut s = RevisedSimplex::new(&lp);
+        assert_eq!(s.solve_under(u64::MAX, &expired, &CancelToken::new()), None);
+
+        // A healthy budget matches the plain solve bit-for-bit, and the
+        // budget state does not linger into the next plain solve.
+        let mut s = RevisedSimplex::new(&lp);
+        let budgeted = s
+            .solve_under(u64::MAX, &SolveBudget::UNLIMITED, &CancelToken::new())
+            .expect("unlimited budget cannot abort");
+        let mut u = RevisedSimplex::new(&lp);
+        assert_eq!(u.solve(), budgeted);
+        assert_eq!(s.solve(), budgeted);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! the preemptive fast-single-machine (WSPT) bound; `hare-core`'s tests
 //! check Algorithm 1 against it and against exact branch-and-bound optima.
 
+use crate::budget::{CancelToken, SolveBudget};
 use crate::instance::Instance;
 use crate::lp::{Cmp, LinearProgram, LpOutcome, RevisedSimplex};
 use serde::{Deserialize, Serialize};
@@ -64,8 +65,15 @@ impl Default for RelaxOptions {
 pub struct SolveStats {
     /// Queyranne cuts added before separation converged.
     pub cuts: usize,
-    /// Total simplex pivots across the initial solve and every cut round.
-    pub pivots: u64,
+    /// Productive revised-simplex pivots: every solve that ran to
+    /// optimality, across the initial solve and all cut re-solves.
+    pub revised_pivots: u64,
+    /// Pivots spent on solves that hit the per-solve pivot budget and were
+    /// redone from scratch by the dense fallback — wasted work, kept
+    /// separate from [`SolveStats::revised_pivots`] so benchmark
+    /// attribution stays honest (dense solves themselves contribute to
+    /// neither counter).
+    pub discarded_pivots: u64,
     /// LP solves performed (1 + cuts).
     pub lp_solves: usize,
     /// Times the revised simplex exhausted its pivot budget and the
@@ -122,6 +130,61 @@ pub fn solve(inst: &Instance, opts: &RelaxOptions) -> RelaxSolution {
     }
 }
 
+/// Solve the relaxation under a [`SolveBudget`] and [`CancelToken`].
+///
+/// `None` means the budget ran out (or cancellation / the deadline fired)
+/// before a solution existed. Unlike [`solve`], a budget-capped LP abort
+/// does **not** fall back to the dense solver — a budgeted caller wants
+/// bounded latency, and the degradation ladder in `hare-core` supplies the
+/// next-best plan instead. An unlimited budget delegates to [`solve`]
+/// verbatim, so its result is bit-for-bit identical to the unbudgeted path.
+///
+/// Budget accounting, in simplex-pivot units against `budget.pivot_cap`:
+/// LP mode spends real pivots across the initial solve and every cut
+/// re-solve combined; combinatorial mode charges the flat, deterministic
+/// [`combinatorial_work`] cost up front.
+pub fn solve_budgeted(
+    inst: &Instance,
+    opts: &RelaxOptions,
+    budget: &SolveBudget,
+    cancel: &CancelToken,
+) -> Option<RelaxSolution> {
+    if cancel.is_cancelled() || budget.deadline_passed() {
+        return None;
+    }
+    if budget.is_unlimited() {
+        return Some(solve(inst, opts));
+    }
+    inst.validate().expect("invalid instance");
+    let (x_hat, mode, stats) = if inst.n_tasks() <= opts.lp_task_limit {
+        budgeted_lp_mode(inst, opts, budget, cancel)?
+    } else {
+        if combinatorial_work(inst, opts) > budget.pivot_cap {
+            return None;
+        }
+        (
+            combinatorial_mode(inst, opts),
+            RelaxMode::Combinatorial,
+            SolveStats::default(),
+        )
+    };
+    let h = midpoints(inst, &x_hat);
+    Some(RelaxSolution {
+        lower_bound: certified_lower_bound(inst),
+        x_hat,
+        h,
+        mode,
+        stats,
+    })
+}
+
+/// Deterministic work charge for one combinatorial-mode sweep, in the same
+/// units as simplex pivots: each of the `passes` sweeps plus the final
+/// precedence pass touches every task once.
+pub fn combinatorial_work(inst: &Instance, opts: &RelaxOptions) -> u64 {
+    inst.n_tasks() as u64 * (opts.passes as u64 + 1)
+}
+
 /// Single-pass, NaN-defensive min/max: one traversal, NaN entries ignored.
 /// Returns `None` when `values` is empty or all-NaN.
 pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
@@ -149,8 +212,9 @@ pub fn midpoints(inst: &Instance, x_hat: &[f64]) -> Vec<f64> {
 // LP mode
 // ---------------------------------------------------------------------
 
-/// Variables: x_0..x_{T-1} (task starts) then C_0..C_{N-1} (job completions).
-fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveStats) {
+/// Build the base relaxation program. Variables: x_0..x_{T-1} (task
+/// starts) then C_0..C_{N-1} (job completions).
+fn base_program(inst: &Instance) -> LinearProgram {
     let t = inst.n_tasks();
     let n = inst.jobs.len();
     let mut objective = vec![0.0; t + n];
@@ -188,6 +252,44 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveS
             }
         }
     }
+    lp
+}
+
+/// Most violated aggregated Queyranne cut at `x_hat`, found by the
+/// sorted-prefix separation heuristic: sort tasks by x̂ and test prefixes
+/// of that order. Returns the cut as `(terms, rhs)` for `terms · x ≥ rhs`,
+/// or `None` when every prefix is satisfied within tolerance.
+fn separate_cut(inst: &Instance, x_hat: &[f64]) -> Option<(Vec<(usize, f64)>, f64)> {
+    let t = inst.n_tasks();
+    let m = inst.n_machines as f64;
+    let mut order: Vec<usize> = (0..t).collect();
+    order.sort_by(|&a, &b| x_hat[a].total_cmp(&x_hat[b]));
+    let mut sum_pmin = 0.0;
+    let mut sum_pmax_sq = 0.0;
+    let mut lhs = 0.0;
+    let mut best: Option<(usize, f64)> = None; // (prefix length, violation)
+    for (k, &i) in order.iter().enumerate() {
+        sum_pmin += inst.p_min(i);
+        sum_pmax_sq += inst.p_max(i) * inst.p_max(i);
+        lhs += inst.p_max(i) * x_hat[i];
+        let rhs = sum_pmin * sum_pmin / (2.0 * m) - 0.5 * sum_pmax_sq;
+        let violation = rhs - lhs;
+        if violation > 1e-6 && best.is_none_or(|(_, v)| violation > v) {
+            best = Some((k + 1, violation));
+        }
+    }
+    let (len, _) = best?;
+    let set = &order[..len];
+    let sum_pmin: f64 = set.iter().map(|&i| inst.p_min(i)).sum();
+    let sum_pmax_sq: f64 = set.iter().map(|&i| inst.p_max(i) * inst.p_max(i)).sum();
+    let rhs = sum_pmin * sum_pmin / (2.0 * m) - 0.5 * sum_pmax_sq;
+    let terms: Vec<(usize, f64)> = set.iter().map(|&i| (i, inst.p_max(i))).collect();
+    Some((terms, rhs))
+}
+
+fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveStats) {
+    let t = inst.n_tasks();
+    let mut lp = base_program(inst);
 
     // Per-solve pivot budget: far above anything a healthy cut round
     // needs, so it only trips on cycling or a pathological cut sequence —
@@ -200,11 +302,17 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveS
         stats: &mut SolveStats,
         t: usize,
     ) -> Vec<f64> {
-        let budget = simplex.pivots().saturating_add(PIVOT_BUDGET);
+        let before = simplex.pivots();
+        let budget = before.saturating_add(PIVOT_BUDGET);
         let outcome = match simplex.solve_capped(budget) {
-            Some(outcome) => outcome,
+            Some(outcome) => {
+                stats.revised_pivots += simplex.pivots() - before;
+                outcome
+            }
             None => {
-                stats.pivots += simplex.pivots();
+                // The aborted attempt's pivots were wasted — the dense
+                // solver redoes the round from scratch.
+                stats.discarded_pivots += simplex.pivots() - before;
                 stats.dense_fallbacks += 1;
                 *simplex = RevisedSimplex::new(lp);
                 lp.solve_dense()
@@ -227,52 +335,95 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveS
         ..SolveStats::default()
     };
     let mut x_hat = solve_or_dense(&mut simplex, &lp, &mut stats, t);
-    let m = inst.n_machines as f64;
     let mut cuts = 0usize;
 
     for _ in 0..opts.max_cut_rounds {
-        // Separation heuristic: sort tasks by x̂ and test prefixes of that
-        // order for the most violated aggregated Queyranne cut.
-        let mut order: Vec<usize> = (0..t).collect();
-        order.sort_by(|&a, &b| x_hat[a].total_cmp(&x_hat[b]));
-        let mut sum_pmin = 0.0;
-        let mut sum_pmax_sq = 0.0;
-        let mut lhs = 0.0;
-        let mut best: Option<(usize, f64)> = None; // (prefix length, violation)
-        for (k, &i) in order.iter().enumerate() {
-            sum_pmin += inst.p_min(i);
-            sum_pmax_sq += inst.p_max(i) * inst.p_max(i);
-            lhs += inst.p_max(i) * x_hat[i];
-            let rhs = sum_pmin * sum_pmin / (2.0 * m) - 0.5 * sum_pmax_sq;
-            let violation = rhs - lhs;
-            if violation > 1e-6 && best.is_none_or(|(_, v)| violation > v) {
-                best = Some((k + 1, violation));
-            }
-        }
-        let Some((len, _)) = best else { break };
-        let set = &order[..len];
-        let sum_pmin: f64 = set.iter().map(|&i| inst.p_min(i)).sum();
-        let sum_pmax_sq: f64 = set.iter().map(|&i| inst.p_max(i) * inst.p_max(i)).sum();
-        let rhs = sum_pmin * sum_pmin / (2.0 * m) - 0.5 * sum_pmax_sq;
-        let terms: Vec<(usize, f64)> = set.iter().map(|&i| (i, inst.p_max(i))).collect();
+        let Some((terms, rhs)) = separate_cut(inst, &x_hat) else {
+            break;
+        };
         cuts += 1;
         if opts.warm_start {
             lp.constrain(terms.clone(), Cmp::Ge, rhs);
             simplex.add_constraint(terms, Cmp::Ge, rhs);
         } else {
+            // Cold re-solve: the discarded object's pivots were already
+            // attributed per solve above.
             lp.constrain(terms, Cmp::Ge, rhs);
-            let pivots_so_far = simplex.pivots();
             simplex = RevisedSimplex::new(&lp);
-            // Carry the counter so stats stay comparable across modes.
-            stats.pivots += pivots_so_far;
         }
         x_hat = solve_or_dense(&mut simplex, &lp, &mut stats, t);
         stats.lp_solves += 1;
     }
 
     stats.cuts = cuts;
-    stats.pivots += simplex.pivots();
     (x_hat, RelaxMode::Lp { cuts }, stats)
+}
+
+/// LP mode under a finite budget: `budget.pivot_cap` is a *total* pivot
+/// allowance across the initial solve and every cut re-solve, with no
+/// dense fallback — exhausting it (or cancellation, or the deadline)
+/// aborts the whole solve with `None`.
+fn budgeted_lp_mode(
+    inst: &Instance,
+    opts: &RelaxOptions,
+    budget: &SolveBudget,
+    cancel: &CancelToken,
+) -> Option<(Vec<f64>, RelaxMode, SolveStats)> {
+    let t = inst.n_tasks();
+    let mut lp = base_program(inst);
+
+    fn solve_once(
+        simplex: &mut RevisedSimplex,
+        stats: &mut SolveStats,
+        t: usize,
+        retired: u64,
+        budget: &SolveBudget,
+        cancel: &CancelToken,
+    ) -> Option<Vec<f64>> {
+        let before = simplex.pivots();
+        // `retired` pivots were spent on previously discarded simplex
+        // objects (cold mode rebuilds one per round); the remaining
+        // allowance is an absolute cap for the current object.
+        let cap = budget.pivot_cap.saturating_sub(retired);
+        let outcome = simplex.solve_under(cap, budget, cancel);
+        stats.revised_pivots += simplex.pivots() - before;
+        match outcome? {
+            LpOutcome::Optimal { x, .. } => Some(x[..t].to_vec()),
+            other => panic!("relaxation LP must be solvable, got {other:?}"),
+        }
+    }
+
+    let mut simplex = RevisedSimplex::new(&lp);
+    let mut stats = SolveStats {
+        lp_solves: 1,
+        ..SolveStats::default()
+    };
+    let mut retired: u64 = 0;
+    let mut x_hat = solve_once(&mut simplex, &mut stats, t, retired, budget, cancel)?;
+    let mut cuts = 0usize;
+
+    for _ in 0..opts.max_cut_rounds {
+        if cancel.is_cancelled() || budget.deadline_passed() {
+            return None;
+        }
+        let Some((terms, rhs)) = separate_cut(inst, &x_hat) else {
+            break;
+        };
+        cuts += 1;
+        if opts.warm_start {
+            lp.constrain(terms.clone(), Cmp::Ge, rhs);
+            simplex.add_constraint(terms, Cmp::Ge, rhs);
+        } else {
+            lp.constrain(terms, Cmp::Ge, rhs);
+            retired = retired.saturating_add(simplex.pivots());
+            simplex = RevisedSimplex::new(&lp);
+        }
+        x_hat = solve_once(&mut simplex, &mut stats, t, retired, budget, cancel)?;
+        stats.lp_solves += 1;
+    }
+
+    stats.cuts = cuts;
+    Some((x_hat, RelaxMode::Lp { cuts }, stats))
 }
 
 // ---------------------------------------------------------------------
@@ -418,6 +569,7 @@ pub fn certified_lower_bound(inst: &Instance) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::instance::{fig1_instance, InstanceBuilder};
@@ -566,12 +718,101 @@ mod tests {
         }
         if warm.stats.cuts > 0 {
             assert!(
-                warm.stats.pivots < cold.stats.pivots,
+                warm.stats.revised_pivots < cold.stats.revised_pivots,
                 "warm {} pivots vs cold {}",
-                warm.stats.pivots,
-                cold.stats.pivots
+                warm.stats.revised_pivots,
+                cold.stats.revised_pivots
             );
         }
+    }
+
+    #[test]
+    fn unlimited_budget_reproduces_plain_solve_bit_for_bit() {
+        let inst = fig1_instance();
+        for opts in [
+            RelaxOptions::default(),
+            RelaxOptions {
+                lp_task_limit: 0,
+                ..RelaxOptions::default()
+            },
+        ] {
+            let plain = solve(&inst, &opts);
+            let budgeted =
+                solve_budgeted(&inst, &opts, &SolveBudget::UNLIMITED, &CancelToken::new())
+                    .expect("unlimited budget cannot abort");
+            assert_eq!(plain, budgeted);
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_without_fallback() {
+        let inst = fig1_instance();
+        let opts = RelaxOptions::default();
+        // One pivot is never enough for the relaxation LP.
+        assert_eq!(
+            solve_budgeted(
+                &inst,
+                &opts,
+                &SolveBudget::capped(1, 0),
+                &CancelToken::new()
+            ),
+            None
+        );
+        // A cancelled token aborts before any work.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert_eq!(
+            solve_budgeted(
+                &inst,
+                &opts,
+                &SolveBudget::capped(u64::MAX - 1, 0),
+                &cancelled
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn generous_finite_budget_matches_unbudgeted_lp_mode() {
+        let inst = fig1_instance();
+        let opts = RelaxOptions::default();
+        let plain = solve(&inst, &opts);
+        assert_eq!(plain.stats.dense_fallbacks, 0, "healthy instance");
+        let budgeted = solve_budgeted(
+            &inst,
+            &opts,
+            &SolveBudget::capped(1_000_000, 0),
+            &CancelToken::new(),
+        )
+        .expect("budget is plenty");
+        // Same pivoting sequence — only the cap differs — so the solution
+        // and work counters agree exactly.
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn combinatorial_budget_is_charged_deterministically() {
+        let inst = fig1_instance();
+        let opts = RelaxOptions {
+            lp_task_limit: 0, // force combinatorial
+            ..RelaxOptions::default()
+        };
+        let work = combinatorial_work(&inst, &opts);
+        assert_eq!(
+            work,
+            inst.n_tasks() as u64 * (opts.passes as u64 + 1),
+            "cost model"
+        );
+        let token = CancelToken::new();
+        assert_eq!(
+            solve_budgeted(&inst, &opts, &SolveBudget::capped(work - 1, 0), &token),
+            None,
+            "under the charge: abort"
+        );
+        let sol = solve_budgeted(&inst, &opts, &SolveBudget::capped(work, 0), &token)
+            .expect("exactly the charge: runs");
+        assert_eq!(sol.mode, RelaxMode::Combinatorial);
+        assert_eq!(sol, solve(&inst, &opts));
     }
 
     #[test]

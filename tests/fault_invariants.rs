@@ -16,14 +16,16 @@
 //! 4. runs are bit-for-bit deterministic under identical plans.
 
 use hare::baselines::{
-    build_simulation, GavelFifo, HareOnline, RunOptions, SchedAllox, SchedHomo, Scheme, Srtf,
+    build_simulation, GavelFifo, HareOnline, ReplanBudget, RunOptions, SchedAllox, SchedHomo,
+    Scheme, Srtf,
 };
 use hare::cluster::{Cluster, SimDuration, SimTime};
 use hare::core::HareScheduler;
 use hare::sim::{
     FaultPlan, GpuFault, NetworkFault, OfflineReplay, SimError, SimReport, SimWorkload,
-    SpeculationConfig, StorageFault, StorageFaultKind, StragglerWindow,
+    SolverDegradation, SpeculationConfig, StorageFault, StorageFaultKind, StragglerWindow,
 };
+use hare::solver::SolveBudget;
 use hare::workload::{testbed_trace, ProfileDb};
 use proptest::prelude::*;
 
@@ -140,6 +142,21 @@ fn storage_faults() -> impl Strategy<Value = Vec<StorageFault>> {
     )
 }
 
+/// Solver brownout windows; overlaps are legal (the engine takes the
+/// minimum open factor), so only `from < until` and `factor ∈ (0, 1]`
+/// need construction.
+fn solver_degradations() -> impl Strategy<Value = Vec<SolverDegradation>> {
+    prop::collection::vec((0u64..4_000, 60u64..1_800, 0.0001f64..1.0), 0..3).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(from, len, factor)| SolverDegradation {
+                from: t(from),
+                until: t(from + len),
+                factor,
+            })
+            .collect()
+    })
+}
+
 fn speculation() -> impl Strategy<Value = Option<SpeculationConfig>> {
     (any::<bool>(), 1.2f64..3.0)
         .prop_map(|(on, threshold)| on.then_some(SpeculationConfig { threshold }))
@@ -153,10 +170,19 @@ fn chaos() -> impl Strategy<Value = (u64, FaultPlan)> {
         stragglers(),
         network_faults(),
         storage_faults(),
+        solver_degradations(),
         speculation(),
     )
         .prop_map(
-            |(seed, gpu_faults, stragglers, network_faults, storage_faults, speculation)| {
+            |(
+                seed,
+                gpu_faults,
+                stragglers,
+                network_faults,
+                storage_faults,
+                solver_degradations,
+                speculation,
+            )| {
                 (
                     seed,
                     FaultPlan {
@@ -164,6 +190,7 @@ fn chaos() -> impl Strategy<Value = (u64, FaultPlan)> {
                         stragglers,
                         network_faults,
                         storage_faults,
+                        solver_degradations,
                         speculation,
                     },
                 )
@@ -195,6 +222,25 @@ fn run_online(w: &SimWorkload, plan: &FaultPlan) -> Result<SimReport, SimError> 
         ..RunOptions::default()
     };
     build_simulation(Scheme::Hare, w, opts, plan).run(&mut HareOnline::new())
+}
+
+/// Online Hare on a shoestring solver budget: every replan runs the
+/// anytime ladder with almost no pivots/nodes to spend. Returns the
+/// policy too so tests can inspect which rungs produced the plans.
+fn run_online_tiny_budget(
+    w: &SimWorkload,
+    plan: &FaultPlan,
+) -> Result<(SimReport, HareOnline), SimError> {
+    let opts = RunOptions {
+        noise: 0.0,
+        ..RunOptions::default()
+    };
+    let mut policy = HareOnline::with_budget(ReplanBudget {
+        budget: SolveBudget::capped(1, 1),
+        ..ReplanBudget::default()
+    });
+    let report = build_simulation(Scheme::Hare, w, opts, plan).run(&mut policy)?;
+    Ok((report, policy))
 }
 
 /// The recovery invariants every completed chaos run must satisfy.
@@ -310,6 +356,23 @@ proptest! {
         let w = workload(seed);
         let report = run_online(&w, &plan).expect("chaos run failed");
         check_invariants(&w, &plan, &report);
+    }
+
+    /// Graceful degradation under chaos: with a near-zero solve budget the
+    /// ladder can never run the relaxation, yet every chaos plan must
+    /// still complete with the full recovery invariants intact, served by
+    /// the stale-plan/greedy rungs alone.
+    #[test]
+    fn budgeted_hare_online_survives_chaos_on_a_shoestring(case in chaos()) {
+        let (seed, plan) = case;
+        let w = workload(seed);
+        let (report, policy) = run_online_tiny_budget(&w, &plan).expect("chaos run failed");
+        check_invariants(&w, &plan, &report);
+        let hits = policy.rung_hits();
+        let upper: u64 = hits[..2].iter().map(|(_, n)| n).sum();
+        let lower: u64 = hits[2..].iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(upper, 0, "exact/relaxation rungs cannot fit in a 1-pivot budget");
+        prop_assert!(lower > 0, "every replan must come from a degraded rung");
     }
 }
 
