@@ -21,6 +21,10 @@ use hare_sim::{Policy, SimView};
 use hare_solver::min_cost_matching;
 use std::collections::BTreeSet;
 
+/// The matching's dynamic input: waiting jobs with their synced-round
+/// progress, plus the free idle GPUs (see `SchedAllox::noop_input`).
+type MatchInput = (Vec<(usize, u32)>, Vec<usize>);
+
 /// AlloX-style min-cost-matching job-level scheduler.
 #[derive(Debug, Default)]
 pub struct SchedAllox {
@@ -29,6 +33,15 @@ pub struct SchedAllox {
     reservations: Reservations,
     /// GPUs currently down (fault injection).
     down: BTreeSet<usize>,
+    /// The last matching input that committed nothing, or `None`.
+    ///
+    /// Whether any position-1 match commits is a pure function of the
+    /// waiting jobs (with their synced-round progress) and the free idle
+    /// GPUs — everything else the matching reads is static workload data.
+    /// While admission is blocked (typically: fewer free GPUs than the
+    /// cheapest waiting gang needs) every event replays exactly this
+    /// input, so the O(n³) matching can be skipped until the input moves.
+    noop_input: Option<MatchInput>,
 }
 
 impl SchedAllox {
@@ -49,7 +62,7 @@ impl Policy for SchedAllox {
         "Sched_Allox".into()
     }
 
-    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
+    fn dispatch(&mut self, view: &SimView<'_>, out: &mut Vec<(usize, usize)>) {
         let p = &view.workload.problem;
         self.ensure_len(p.jobs.len());
         for job in 0..self.placed.len() {
@@ -66,13 +79,12 @@ impl Policy for SchedAllox {
             &mut self.reservations,
         );
         let ready = ready_by_job(view);
-        let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
 
         // Placed jobs: run their released round as a gang on their own GPUs.
         for (&job, tasks) in &ready {
             if let Some(gang) = &self.placed[job] {
-                continue_on_gang(tasks, gang, &mut idle, &mut out);
+                continue_on_gang(tasks, gang, &mut idle, out);
             }
         }
 
@@ -86,7 +98,17 @@ impl Policy for SchedAllox {
             .collect();
         self.reservations.filter_free(&mut idle);
         if waiting.is_empty() || idle.is_empty() {
-            return out;
+            return;
+        }
+        let input: MatchInput = (
+            waiting
+                .iter()
+                .map(|&j| (j, view.synced_rounds[j]))
+                .collect(),
+            idle.clone(),
+        );
+        if self.noop_input.as_ref() == Some(&input) {
+            return; // same blocked input as last time: nothing can commit
         }
         let positions = waiting.len().div_ceil(idle.len());
         let cols: Vec<(usize, usize)> = idle
@@ -122,6 +144,7 @@ impl Policy for SchedAllox {
             .collect();
         commits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
+        let mut committed = false;
         for (_, job, anchor) in commits {
             if !idle.contains(&anchor) {
                 continue; // consumed by an earlier commit's gang
@@ -157,8 +180,9 @@ impl Policy for SchedAllox {
             }
             self.reservations.reserve(&gang);
             self.placed[job] = Some(gang);
+            committed = true;
         }
-        out
+        self.noop_input = (!committed).then_some(input);
     }
 
     fn on_gpu_failure(&mut self, gpu: usize, _requeued: &[usize]) {

@@ -41,30 +41,40 @@ pub fn serial_remaining_secs(view: &SimView<'_>, job: usize, gpu: usize) -> f64 
     remaining_rounds as f64 * (info.sync_scale as f64 * per_task + sync)
 }
 
-/// Remaining best-case time of a job: remaining rounds × (fastest-GPU task
-/// time + its sync), assuming full parallelism — SRTF's ranking key.
-pub fn best_remaining_secs(view: &SimView<'_>, job: usize) -> f64 {
-    let p = &view.workload.problem;
-    let info = &p.jobs[job];
-    let remaining_rounds = info.rounds - view.synced_rounds[job];
-    let best = info
-        .train
+/// Best-case seconds of one round of a job (fastest-GPU task time + its
+/// sync). Static over the whole run — hot dispatch paths cache it per job
+/// instead of re-folding over every GPU inside a sort comparator.
+pub fn best_round_secs(view: &SimView<'_>, job: usize) -> f64 {
+    let info = &view.workload.problem.jobs[job];
+    info.train
         .iter()
         .zip(&info.sync)
         .map(|(t, s)| t.as_secs_f64() + s.as_secs_f64())
-        .fold(f64::MAX, f64::min);
-    remaining_rounds as f64 * best
+        .fold(f64::MAX, f64::min)
+}
+
+/// Mean task seconds of one round across GPUs — the homogeneity
+/// assumption's per-round estimate. Static over the whole run.
+pub fn mean_round_secs(view: &SimView<'_>, job: usize) -> f64 {
+    let info = &view.workload.problem.jobs[job];
+    info.train.iter().map(|t| t.as_secs_f64()).sum::<f64>() / info.train.len() as f64
+}
+
+/// Remaining best-case time of a job: remaining rounds × (fastest-GPU task
+/// time + its sync), assuming full parallelism — SRTF's ranking key.
+pub fn best_remaining_secs(view: &SimView<'_>, job: usize) -> f64 {
+    let info = &view.workload.problem.jobs[job];
+    let remaining_rounds = info.rounds - view.synced_rounds[job];
+    remaining_rounds as f64 * best_round_secs(view, job)
 }
 
 /// Remaining time under the homogeneity assumption: the *mean* task time
 /// across GPUs (a heterogeneity-oblivious scheduler believes all GPUs are
 /// this fast).
 pub fn mean_remaining_secs(view: &SimView<'_>, job: usize) -> f64 {
-    let p = &view.workload.problem;
-    let info = &p.jobs[job];
+    let info = &view.workload.problem.jobs[job];
     let remaining_rounds = info.rounds - view.synced_rounds[job];
-    let mean = info.train.iter().map(|t| t.as_secs_f64()).sum::<f64>() / info.train.len() as f64;
-    remaining_rounds as f64 * mean
+    remaining_rounds as f64 * mean_round_secs(view, job)
 }
 
 /// True when the job has fully completed.

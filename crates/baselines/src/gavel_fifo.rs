@@ -38,24 +38,28 @@ impl Policy for GavelFifo {
         "Gavel_FIFO".into()
     }
 
-    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
+    fn dispatch(&mut self, view: &SimView<'_>, out: &mut Vec<(usize, usize)>) {
         let p = &view.workload.problem;
         self.ensure_len(p.jobs.len());
         release_completed(view, &mut self.placed, &mut self.reservations);
-        repair_gangs(
-            fastest_idle(view, usize::MAX),
-            &self.down,
-            &mut self.placed,
-            &mut self.reservations,
-        );
+        // The speed-sorted idle list depends only on `view`, which is
+        // fixed for the whole call: sort once, filter per use below.
+        let fast_all = fastest_idle(view, usize::MAX);
+        if !self.down.is_empty() {
+            repair_gangs(
+                fast_all.clone(),
+                &self.down,
+                &mut self.placed,
+                &mut self.reservations,
+            );
+        }
         let ready = ready_by_job(view);
-        let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
 
         // 1. Placed jobs run their released rounds on their own gang.
         for (&job, tasks) in &ready {
             if let Some(gang) = &self.placed[job] {
-                continue_on_gang(tasks, gang, &mut idle, &mut out);
+                continue_on_gang(tasks, gang, &mut idle, out);
             }
         }
 
@@ -76,8 +80,11 @@ impl Policy for GavelFifo {
                 continue;
             };
             let need = p.jobs[job].sync_scale as usize;
-            let mut fast = fastest_idle(view, usize::MAX);
-            fast.retain(|g| idle.contains(g) && self.reservations.is_free(*g));
+            let fast: Vec<usize> = fast_all
+                .iter()
+                .copied()
+                .filter(|&g| idle.contains(&g) && self.reservations.is_free(g))
+                .collect();
             if fast.len() < need {
                 break; // FIFO head-of-line blocking
             }
@@ -90,8 +97,6 @@ impl Policy for GavelFifo {
             self.reservations.reserve(&gang);
             self.placed[job] = Some(gang);
         }
-
-        out
     }
 
     fn on_gpu_failure(&mut self, gpu: usize, _requeued: &[usize]) {

@@ -189,8 +189,7 @@ impl HareOnline {
             .map(|task| {
                 let g = global_job[task.job];
                 let global_round = view.synced_rounds[g] + task.round;
-                let slots = p.round_tasks(g, global_round);
-                slots[task.slot as usize]
+                view.workload.round_range(g, global_round).start + task.slot as usize
             })
             .collect();
 
@@ -264,7 +263,7 @@ impl Policy for HareOnline {
         self.dirty = true;
     }
 
-    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
+    fn dispatch(&mut self, view: &SimView<'_>, out: &mut Vec<(usize, usize)>) {
         self.install_ready_plan(view.now);
         let arrivals = view.arrived.iter().filter(|&&a| a).count();
         if self.dirty || arrivals > self.planned_arrivals {
@@ -293,7 +292,6 @@ impl Policy for HareOnline {
                 .then(a.cmp(&b))
         });
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
-        let mut out = Vec::new();
         for task in ready {
             if idle.is_empty() {
                 break;
@@ -327,7 +325,6 @@ impl Policy for HareOnline {
             out.push((task, gpu));
             idle.remove(pos);
         }
-        out
     }
 }
 
@@ -524,7 +521,7 @@ mod tests {
             let mut policy = HareOnline::with_budget(ReplanBudget::default());
             let report = Simulation::new(&w)
                 .with_noise(0.0)
-                .with_fault_plan(plan)
+                .with_fault_plan(&plan)
                 .run(&mut policy)
                 .expect("simulation");
             (report, policy.rung_hits())

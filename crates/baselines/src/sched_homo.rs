@@ -9,7 +9,7 @@
 //! first) and keeps exactly those GPUs until it completes.
 
 use crate::common::{
-    continue_on_gang, mean_remaining_secs, oblivious_order, ready_by_job, release_completed,
+    continue_on_gang, mean_round_secs, oblivious_order, ready_by_job, release_completed,
     repair_gangs, Reservations,
 };
 use hare_sim::{Policy, SimView};
@@ -22,6 +22,10 @@ pub struct SchedHomo {
     reservations: Reservations,
     /// GPUs currently down (fault injection).
     down: BTreeSet<usize>,
+    /// Cached per-job mean round seconds (static over a run) — the GPU
+    /// average behind [`crate::common::mean_remaining_secs`], hoisted out
+    /// of the admission sort's comparator.
+    round_mean: Vec<f64>,
 }
 
 impl SchedHomo {
@@ -42,9 +46,13 @@ impl Policy for SchedHomo {
         "Sched_Homo".into()
     }
 
-    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
+    fn dispatch(&mut self, view: &SimView<'_>, out: &mut Vec<(usize, usize)>) {
         let p = &view.workload.problem;
         self.ensure_len(p.jobs.len());
+        while self.round_mean.len() < p.jobs.len() {
+            self.round_mean
+                .push(mean_round_secs(view, self.round_mean.len()));
+        }
         release_completed(view, &mut self.placed, &mut self.reservations);
         // Repairs draw kind-blind, like every other Sched_Homo placement.
         let mut repair_pool: Vec<usize> = view.idle_gpus.to_vec();
@@ -56,34 +64,35 @@ impl Policy for SchedHomo {
             &mut self.reservations,
         );
         let ready = ready_by_job(view);
-        let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
 
         // Placed jobs continue on their dedicated gang.
         for (&job, tasks) in &ready {
             if let Some(gang) = &self.placed[job] {
-                continue_on_gang(tasks, gang, &mut idle, &mut out);
+                continue_on_gang(tasks, gang, &mut idle, out);
             }
         }
 
         // Admit waiting jobs by weighted remaining *mean* work (oblivious
-        // to which GPUs are actually fast), smallest normalized first.
-        let mut waiting: Vec<usize> = ready
+        // to which GPUs are actually fast), smallest normalized first. The
+        // key is `mean_remaining_secs / weight`, computed once per job from
+        // the cached static round mean rather than inside the comparator.
+        let mut waiting: Vec<(f64, usize)> = ready
             .keys()
             .copied()
             .filter(|&j| self.placed[j].is_none())
+            .map(|j| {
+                let remaining = p.jobs[j].rounds - view.synced_rounds[j];
+                (remaining as f64 * self.round_mean[j] / p.jobs[j].weight, j)
+            })
             .collect();
-        waiting.sort_by(|&a, &b| {
-            let ka = mean_remaining_secs(view, a) / p.jobs[a].weight;
-            let kb = mean_remaining_secs(view, b) / p.jobs[b].weight;
-            ka.total_cmp(&kb).then(a.cmp(&b))
-        });
+        waiting.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         self.reservations.filter_free(&mut idle);
         // Oblivious choice: a fixed kind-blind pseudo-random permutation.
         // (A scheduler that believes GPUs are homogeneous has no reason to
         // prefer any index.)
         oblivious_order(&mut idle);
-        for job in waiting {
+        for (_, job) in waiting {
             let need = p.jobs[job].sync_scale as usize;
             if idle.len() < need {
                 continue;
@@ -95,7 +104,6 @@ impl Policy for SchedHomo {
             self.reservations.reserve(&gang);
             self.placed[job] = Some(gang);
         }
-        out
     }
 
     fn on_gpu_failure(&mut self, gpu: usize, _requeued: &[usize]) {

@@ -10,7 +10,7 @@
 //! so the gang is drawn kind-blind.
 
 use crate::common::{
-    best_remaining_secs, continue_on_gang, oblivious_order, ready_by_job, release_completed,
+    best_round_secs, continue_on_gang, oblivious_order, ready_by_job, release_completed,
     repair_gangs, Reservations,
 };
 use hare_sim::{Policy, SimView};
@@ -23,6 +23,10 @@ pub struct Srtf {
     reservations: Reservations,
     /// GPUs currently down (fault injection).
     down: BTreeSet<usize>,
+    /// Cached per-job best-case round seconds (static over a run) — the
+    /// GPU fold behind [`crate::common::best_remaining_secs`], hoisted out
+    /// of the admission sort's comparator.
+    round_best: Vec<f64>,
 }
 
 impl Srtf {
@@ -43,9 +47,13 @@ impl Policy for Srtf {
         "SRTF".into()
     }
 
-    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
+    fn dispatch(&mut self, view: &SimView<'_>, out: &mut Vec<(usize, usize)>) {
         let p = &view.workload.problem;
         self.ensure_len(p.jobs.len());
+        while self.round_best.len() < p.jobs.len() {
+            self.round_best
+                .push(best_round_secs(view, self.round_best.len()));
+        }
         release_completed(view, &mut self.placed, &mut self.reservations);
         // Repairs draw kind-blind, like every other SRTF placement.
         let mut repair_pool: Vec<usize> = view.idle_gpus.to_vec();
@@ -57,29 +65,30 @@ impl Policy for Srtf {
             &mut self.reservations,
         );
         let ready = ready_by_job(view);
-        let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
 
         // Placed jobs continue on their dedicated gang.
         for (&job, tasks) in &ready {
             if let Some(gang) = &self.placed[job] {
-                continue_on_gang(tasks, gang, &mut idle, &mut out);
+                continue_on_gang(tasks, gang, &mut idle, out);
             }
         }
 
         // Admit waiting jobs, shortest remaining first, onto the fastest
         // free GPUs. No head-of-line blocking: a smaller job may slip past
-        // one that cannot fit.
-        let mut waiting: Vec<usize> = ready
+        // one that cannot fit. The key is `best_remaining_secs`, computed
+        // once per job from the cached static round time rather than inside
+        // the comparator.
+        let mut waiting: Vec<(f64, usize)> = ready
             .keys()
             .copied()
             .filter(|&j| self.placed[j].is_none())
+            .map(|j| {
+                let remaining = p.jobs[j].rounds - view.synced_rounds[j];
+                (remaining as f64 * self.round_best[j], j)
+            })
             .collect();
-        waiting.sort_by(|&a, &b| {
-            best_remaining_secs(view, a)
-                .total_cmp(&best_remaining_secs(view, b))
-                .then(a.cmp(&b))
-        });
+        waiting.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         // Placement-oblivious: a fixed kind-blind permutation (index order
         // would accidentally correlate with speed — see SchedHomo).
         let mut free: Vec<usize> = idle
@@ -88,7 +97,7 @@ impl Policy for Srtf {
             .filter(|&g| self.reservations.is_free(g))
             .collect();
         oblivious_order(&mut free);
-        for job in waiting {
+        for (_, job) in waiting {
             let need = p.jobs[job].sync_scale as usize;
             if free.len() < need {
                 continue;
@@ -100,7 +109,6 @@ impl Policy for Srtf {
             self.reservations.reserve(&gang);
             self.placed[job] = Some(gang);
         }
-        out
     }
 
     fn on_gpu_failure(&mut self, gpu: usize, _requeued: &[usize]) {

@@ -92,7 +92,7 @@ pub fn build_simulation<'a>(
         sim = sim.with_timelines();
     }
     if !plan.is_empty() {
-        sim = sim.with_fault_plan(plan.clone());
+        sim = sim.with_fault_plan(plan);
     }
     sim
 }

@@ -38,10 +38,9 @@ impl Policy for TimeSlice {
         "TimeSlice".into()
     }
 
-    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
+    fn dispatch(&mut self, view: &SimView<'_>, out: &mut Vec<(usize, usize)>) {
         self.ensure_len(view.workload.problem.jobs.len());
         let ready = ready_by_job(view);
-        let mut out = Vec::new();
         let mut idle: Vec<usize> = view.idle_gpus.to_vec();
         // Serve jobs least-recently-served first; one task per grant, so
         // wide jobs do not monopolize a dispatch round.
@@ -51,7 +50,7 @@ impl Policy for TimeSlice {
             let mut granted = false;
             for &job in &order {
                 if idle.is_empty() {
-                    return out;
+                    return;
                 }
                 let served: Vec<usize> = out.iter().map(|&(t, _)| t).collect();
                 let Some(&task) = ready[&job].iter().find(|t| !served.contains(t)) else {
@@ -70,7 +69,7 @@ impl Policy for TimeSlice {
                 granted = true;
             }
             if !granted {
-                return out;
+                return;
             }
         }
     }

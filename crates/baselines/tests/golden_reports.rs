@@ -1,0 +1,160 @@
+//! Golden-snapshot determinism guard for the simulation engine.
+//!
+//! Every scheduler runs a fixed small workload under a healthy and a
+//! composite fault configuration; the resulting [`SimReport`]s, rendered
+//! through the dependency-free `SimReport::to_json` serializer, must match
+//! the committed fixtures byte for byte. Any engine change that alters a
+//! single event ordering, float summation order, or metric value fails
+//! here — which is exactly the guarantee the hot-path optimization work
+//! relies on: *faster, not different*.
+//!
+//! To regenerate fixtures after an intentional behavior change:
+//!
+//! ```text
+//! HARE_BLESS=1 cargo test -p hare-baselines --test golden_reports
+//! ```
+//!
+//! and commit the diff (reviewing it as a semantic change, not noise).
+
+use hare_baselines::{build_simulation, run_scheme_faulted, HareOnline, RunOptions, Scheme};
+use hare_cluster::{Cluster, SimDuration, SimTime};
+use hare_sim::{
+    FaultPlan, GpuFault, NetworkFault, SimReport, SimWorkload, SpeculationConfig, StorageFault,
+    StorageFaultKind, StragglerWindow,
+};
+use hare_workload::{ProfileDb, TraceConfig};
+use std::fs;
+use std::path::PathBuf;
+
+/// Fixed fixture workload: 12 jobs on the 15-GPU testbed (the fault-sweep
+/// smoke configuration), seed 7.
+fn workload() -> SimWorkload {
+    let db = ProfileDb::new(7);
+    let trace = TraceConfig {
+        n_jobs: 12,
+        seed: 7,
+        ..TraceConfig::default()
+    }
+    .generate();
+    SimWorkload::build(Cluster::testbed15(), trace, &db)
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_secs(secs)
+}
+
+/// A composite plan touching every fault subsystem at once: transient and
+/// permanent GPU loss, stragglers (with speculation armed so twins
+/// launch), network degradation, and checkpoint-store outage/slowdown.
+fn composite_plan() -> FaultPlan {
+    let mut plan = FaultPlan {
+        speculation: Some(SpeculationConfig { threshold: 1.5 }),
+        ..FaultPlan::default()
+    };
+    plan.gpu_faults.push(GpuFault {
+        gpu: 0,
+        at: t(120),
+        recover_after: Some(SimDuration::from_secs(300)),
+    });
+    plan.gpu_faults.push(GpuFault {
+        gpu: 1,
+        at: t(400),
+        recover_after: None,
+    });
+    plan.stragglers.push(StragglerWindow {
+        gpu: 2,
+        from: t(60),
+        until: t(900),
+        slowdown: 2.5,
+    });
+    plan.stragglers.push(StragglerWindow {
+        gpu: 5,
+        from: t(1_000),
+        until: t(4_000),
+        slowdown: 3.0,
+    });
+    plan.network_faults.push(NetworkFault {
+        machine: None,
+        from: t(200),
+        until: t(1_400),
+        factor: 0.4,
+    });
+    plan.storage_faults.push(StorageFault {
+        from: t(30),
+        until: t(120),
+        kind: StorageFaultKind::Outage,
+    });
+    plan.storage_faults.push(StorageFault {
+        from: t(600),
+        until: t(1_200),
+        kind: StorageFaultKind::Slowdown(2.0),
+    });
+    plan
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Compare one report against its committed fixture (or rewrite the
+/// fixture under `HARE_BLESS=1`).
+fn check(name: &str, report: &SimReport) {
+    let got = report.to_json();
+    let path = fixture_path(name);
+    if std::env::var_os("HARE_BLESS").is_some() {
+        fs::create_dir_all(path.parent().expect("fixture dir has a parent"))
+            .expect("create fixture dir");
+        fs::write(&path, &got).expect("write fixture");
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with HARE_BLESS=1 to generate",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "SimReport for {name} drifted from its golden fixture — the engine \
+         changed observable behavior (re-bless with HARE_BLESS=1 only if \
+         the change is intentional)"
+    );
+}
+
+fn online_report(w: &SimWorkload, opts: RunOptions, plan: &FaultPlan) -> SimReport {
+    build_simulation(Scheme::Hare, w, opts, plan)
+        .run(&mut HareOnline::new())
+        .expect("simulation failed")
+}
+
+#[test]
+fn reports_match_golden_fixtures() {
+    let w = workload();
+    let healthy = FaultPlan::default();
+    let faulted = composite_plan();
+    let opts = RunOptions::default();
+    for scheme in Scheme::ALL {
+        let name = scheme.name();
+        check(
+            &format!("{name}_healthy"),
+            &run_scheme_faulted(scheme, &w, opts, &healthy),
+        );
+        check(
+            &format!("{name}_faulted"),
+            &run_scheme_faulted(scheme, &w, opts, &faulted),
+        );
+    }
+    check("Hare_Online_healthy", &online_report(&w, opts, &healthy));
+    check("Hare_Online_faulted", &online_report(&w, opts, &faulted));
+    // One timeline-recording run, so UtilSpan serialization is pinned too.
+    let tl_opts = RunOptions {
+        timelines: true,
+        ..opts
+    };
+    check(
+        "Gavel_FIFO_timelines",
+        &run_scheme_faulted(Scheme::GavelFifo, &w, tl_opts, &faulted),
+    );
+}

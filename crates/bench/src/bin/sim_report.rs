@@ -1,0 +1,250 @@
+//! Simulator performance report: writes `BENCH_sim.json` at the repo root.
+//!
+//! Records sim-only wall-clock and events/sec for every scheme on three
+//! cluster scales (small = 15-GPU testbed × 40 jobs, medium = 64 GPUs ×
+//! 80 jobs, large = 160 GPUs × 200 jobs), the sim-only time of a
+//! multi-seed medium sweep, and the end-to-end time of a fig-suite-shaped
+//! experiment (workload builds included). Pre-overhaul numbers, measured
+//! with the same methodology at the commit before the hot-path work, are
+//! embedded as the `before` block so the file carries its own trajectory.
+//!
+//! Methodology: "sim-only" times exactly the event loop — for Hare the
+//! offline schedule is precomputed outside the timer; baselines construct
+//! their (cheap) policy inside it. Workload construction is never timed
+//! except in the `fig_suite` entry, which is deliberately end-to-end.
+//!
+//! Run with `cargo run --release -p hare-bench --bin sim_report`
+//! (`-- --smoke` for the CI-sized variant: small+medium only, short
+//! sweep, no fig suite).
+
+use hare_baselines::{build_simulation, RunOptions, Scheme};
+use hare_core::HareScheduler;
+use hare_experiments::{sweep_table, testbed_workload, LargeScale};
+use hare_sim::{FaultPlan, OfflineReplay, SimWorkload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Sim-only wall-clock and events processed for one scheme on a workload.
+fn sim_only(scheme: Scheme, w: &SimWorkload, seed: u64) -> (f64, u64) {
+    let opts = RunOptions {
+        seed,
+        ..RunOptions::default()
+    };
+    let plan = FaultPlan::default();
+    match scheme {
+        Scheme::Hare => {
+            let out = HareScheduler::default().schedule(&w.problem);
+            let mut policy = OfflineReplay::new("Hare", w, &out.schedule);
+            let t = Instant::now();
+            let (_, events) = build_simulation(scheme, w, opts, &plan)
+                .run_counted(&mut policy)
+                .expect("simulation failed");
+            (t.elapsed().as_secs_f64(), events)
+        }
+        _ => {
+            let t = Instant::now();
+            let sim = build_simulation(scheme, w, opts, &plan);
+            let (_, events) = match scheme {
+                Scheme::Hare => unreachable!(),
+                Scheme::GavelFifo => sim.run_counted(&mut hare_baselines::GavelFifo::new()),
+                Scheme::Srtf => sim.run_counted(&mut hare_baselines::Srtf::new()),
+                Scheme::SchedHomo => sim.run_counted(&mut hare_baselines::SchedHomo::new()),
+                Scheme::SchedAllox => sim.run_counted(&mut hare_baselines::SchedAllox::new()),
+            }
+            .expect("simulation failed");
+            (t.elapsed().as_secs_f64(), events)
+        }
+    }
+}
+
+/// Pre-overhaul sim-only seconds (same scenarios, same methodology,
+/// measured at the commit before the hot-path work; single-threaded).
+fn before_total(scenario: &str) -> Option<f64> {
+    match scenario {
+        "small" => Some(0.300),
+        "medium" => Some(2.007),
+        "large" => Some(17.381),
+        _ => None,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let medium_cfg = LargeScale {
+        n_gpus: 64,
+        n_jobs: 80,
+        ..LargeScale::default()
+    };
+    let mut scenarios: Vec<(&str, SimWorkload)> = vec![
+        ("small", testbed_workload(1)),
+        ("medium", medium_cfg.workload(1)),
+    ];
+    if !smoke {
+        scenarios.push(("large", LargeScale::default().workload(1)));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release -p hare-bench --bin sim_report{}\",",
+        if smoke { " -- --smoke" } else { "" }
+    );
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str(
+        "  \"methodology\": \"sim-only = event loop only (Hare schedule precomputed outside \
+         the timer); events/sec = engine events processed / sim-only secs; fig_suite is \
+         end-to-end including workload builds; before = same methodology at the pre-overhaul \
+         commit, single-threaded\",\n",
+    );
+    json.push_str(
+        "  \"before\": {\"small_total_secs\": 0.300, \"medium_total_secs\": 2.007, \
+         \"large_total_secs\": 17.381, \"large_schemes\": {\"Hare\": 0.114, \
+         \"Gavel_FIFO\": 0.361, \"SRTF\": 4.720, \"Sched_Homo\": 4.334, \
+         \"Sched_Allox\": 7.852}, \"sweep_sim_only_secs\": 9.042},\n",
+    );
+
+    // --- Per-scale, per-scheme sim-only wall-clock + events/sec ------
+    json.push_str("  \"scenarios\": [\n");
+    let n_scen = scenarios.len();
+    for (k, (name, w)) in scenarios.iter().enumerate() {
+        println!(
+            "{name}: {} tasks, {} gpus",
+            w.problem.n_tasks(),
+            w.cluster.gpu_count()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"gpus\": {}, \"jobs\": {}, \"tasks\": {}, \"schemes\": [",
+            w.cluster.gpu_count(),
+            w.problem.jobs.len(),
+            w.problem.n_tasks()
+        );
+        let mut total = 0.0;
+        for (i, scheme) in Scheme::ALL.iter().enumerate() {
+            let (secs, events) = sim_only(*scheme, w, 1);
+            total += secs;
+            let eps = events as f64 / secs;
+            println!(
+                "  {:<12} {secs:.3}s  {events} events  {eps:.0} events/s",
+                scheme.name()
+            );
+            let _ = writeln!(
+                json,
+                "      {{\"name\": \"{}\", \"secs\": {secs:.4}, \"events\": {events}, \"events_per_sec\": {eps:.0}}}{}",
+                scheme.name(),
+                if i + 1 < Scheme::ALL.len() { "," } else { "" }
+            );
+        }
+        json.push_str("    ],\n");
+        let before = before_total(name);
+        let _ = writeln!(json, "    \"total_secs\": {total:.4},");
+        match before {
+            Some(b) => {
+                let _ = writeln!(
+                    json,
+                    "    \"before_total_secs\": {b:.3}, \"speedup\": {:.1}}}{}",
+                    b / total,
+                    if k + 1 < n_scen { "," } else { "" }
+                );
+                println!("  total {total:.3}s (before {b:.3}s, {:.1}x)", b / total);
+            }
+            None => {
+                let _ = writeln!(
+                    json,
+                    "    \"before_total_secs\": null, \"speedup\": null}}{}",
+                    if k + 1 < n_scen { "," } else { "" }
+                );
+                println!("  total {total:.3}s");
+            }
+        }
+    }
+    json.push_str("  ],\n");
+
+    // --- Multi-seed sweep (sim-only): the parallel-harness workload --
+    // Workloads are rebuilt per seed exactly like the sweep binaries do,
+    // but only the event loops are timed, matching the `before` number.
+    let sweep_seeds: u64 = if smoke { 2 } else { 4 };
+    let mut sweep_secs = 0.0;
+    for seed in 1..=sweep_seeds {
+        let w = medium_cfg.workload(seed);
+        for scheme in Scheme::ALL {
+            sweep_secs += sim_only(scheme, &w, seed).0;
+        }
+    }
+    let sweep_before = (!smoke).then_some(9.042);
+    match sweep_before {
+        Some(b) => {
+            let _ = writeln!(
+                json,
+                "  \"sweep\": {{\"scenario\": \"medium\", \"seeds\": {sweep_seeds}, \"sim_only_secs\": {sweep_secs:.4}, \"before_secs\": {b:.3}, \"speedup\": {:.1}}},",
+                b / sweep_secs
+            );
+            println!(
+                "sweep(medium, {sweep_seeds} seeds): sim-only {sweep_secs:.3}s (before {b:.3}s, {:.1}x)",
+                b / sweep_secs
+            );
+        }
+        None => {
+            let _ = writeln!(
+                json,
+                "  \"sweep\": {{\"scenario\": \"medium\", \"seeds\": {sweep_seeds}, \"sim_only_secs\": {sweep_secs:.4}, \"before_secs\": null, \"speedup\": null}},"
+            );
+            println!("sweep(medium, {sweep_seeds} seeds): sim-only {sweep_secs:.3}s");
+        }
+    }
+
+    // --- End-to-end fig-suite time -----------------------------------
+    // A fig16-shaped sweep (three heterogeneity points, one seed) through
+    // the real experiment harness: workload builds, the shared pool, and
+    // table assembly all included.
+    if smoke {
+        json.push_str("  \"fig_suite\": null\n}\n");
+    } else {
+        use hare_cluster::Heterogeneity;
+        let points: Vec<(String, LargeScale)> = [
+            ("Low", Heterogeneity::Low),
+            ("Mid", Heterogeneity::Mid),
+            ("High", Heterogeneity::High),
+        ]
+        .into_iter()
+        .map(|(l, level)| {
+            (
+                l.to_string(),
+                LargeScale {
+                    level,
+                    ..LargeScale::default()
+                },
+            )
+        })
+        .collect();
+        let t = Instant::now();
+        let table = sweep_table("heterogeneity", &points, &[1]);
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(table);
+        let _ = writeln!(
+            json,
+            "  \"fig_suite\": {{\"what\": \"fig16-shaped sweep, 3 heterogeneity points x 1 seed, end-to-end\", \"secs\": {secs:.2}, \"cores\": {cores}}}\n}}"
+        );
+        println!("fig suite (fig16-shaped, end-to-end): {secs:.2}s on {cores} core(s)");
+    }
+
+    // Walk up from the crate dir so the file lands at the repo root both
+    // under `cargo run` (cwd = workspace root) and direct invocation.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            std::path::Path::new(&d)
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench has a workspace root")
+                .to_path_buf()
+        })
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let path = root.join("BENCH_sim.json");
+    std::fs::write(&path, &json).expect("write BENCH_sim.json");
+    println!("wrote {}", path.display());
+}

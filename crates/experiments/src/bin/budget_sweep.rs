@@ -14,7 +14,7 @@
 use hare_baselines::{HareOnline, ReplanBudget};
 use hare_cluster::Cluster;
 use hare_core::AnytimeOptions;
-use hare_experiments::{paper_line, parse_args, testbed_workload, Journal, Table};
+use hare_experiments::{paper_line, parallel_map, parse_args, testbed_workload, Journal, Table};
 use hare_sim::{SimWorkload, Simulation};
 use hare_solver::SolveBudget;
 use hare_workload::{ProfileDb, TraceConfig};
@@ -71,7 +71,7 @@ fn main() {
     let (seeds, _csv, extra) = parse_args();
     let seed = seeds[0];
     let small = extra.iter().any(|a| a == "--small");
-    let mut journal = extra.iter().position(|a| a == "--journal").map(|i| {
+    let journal = extra.iter().position(|a| a == "--journal").map(|i| {
         let path = extra
             .get(i + 1)
             .expect("--journal requires a PATH argument");
@@ -83,6 +83,7 @@ fn main() {
             eprintln!("resuming: {} journaled cell(s) will be replayed", j.len());
         }
     }
+    let journal = std::sync::Mutex::new(journal);
     let w = build_workload(seed, small);
 
     // Budget ladder: pivot cap (LP) and node cap (B&B) shrink together.
@@ -107,21 +108,25 @@ fn main() {
         "greedy",
         "solver latency (s)",
     ]);
-    let mut results: Vec<(f64, String)> = Vec::new();
-    for (label, budget) in ladder {
+    // The ladder's rungs are independent simulations: run them on the
+    // shared pool, journaling each finished cell under the mutex. Results
+    // come back in ladder order, so the table below is unchanged.
+    let results: Vec<(f64, String)> = parallel_map(&ladder, |&(label, budget)| {
         let key = Journal::key("budget_sweep", label, seed);
-        let (wjct, note) = match journal.as_ref().and_then(|j| j.get(&key)) {
-            Some((v, note)) => (v, note.to_string()),
-            None => {
-                let (v, note) = run_cell(&w, seed, budget);
-                if let Some(j) = journal.as_mut() {
-                    j.record(&key, v, &note).expect("journal write");
-                }
-                (v, note)
-            }
-        };
-        results.push((wjct, note));
-    }
+        let journaled = journal
+            .lock()
+            .expect("journal lock")
+            .as_ref()
+            .and_then(|j| j.get(&key).map(|(v, note)| (v, note.to_string())));
+        if let Some(cell) = journaled {
+            return cell; // replay without re-simulating
+        }
+        let (v, note) = run_cell(&w, seed, budget);
+        if let Some(j) = journal.lock().expect("journal lock").as_mut() {
+            j.record(&key, v, &note).expect("journal write");
+        }
+        (v, note)
+    });
 
     let base = results[0].0;
     for ((label, _), (wjct, note)) in ladder.iter().zip(&results) {

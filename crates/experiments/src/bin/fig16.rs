@@ -6,7 +6,7 @@
 
 use hare_baselines::Scheme;
 use hare_cluster::Heterogeneity;
-use hare_experiments::{mean_std, paper_line, parallel_over_seeds, parse_args, LargeScale, Table};
+use hare_experiments::{mean_std, paper_line, parallel_map, parse_args, LargeScale, Table};
 
 fn main() {
     let (seeds, csv, _) = parse_args();
@@ -27,12 +27,20 @@ fn main() {
         "Allox/Hare",
     ]);
     let mut homo_ratio = Vec::new();
-    for (label, level) in levels {
-        let cfg = LargeScale {
-            level,
+    // One flat cell per (level, seed): a single pool covers the whole
+    // figure, so no worker idles at a per-level barrier.
+    let cells: Vec<(usize, u64)> = (0..levels.len())
+        .flat_map(|p| seeds.iter().map(move |&s| (p, s)))
+        .collect();
+    let all_runs = parallel_map(&cells, |&(p, seed)| {
+        LargeScale {
+            level: levels[p].1,
             ..LargeScale::default()
-        };
-        let runs = parallel_over_seeds(&seeds, |seed| cfg.run(seed));
+        }
+        .run(seed)
+    });
+    for (p, (label, _)) in levels.iter().enumerate() {
+        let runs = &all_runs[p * seeds.len()..(p + 1) * seeds.len()];
         let mean = |i: usize| {
             let xs: Vec<f64> = runs.iter().map(|r| r[i].weighted_jct).collect();
             mean_std(&xs).0

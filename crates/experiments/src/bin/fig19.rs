@@ -4,7 +4,7 @@
 //! heterogeneity-oblivious gangs create).
 
 use hare_baselines::Scheme;
-use hare_experiments::{mean_std, paper_line, parallel_over_seeds, parse_args, LargeScale, Table};
+use hare_experiments::{mean_std, paper_line, parallel_map, parse_args, LargeScale, Table};
 
 fn main() {
     let (seeds, csv, _) = parse_args();
@@ -20,12 +20,20 @@ fn main() {
     ]);
     let mut homo_rel = Vec::new();
     let mut hare_rel = Vec::new();
-    for (label, scale) in scales {
-        let cfg = LargeScale {
-            batch_scale: scale,
+    // One flat cell per (scale, seed): a single pool covers the whole
+    // figure, so no worker idles at a per-scale barrier.
+    let cells: Vec<(usize, u64)> = (0..scales.len())
+        .flat_map(|p| seeds.iter().map(move |&s| (p, s)))
+        .collect();
+    let all_runs = parallel_map(&cells, |&(p, seed)| {
+        LargeScale {
+            batch_scale: scales[p].1,
             ..LargeScale::default()
-        };
-        let runs = parallel_over_seeds(&seeds, |seed| cfg.run(seed));
+        }
+        .run(seed)
+    });
+    for (p, (label, _)) in scales.iter().enumerate() {
+        let runs = &all_runs[p * seeds.len()..(p + 1) * seeds.len()];
         let mean = |i: usize| {
             let xs: Vec<f64> = runs.iter().map(|r| r[i].weighted_jct).collect();
             mean_std(&xs).0

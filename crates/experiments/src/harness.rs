@@ -95,17 +95,68 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-/// Run `f(seed)` for each seed in parallel (simulations are independent)
-/// and return results in seed order.
-pub fn parallel_over_seeds<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+/// Run `f` over every item on a fixed-size worker pool and return the
+/// results in item order.
+///
+/// This is the shared runner behind every sweep binary: cells (a scheme ×
+/// scenario × seed triple, or just a seed) are independent simulations of
+/// wildly uneven cost, so workers *pull* the next unclaimed index from a
+/// shared counter instead of being dealt a static slice — a thread that
+/// drew cheap cells steals the remaining work from one stuck on an
+/// expensive cell. The pool is sized to the available cores (never more
+/// threads than items), and results land in a slot per item, so the
+/// output order is deterministic — identical to a serial `map` — no
+/// matter how the cells interleave. Side effects inside `f` (journal
+/// appends, progress lines) must do their own serialization.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = &AtomicUsize::new(0);
     let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| scope.spawn(move || f(seed)))
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        got.push((i, f(&items[i])));
+                    }
+                    got
+                })
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    // Scatter each worker's (index, result) pairs back into item order.
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    for (i, r) in parts.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+/// Run `f(seed)` for each seed in parallel (simulations are independent)
+/// and return results in seed order — [`parallel_map`] specialized to the
+/// common seed-sweep shape.
+pub fn parallel_over_seeds<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    parallel_map(seeds, |&seed| f(seed))
 }
 
 /// One "paper vs measured" comparison line.
@@ -181,9 +232,52 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_matches_serial_map_on_uneven_work() {
+        // More items than cores, wildly uneven per-item cost: the pool
+        // must still return results in exact item order.
+        let items: Vec<u64> = (0..97).collect();
+        let work = |&x: &u64| {
+            // Cost skew: item 0 spins ~1000x longer than item 96.
+            let spins = (97 - x) * (97 - x);
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        };
+        let serial: Vec<(u64, u64)> = items.iter().map(work).collect();
+        assert_eq!(parallel_map(&items, work), serial);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
     #[should_panic(expected = "row width")]
     fn row_width_checked() {
         let mut t = Table::new(&["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    proptest::proptest! {
+        /// Determinism guard: for arbitrary inputs (including sizes around
+        /// the worker count) and value-dependent per-item cost, the pooled
+        /// runner returns exactly what a serial `map` would, in the same
+        /// order.
+        #[test]
+        fn parallel_map_equals_serial_map(items in proptest::collection::vec(0u64..1000, 0..80)) {
+            let work = |&x: &u64| {
+                let mut acc = x;
+                for _ in 0..(x % 257) * 31 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            };
+            let serial: Vec<u64> = items.iter().map(work).collect();
+            proptest::prop_assert_eq!(parallel_map(&items, work), serial);
+        }
     }
 }

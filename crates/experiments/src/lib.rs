@@ -5,11 +5,12 @@
 //! results.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod harness;
 pub mod journal;
 pub mod scenarios;
 
-pub use harness::{mean_std, paper_line, parallel_over_seeds, parse_args, Table};
+pub use harness::{mean_std, paper_line, parallel_map, parallel_over_seeds, parse_args, Table};
 pub use journal::Journal;
 pub use scenarios::{sweep_table, testbed_workload, LargeScale};

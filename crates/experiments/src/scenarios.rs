@@ -83,7 +83,7 @@ impl LargeScale {
 /// the given seeds and tabulate mean weighted JCT (sojourn form, the
 /// quantity the paper's figures plot) plus the best-baseline/Hare ratio.
 pub fn sweep_table(axis: &str, points: &[(String, LargeScale)], seeds: &[u64]) -> crate::Table {
-    use crate::{mean_std, parallel_over_seeds, Table};
+    use crate::{mean_std, parallel_map, Table};
     use hare_baselines::Scheme;
 
     let mut table = Table::new(&[
@@ -95,15 +95,23 @@ pub fn sweep_table(axis: &str, points: &[(String, LargeScale)], seeds: &[u64]) -
         "Sched_Allox",
         "best-baseline/Hare",
     ]);
-    for (label, cfg) in points {
-        let runs = parallel_over_seeds(seeds, |seed| cfg.run(seed));
+    // One flat cell per (point, seed): a single work-stealing pool covers
+    // the whole sweep, so a cheap point's workers immediately move on to
+    // the expensive ones instead of idling at a per-point barrier.
+    let cells: Vec<(usize, u64)> = (0..points.len())
+        .flat_map(|p| seeds.iter().map(move |&s| (p, s)))
+        .collect();
+    let runs = parallel_map(&cells, |&(p, seed)| points[p].1.run(seed));
+    for (p, (label, _)) in points.iter().enumerate() {
+        let point_runs = &runs[p * seeds.len()..(p + 1) * seeds.len()];
         let mut means = Vec::new();
         for (i, _) in Scheme::ALL.iter().enumerate() {
-            let xs: Vec<f64> = runs.iter().map(|r| r[i].weighted_jct).collect();
+            let xs: Vec<f64> = point_runs.iter().map(|r| r[i].weighted_jct).collect();
             means.push(mean_std(&xs).0);
         }
         let hare = means[0];
-        let best_baseline = means[1..].iter().cloned().fold(f64::MAX, f64::min);
+        let (best_baseline, _) =
+            hare_solver::min_max(&means[1..]).expect("four baseline means per point");
         let mut row = vec![label.clone()];
         row.extend(means.iter().map(|m| format!("{m:.0}")));
         row.push(format!("{:.2}x", best_baseline / hare));

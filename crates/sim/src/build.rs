@@ -11,6 +11,8 @@ use hare_cluster::{Cluster, SimDuration};
 use hare_core::{JobInfo, SchedProblem};
 use hare_workload::{JobSpec, ModelKind, ProfileDb};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::OnceLock;
 
 /// A scheduling problem plus everything needed to *execute* it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -21,6 +23,12 @@ pub struct SimWorkload {
     pub problem: SchedProblem,
     /// Original job specs, index-aligned with `problem.jobs`.
     pub specs: Vec<JobSpec>,
+    /// Lazily-computed first-task index of each job (tasks are dense and
+    /// job-major), so [`SimWorkload::round_range`] is O(1) where
+    /// [`SchedProblem::round_tasks`] rescans every job. Excluded from
+    /// serialization — it is derived state, rebuilt on first use.
+    #[serde(skip)]
+    job_base: OnceLock<Vec<usize>>,
 }
 
 impl SimWorkload {
@@ -63,7 +71,30 @@ impl SimWorkload {
             cluster,
             problem,
             specs,
+            job_base: OnceLock::new(),
         }
+    }
+
+    /// First-task index of every job, computed once.
+    fn job_bases(&self) -> &[usize] {
+        self.job_base.get_or_init(|| {
+            let mut bases = Vec::with_capacity(self.problem.jobs.len());
+            let mut base = 0usize;
+            for j in &self.problem.jobs {
+                bases.push(base);
+                base += (j.rounds * j.sync_scale) as usize;
+            }
+            bases
+        })
+    }
+
+    /// Task-index range of one `(job, round)`, in slot order — the O(1)
+    /// equivalent of [`SchedProblem::round_tasks`], which the engine and
+    /// online scheduler call on every sync completion.
+    pub fn round_range(&self, job: usize, round: u32) -> Range<usize> {
+        let info = &self.problem.jobs[job];
+        let start = self.job_bases()[job] + (round * info.sync_scale) as usize;
+        start..start + info.sync_scale as usize
     }
 
     /// Model trained by a job.
@@ -85,6 +116,7 @@ impl SimWorkload {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hare_cluster::GpuKind;
@@ -170,6 +202,21 @@ mod tests {
             w.step_time(t0, 0) * steps,
             SimDuration::from_micros(full.as_micros() / steps * steps)
         );
+    }
+
+    #[test]
+    fn round_range_matches_round_tasks() {
+        let w = workload();
+        for (job, info) in w.problem.jobs.iter().enumerate() {
+            for round in [0, info.rounds / 2, info.rounds - 1] {
+                let range = w.round_range(job, round);
+                assert_eq!(
+                    range.collect::<Vec<_>>(),
+                    w.problem.round_tasks(job, round),
+                    "job {job} round {round}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Dense index sets for the simulation hot path.
+//!
+//! The engine's ready-task and idle-GPU sets were `BTreeSet<usize>`:
+//! every insert/remove allocated tree nodes and every dispatch walked the
+//! tree to snapshot it into a `Vec`. Both sets are dense over a small
+//! fixed universe (task indices, GPU indices), so a bitset does the same
+//! job allocation-free with O(1) mutation — and iteration over set bits is
+//! naturally ascending, preserving the exact ordering policies observed
+//! from the `BTreeSet`.
+
+/// A set of `usize` indices over a fixed universe `0..capacity`, backed by
+/// a bit vector. Mutations bump a version counter so callers can cache
+/// derived snapshots and rebuild them only when the set actually changed.
+#[derive(Clone, Debug)]
+pub(crate) struct DenseSet {
+    words: Vec<u64>,
+    len: usize,
+    version: u64,
+}
+
+impl DenseSet {
+    /// An empty set over `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        DenseSet {
+            words: vec![0; capacity.div_ceil(64)],
+            len: 0,
+            version: 0,
+        }
+    }
+
+    /// The full set `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = DenseSet::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s.version = 0;
+        s
+    }
+
+    /// Insert `i`; returns false if it was already present.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        if self.words[w] & b != 0 {
+            return false;
+        }
+        self.words[w] |= b;
+        self.len += 1;
+        self.version += 1;
+        true
+    }
+
+    /// Remove `i`; returns false if it was absent.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        if self.words[w] & b == 0 {
+            return false;
+        }
+        self.words[w] &= !b;
+        self.len -= 1;
+        self.version += 1;
+        true
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no members remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Counter bumped on every successful mutation; equal versions imply
+    /// equal contents (for one set instance).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Overwrite `out` with the members in ascending order (the snapshot
+    /// the dispatch view hands to policies), reusing its allocation.
+    pub fn collect_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.iter());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_btreeset_semantics() {
+        use std::collections::BTreeSet;
+        let mut dense = DenseSet::new(200);
+        let mut tree = BTreeSet::new();
+        // Deterministic pseudo-random walk of inserts and removes.
+        let mut x = 0x1234_5678u64;
+        for _ in 0..2_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % 200;
+            if x & 1 == 0 {
+                assert_eq!(dense.insert(i), tree.insert(i));
+            } else {
+                assert_eq!(dense.remove(i), tree.remove(&i));
+            }
+            assert_eq!(dense.len(), tree.len());
+        }
+        assert_eq!(
+            dense.iter().collect::<Vec<_>>(),
+            tree.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn full_and_collect() {
+        let s = DenseSet::full(70);
+        assert_eq!(s.len(), 70);
+        let mut out = vec![99; 3];
+        s.collect_into(&mut out);
+        assert_eq!(out, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn version_changes_only_on_mutation() {
+        let mut s = DenseSet::new(10);
+        let v0 = s.version();
+        assert!(s.insert(3));
+        assert_ne!(s.version(), v0);
+        let v1 = s.version();
+        assert!(!s.insert(3), "duplicate insert");
+        assert_eq!(s.version(), v1, "no-op mutations leave the version");
+        assert!(!s.remove(7), "absent remove");
+        assert_eq!(s.version(), v1);
+        assert!(s.remove(3));
+        assert_ne!(s.version(), v1);
+    }
+}

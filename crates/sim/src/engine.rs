@@ -24,8 +24,9 @@
 //! scheduler's own noise-free expectation.
 
 use crate::build::SimWorkload;
+use crate::dense::DenseSet;
 use crate::event::{Event, EventQueue};
-use crate::faults::{self, FaultPlan, GpuFault, SimError};
+use crate::faults::{FaultPlan, GpuFault, SimError, SlowdownProfile};
 use crate::metrics::{FaultMetrics, GpuReport, SimReport, UtilSpan};
 use crate::policy::{Policy, SimView};
 use crate::ps::ParameterServer;
@@ -36,7 +37,6 @@ use hare_memory::{PrevTask, SpeculativeCache, SwitchPolicy, SwitchRequest, TaskM
 use hare_workload::gaussian;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::BTreeSet;
 
 /// Simulator configuration.
 #[derive(Clone, Debug)]
@@ -131,16 +131,21 @@ impl<'a> Simulation<'a> {
 
     /// Merge a whole [`FaultPlan`] into the simulation (event lists are
     /// appended to anything injected so far; a speculation config in
-    /// `plan` wins over a previously set one). The plan is validated at
-    /// [`Simulation::run`].
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.faults.gpu_faults.extend(plan.gpu_faults);
-        self.faults.stragglers.extend(plan.stragglers);
-        self.faults.network_faults.extend(plan.network_faults);
-        self.faults.storage_faults.extend(plan.storage_faults);
+    /// `plan` wins over a previously set one). The plan is borrowed —
+    /// callers running the same plan across many simulations share one
+    /// copy. Validated at [`Simulation::run`].
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.faults.gpu_faults.extend_from_slice(&plan.gpu_faults);
+        self.faults.stragglers.extend_from_slice(&plan.stragglers);
+        self.faults
+            .network_faults
+            .extend_from_slice(&plan.network_faults);
+        self.faults
+            .storage_faults
+            .extend_from_slice(&plan.storage_faults);
         self.faults
             .solver_degradations
-            .extend(plan.solver_degradations);
+            .extend_from_slice(&plan.solver_degradations);
         self.faults.speculation = plan.speculation.or(self.faults.speculation);
         self
     }
@@ -149,6 +154,13 @@ impl<'a> Simulation<'a> {
     /// malformed fault plan, and during the run if the policy breaks the
     /// dispatch contract or stops dispatching with jobs outstanding.
     pub fn run(&self, policy: &mut dyn Policy) -> Result<SimReport, SimError> {
+        self.run_counted(policy).map(|(report, _)| report)
+    }
+
+    /// Like [`Simulation::run`], additionally returning the number of
+    /// events the engine processed — the denominator for events-per-second
+    /// throughput reporting (see the `sim_report` bench binary).
+    pub fn run_counted(&self, policy: &mut dyn Policy) -> Result<(SimReport, u64), SimError> {
         self.faults.validate(
             self.workload.cluster.gpu_count(),
             self.workload.cluster.machine_count(),
@@ -182,8 +194,27 @@ struct Engine<'a, 'b> {
     policy: &'b mut dyn Policy,
     queue: EventQueue,
     task_state: Vec<TaskState>,
-    ready: BTreeSet<usize>,
-    idle: BTreeSet<usize>,
+    ready: DenseSet,
+    idle: DenseSet,
+    /// Cached ascending snapshots of `ready`/`idle` handed to the policy
+    /// (the dispatch view wants slices). Rebuilt only when the backing
+    /// set's version moved — the `u64::MAX` sentinel forces the first
+    /// build.
+    ready_snap: Vec<usize>,
+    ready_snap_version: u64,
+    idle_snap: Vec<usize>,
+    idle_snap_version: u64,
+    /// Reusable assignment out-buffer for [`Policy::dispatch`].
+    assign_buf: Vec<(usize, usize)>,
+    /// Reusable per-machine NIC-factor buffer for degraded syncs.
+    net_scratch: Vec<f64>,
+    /// Per-GPU sequence number of the pending occupancy event
+    /// (`SwitchDone` or `TrainDone`), so a failure can cancel it in the
+    /// queue instead of letting it surface and be gen-checked. Only used
+    /// for cancellation when speculation is off: a stale `TrainDone`
+    /// doubles as a speculation probe at its pop time (see
+    /// [`Engine::run`]), and cancelling it would change when twins launch.
+    inflight: Vec<Option<u64>>,
     /// Last task that ran on each GPU (for switch costs).
     prev_task: Vec<Option<usize>>,
     /// When the current switch+train occupation began, per GPU.
@@ -206,8 +237,9 @@ struct Engine<'a, 'b> {
     gen: Vec<u32>,
     /// When each currently-failed GPU went down (for recovery latency).
     fail_time: Vec<Option<SimTime>>,
-    /// Straggler windows per GPU, `(from, until, slowdown)` sorted.
-    slow: Vec<Vec<(SimTime, SimTime, f64)>>,
+    /// Straggler slowdown profile per GPU, compiled once from the plan's
+    /// windows so hot-path lookups are a binary search instead of a scan.
+    slow: Vec<SlowdownProfile>,
     /// Live executions per task (2 while a speculation twin runs).
     running_copies: Vec<u32>,
     /// Tasks already granted a speculative copy (at most one per task).
@@ -232,6 +264,9 @@ struct Engine<'a, 'b> {
     gpus: Vec<GpuReport>,
     timelines: Option<Vec<Vec<UtilSpan>>>,
     now: SimTime,
+    /// Events popped and handled (stale/cancelled pops included) — the
+    /// denominator for events-per-second throughput reporting.
+    events_processed: u64,
 }
 
 impl<'a, 'b> Engine<'a, 'b> {
@@ -270,8 +305,15 @@ impl<'a, 'b> Engine<'a, 'b> {
             policy,
             queue,
             task_state: vec![TaskState::Pending; w.problem.n_tasks()],
-            ready: BTreeSet::new(),
-            idle: (0..n_gpus).collect(),
+            ready: DenseSet::new(w.problem.n_tasks()),
+            idle: DenseSet::full(n_gpus),
+            ready_snap: Vec::new(),
+            ready_snap_version: u64::MAX,
+            idle_snap: Vec::new(),
+            idle_snap_version: u64::MAX,
+            assign_buf: Vec::new(),
+            net_scratch: Vec::new(),
+            inflight: vec![None; n_gpus],
             prev_task: vec![None; n_gpus],
             occupied_since: vec![SimTime::ZERO; n_gpus],
             caches: w
@@ -290,7 +332,7 @@ impl<'a, 'b> Engine<'a, 'b> {
             gen: vec![0; n_gpus],
             fail_time: vec![None; n_gpus],
             slow: (0..n_gpus)
-                .map(|g| cfg.faults.straggler_windows(g))
+                .map(|g| SlowdownProfile::new(&cfg.faults.straggler_windows(g)))
                 .collect(),
             running_copies: vec![0; w.problem.n_tasks()],
             speculated: vec![false; w.problem.n_tasks()],
@@ -304,10 +346,11 @@ impl<'a, 'b> Engine<'a, 'b> {
             gpus: vec![GpuReport::default(); n_gpus],
             timelines: cfg.record_timelines.then(|| vec![Vec::new(); n_gpus]),
             now: SimTime::ZERO,
+            events_processed: 0,
         }
     }
 
-    fn run(mut self) -> Result<SimReport, SimError> {
+    fn run(mut self) -> Result<(SimReport, u64), SimError> {
         let n_jobs = self.cfg.workload.problem.jobs.len();
         let speculating = self.cfg.faults.speculation.is_some();
         while self.jobs_done < n_jobs {
@@ -322,8 +365,19 @@ impl<'a, 'b> Engine<'a, 'b> {
             };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            self.events_processed += 1;
             self.handle(event);
-            self.dispatch()?;
+            // A switch completing changes nothing a policy can observe: the
+            // GPU stays occupied (training starts), the ready set is
+            // untouched, and a prior dispatch already ran this view to its
+            // fixpoint — so the dispatch offer is skipped. Shipped policies
+            // either always place when both sets are non-empty (the fixpoint
+            // then has one of them empty) or never read the clock and
+            // mutate idempotently on an unchanged view; the golden-fixture
+            // suite pins the equivalence.
+            if !matches!(event, Event::SwitchDone { .. }) {
+                self.dispatch()?;
+            }
             // A gradient landing is the moment a round can drop to "one
             // missing" — the trigger for speculative re-execution. Only
             // GPUs the policy left idle are used.
@@ -334,7 +388,8 @@ impl<'a, 'b> Engine<'a, 'b> {
                 }
             }
         }
-        Ok(self.report())
+        let events = self.events_processed;
+        Ok((self.report(), events))
     }
 
     fn handle(&mut self, event: Event) {
@@ -342,7 +397,7 @@ impl<'a, 'b> Engine<'a, 'b> {
         match event {
             Event::JobArrival { job } => {
                 self.arrived[job] = true;
-                for i in w.problem.round_tasks(job, 0) {
+                for i in w.round_range(job, 0) {
                     debug_assert_eq!(self.task_state[i], TaskState::Pending);
                     self.task_state[i] = TaskState::Ready;
                     self.ready.insert(i);
@@ -360,10 +415,11 @@ impl<'a, 'b> Engine<'a, 'b> {
                 // stretched through any straggler windows it overlaps.
                 let expected = w.problem.train(task, gpu);
                 let nominal = self.realized(task, expected);
-                let realized = if self.slow[gpu].is_empty() {
+                let realized = if self.slow[gpu].is_trivial() {
                     nominal
                 } else {
-                    faults::finish_over_windows(&self.slow[gpu], self.now, nominal)
+                    self.slow[gpu]
+                        .finish_over(self.now, nominal)
                         .saturating_since(self.now)
                 };
                 self.fm.straggler_delay += realized.saturating_sub(nominal);
@@ -389,13 +445,16 @@ impl<'a, 'b> Engine<'a, 'b> {
                     cur.busy = realized;
                     cur.effective = realized.mul_f64(model.utilization(kind));
                 }
-                self.queue
+                let seq = self
+                    .queue
                     .push(self.now + realized, Event::TrainDone { task, gpu, gen });
+                self.inflight[gpu] = Some(seq);
             }
             Event::TrainDone { task, gpu, gen } => {
                 if self.failed[gpu] || gen != self.gen[gpu] {
                     return; // stale: the GPU failed after scheduling this
                 }
+                self.inflight[gpu] = None;
                 let Some(cur) = self.current[gpu].take() else {
                     return;
                 };
@@ -424,14 +483,16 @@ impl<'a, 'b> Engine<'a, 'b> {
                     self.round_tainted[job] = true;
                 }
                 let machine = w.cluster.gpus()[gpu].machine;
-                let outcome = match self.net_factors() {
+                let mut factors = std::mem::take(&mut self.net_scratch);
+                let backbone = self.fill_net_factors(&mut factors);
+                let outcome = match backbone {
                     None => self.ps[job].push_gradient_contended(
                         self.now,
                         machine,
                         w.cluster.network(),
                         self.active_syncs,
                     ),
-                    Some((factors, backbone)) => self.ps[job].push_gradient_degraded(
+                    Some(backbone) => self.ps[job].push_gradient_degraded(
                         self.now,
                         machine,
                         w.cluster.network(),
@@ -440,6 +501,7 @@ impl<'a, 'b> Engine<'a, 'b> {
                         backbone,
                     ),
                 };
+                self.net_scratch = factors;
                 if let Some(outcome) = outcome {
                     self.active_syncs += 1;
                     if self.round_tainted[job] {
@@ -463,7 +525,17 @@ impl<'a, 'b> Engine<'a, 'b> {
                 self.gen[gpu] += 1;
                 self.fail_time[gpu] = Some(self.now);
                 self.fm.gpu_failures += 1;
-                self.idle.remove(&gpu);
+                self.idle.remove(gpu);
+                // Drop the GPU's pending occupancy event from the queue —
+                // but only when speculation is off: popping a stale
+                // `TrainDone` is also a speculation probe (see `run`), and
+                // removing it would change when twins launch. With
+                // speculation on, the generation check drops it at pop.
+                if let Some(seq) = self.inflight[gpu].take() {
+                    if self.cfg.faults.speculation.is_none() {
+                        self.queue.cancel(seq);
+                    }
+                }
                 if self.fetching[gpu] {
                     self.fetching[gpu] = false;
                     self.active_fetches -= 1;
@@ -525,7 +597,7 @@ impl<'a, 'b> Engine<'a, 'b> {
                     }
                     self.store.evict_job(job);
                 } else {
-                    for i in w.problem.round_tasks(job, round + 1) {
+                    for i in w.round_range(job, round + 1) {
                         debug_assert_eq!(self.task_state[i], TaskState::Pending);
                         self.task_state[i] = TaskState::Ready;
                         self.ready.insert(i);
@@ -535,27 +607,29 @@ impl<'a, 'b> Engine<'a, 'b> {
         }
     }
 
-    /// NIC degradation factors active right now: per-machine fractions and
-    /// the backbone fraction, or `None` when the network is healthy (the
-    /// fast path — fault-free runs never touch the degraded code).
-    fn net_factors(&self) -> Option<(Vec<f64>, f64)> {
+    /// NIC degradation factors active right now, written into `out` (one
+    /// entry per machine, reset to 1.0). Returns the backbone fraction
+    /// when any fault is open, or `None` when the network is healthy (the
+    /// fast path — fault-free runs never fill the buffer).
+    fn fill_net_factors(&self, out: &mut Vec<f64>) -> Option<f64> {
         let nf = &self.cfg.faults.network_faults;
         if nf.is_empty() {
             return None;
         }
-        let mut machines = vec![1.0f64; self.cfg.workload.cluster.machine_count()];
+        out.clear();
+        out.resize(self.cfg.workload.cluster.machine_count(), 1.0);
         let mut backbone = 1.0f64;
         let mut any = false;
         for f in nf {
             if f.from <= self.now && self.now < f.until {
                 any = true;
                 match f.machine {
-                    Some(m) => machines[m] = machines[m].min(f.factor),
+                    Some(m) => out[m] = out[m].min(f.factor),
                     None => backbone = backbone.min(f.factor),
                 }
             }
         }
-        any.then_some((machines, backbone))
+        any.then_some(backbone)
     }
 
     /// Speculative re-execution (fault-tolerance through the relaxed
@@ -572,7 +646,7 @@ impl<'a, 'b> Engine<'a, 'b> {
         }
         let w = self.cfg.workload;
         let round = self.ps[job].current_round();
-        for task in w.problem.round_tasks(job, round) {
+        for task in w.round_range(job, round) {
             if self.task_state[task] != TaskState::Running
                 || self.speculated[task]
                 || self.running_copies[task] != 1
@@ -584,16 +658,15 @@ impl<'a, 'b> Engine<'a, 'b> {
             let Some(gpu) = running_on else {
                 continue;
             };
-            if faults::slowdown_at(&self.slow[gpu], self.now) < spec.threshold {
+            if self.slow[gpu].slowdown_at(self.now) < spec.threshold {
                 continue;
             }
             let target = self
                 .idle
                 .iter()
-                .copied()
                 .min_by_key(|&g| (w.problem.train(task, g), g));
             if let Some(target) = target {
-                self.idle.remove(&target);
+                self.idle.remove(target);
                 self.speculated[task] = true;
                 self.fm.speculated_tasks += 1;
                 self.start_task(task, target);
@@ -603,38 +676,53 @@ impl<'a, 'b> Engine<'a, 'b> {
     }
 
     fn dispatch(&mut self) -> Result<(), SimError> {
+        if self.ready.is_empty() || self.idle.is_empty() {
+            return Ok(());
+        }
+        // Loop-invariant in `now`; hoisted out of the fixpoint iteration.
+        let solver_budget_frac = self.cfg.faults.solver_frac_at(self.now);
         loop {
             if self.ready.is_empty() || self.idle.is_empty() {
                 return Ok(());
             }
-            let ready: Vec<usize> = self.ready.iter().copied().collect();
-            let idle: Vec<usize> = self.idle.iter().copied().collect();
+            if self.ready_snap_version != self.ready.version() {
+                self.ready.collect_into(&mut self.ready_snap);
+                self.ready_snap_version = self.ready.version();
+            }
+            if self.idle_snap_version != self.idle.version() {
+                self.idle.collect_into(&mut self.idle_snap);
+                self.idle_snap_version = self.idle.version();
+            }
             let view = SimView {
                 now: self.now,
                 workload: self.cfg.workload,
-                ready: &ready,
-                idle_gpus: &idle,
+                ready: &self.ready_snap,
+                idle_gpus: &self.idle_snap,
                 synced_rounds: &self.synced_rounds,
                 arrived: &self.arrived,
-                solver_budget_frac: self.cfg.faults.solver_frac_at(self.now),
+                solver_budget_frac,
             };
-            let assignments = self.policy.dispatch(&view);
+            let mut assignments = std::mem::take(&mut self.assign_buf);
+            self.policy.dispatch(&view, &mut assignments);
             if assignments.is_empty() {
+                self.assign_buf = assignments;
                 return Ok(());
             }
-            for (task, gpu) in assignments {
-                if !self.ready.remove(&task) {
+            for &(task, gpu) in &assignments {
+                if !self.ready.remove(task) {
                     return Err(SimError::PolicyViolation(format!(
                         "policy dispatched non-ready task {task}"
                     )));
                 }
-                if !self.idle.remove(&gpu) {
+                if !self.idle.remove(gpu) {
                     return Err(SimError::PolicyViolation(format!(
                         "policy dispatched to non-idle GPU {gpu}"
                     )));
                 }
                 self.start_task(task, gpu);
             }
+            assignments.clear();
+            self.assign_buf = assignments;
         }
     }
 
@@ -671,8 +759,10 @@ impl<'a, 'b> Engine<'a, 'b> {
             let sw = SimDuration::from_micros(500);
             self.gpus[gpu].switching += sw;
             self.occupied_since[gpu] = self.now;
-            self.queue
+            let seq = self
+                .queue
                 .push(self.now + sw, Event::SwitchDone { task, gpu, gen });
+            self.inflight[gpu] = Some(seq);
             return;
         }
 
@@ -717,8 +807,10 @@ impl<'a, 'b> Engine<'a, 'b> {
             self.gpus[gpu].cache_hits += 1;
         }
         self.occupied_since[gpu] = self.now;
-        self.queue
+        let seq = self
+            .queue
             .push(self.now + sw, Event::SwitchDone { task, gpu, gen });
+        self.inflight[gpu] = Some(seq);
     }
 
     /// Deterministic per-task noisy duration.
@@ -743,22 +835,7 @@ impl<'a, 'b> Engine<'a, 'b> {
             .iter()
             .map(|c| c.expect("all jobs complete"))
             .collect();
-        let jct: Vec<SimDuration> = completion
-            .iter()
-            .zip(&w.problem.jobs)
-            .map(|(&c, j)| c.saturating_since(j.arrival))
-            .collect();
-        let weights: Vec<f64> = w.problem.jobs.iter().map(|j| j.weight).collect();
-        let weighted_completion = completion
-            .iter()
-            .zip(&weights)
-            .map(|(c, w)| c.as_secs_f64() * w)
-            .sum();
-        let weighted_jct = jct
-            .iter()
-            .zip(&weights)
-            .map(|(d, w)| d.as_secs_f64() * w)
-            .sum();
+        let stats = crate::metrics::completion_stats(&completion, &w.problem.jobs);
         let mut faults = self.fm;
         for ps in &self.ps {
             faults.gradients_accepted += ps.accepted();
@@ -767,12 +844,12 @@ impl<'a, 'b> Engine<'a, 'b> {
         faults.storage_stall = self.store.stalled();
         SimReport {
             scheme: self.policy.name(),
-            makespan: completion.iter().copied().max().expect("jobs"),
+            makespan: stats.makespan,
             completion,
-            jct,
-            weights,
-            weighted_completion,
-            weighted_jct,
+            jct: stats.jct,
+            weights: stats.weights,
+            weighted_completion: stats.weighted_completion,
+            weighted_jct: stats.weighted_jct,
             gpus: self.gpus,
             storage_fetched: self.store.fetched(),
             storage_local_hits: self.store.local_hits(),
@@ -790,21 +867,16 @@ pub fn planned_report(workload: &SimWorkload, schedule: &Schedule, name: &str) -
     let completion: Vec<SimTime> = (0..p.jobs.len())
         .map(|n| schedule.job_completion(p, n))
         .collect();
-    let jct: Vec<SimDuration> = completion
-        .iter()
-        .zip(&p.jobs)
-        .map(|(&c, j)| c.saturating_since(j.arrival))
-        .collect();
-    let weights: Vec<f64> = p.jobs.iter().map(|j| j.weight).collect();
+    let stats = crate::metrics::completion_stats(&completion, &p.jobs);
     let busy = schedule.busy_time(p);
     SimReport {
         scheme: name.to_string(),
-        makespan: schedule.makespan(p),
-        weighted_completion: schedule.weighted_completion(p),
-        weighted_jct: schedule.weighted_jct(p),
+        makespan: stats.makespan,
+        weighted_completion: stats.weighted_completion,
+        weighted_jct: stats.weighted_jct,
         completion,
-        jct,
-        weights,
+        jct: stats.jct,
+        weights: stats.weights,
         gpus: busy
             .into_iter()
             .map(|b| GpuReport {
@@ -821,6 +893,7 @@ pub fn planned_report(workload: &SimWorkload, schedule: &Schedule, name: &str) -
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::faults::StragglerWindow;
@@ -1182,7 +1255,7 @@ mod tests {
         let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
         let straggled = Simulation::new(&w)
             .with_noise(0.0)
-            .with_fault_plan(plan)
+            .with_fault_plan(&plan)
             .run(&mut replay)
             .expect("simulation");
         assert!(straggled.faults.straggler_delay > SimDuration::ZERO);
@@ -1217,7 +1290,7 @@ mod tests {
         let mut replay = OfflineReplay::new("Hare", &w, &out.schedule);
         let degraded = Simulation::new(&w)
             .with_noise(0.0)
-            .with_fault_plan(plan)
+            .with_fault_plan(&plan)
             .run(&mut replay)
             .expect("simulation");
         assert!(

@@ -4,6 +4,15 @@
 //! same instant fire in insertion order, so a simulation is a pure function
 //! of its inputs — the property the paper's simulator-vs-testbed validation
 //! (Fig. 12) depends on and that all our experiments inherit.
+//!
+//! The queue is *indexed*: the heap holds only `(time, seq)` keys while the
+//! event payloads live in a slab addressed by sequence number. `push`
+//! returns the sequence number as a handle, and [`EventQueue::cancel`]
+//! tombstones the slot in O(1) — the engine cancels a failed GPU's
+//! in-flight occupancy events instead of popping and re-checking them
+//! later. Because the (time, seq) key order is untouched by cancellation,
+//! the pop order of surviving events is identical to the un-indexed queue's
+//! — determinism is preserved bit for bit.
 
 use hare_cluster::SimTime;
 use std::cmp::Reverse;
@@ -60,28 +69,16 @@ pub enum Event {
     },
 }
 
-/// Min-heap of timestamped events with deterministic tie-breaking.
+/// Min-heap of timestamped events with deterministic tie-breaking and O(1)
+/// cancellation by sequence number.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
-    seq: u64,
-}
-
-/// Internal ordered wrapper (events themselves need only `Eq` since the
-/// sequence number already breaks all ties).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-struct EventBox(Event);
-
-impl PartialOrd for EventBox {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EventBox {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Event payloads, indexed by sequence number; `None` marks a
+    /// cancelled (tombstoned) event whose heap key is skipped at pop.
+    slots: Vec<Option<Event>>,
+    /// Live (pushed, not yet popped or cancelled) events.
+    live: usize,
 }
 
 impl EventQueue {
@@ -90,25 +87,45 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedule an event.
-    pub fn push(&mut self, at: SimTime, event: Event) {
-        self.heap.push(Reverse((at, self.seq, EventBox(event))));
-        self.seq += 1;
+    /// Schedule an event; the returned sequence number is a handle for
+    /// [`EventQueue::cancel`].
+    pub fn push(&mut self, at: SimTime, event: Event) -> u64 {
+        let seq = self.slots.len() as u64;
+        self.heap.push(Reverse((at, seq)));
+        self.slots.push(Some(event));
+        self.live += 1;
+        seq
     }
 
-    /// Pop the earliest event.
+    /// Cancel a scheduled event by its sequence number. Returns the event
+    /// if it was still pending (already-fired or already-cancelled handles
+    /// are a no-op returning `None`).
+    pub fn cancel(&mut self, seq: u64) -> Option<Event> {
+        let slot = self.slots.get_mut(seq as usize)?;
+        let event = slot.take()?;
+        self.live -= 1;
+        Some(event)
+    }
+
+    /// Pop the earliest surviving event.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+        while let Some(Reverse((t, seq))) = self.heap.pop() {
+            if let Some(event) = self.slots[seq as usize].take() {
+                self.live -= 1;
+                return Some((t, event));
+            }
+        }
+        None
     }
 
-    /// Events still queued.
+    /// Events still queued (cancelled events excluded).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 }
 
@@ -163,5 +180,26 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped_and_uncounted() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), Event::JobArrival { job: 1 });
+        let b = q.push(SimTime::from_secs(2), Event::JobArrival { job: 2 });
+        q.push(SimTime::from_secs(3), Event::JobArrival { job: 3 });
+        assert_eq!(q.cancel(b), Some(Event::JobArrival { job: 2 }));
+        assert_eq!(q.cancel(b), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_secs(1), Event::JobArrival { job: 1 }))
+        );
+        assert_eq!(q.cancel(a), None, "cancelling a fired event is a no-op");
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_secs(3), Event::JobArrival { job: 3 }))
+        );
+        assert!(q.is_empty());
     }
 }

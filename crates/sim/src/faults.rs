@@ -383,6 +383,90 @@ pub fn finish_over_windows(
     }
 }
 
+/// Precompiled piecewise-constant slowdown profile: the segment
+/// decomposition of a window set, built once so the hot path can evaluate
+/// [`slowdown_at`] with one binary search and [`finish_over_windows`]
+/// without rescanning every window per boundary.
+///
+/// `edges` is the sorted, deduplicated union of all window endpoints;
+/// `factors[i]` is the active factor on the half-open segment
+/// `[edges[i-1], edges[i])` (with `factors[0]` covering everything before
+/// the first edge and `factors[edges.len()]` everything after the last —
+/// both 1.0 by construction).
+///
+/// Bit-for-bit equivalence with the free functions is deliberate and
+/// guarded by tests: the replay in [`SlowdownProfile::finish_over`] visits
+/// exactly the same boundaries in the same order and performs the same
+/// f64 operations (`remaining -= span / s`, final
+/// `(remaining * s).round()`) as [`finish_over_windows`] — it never merges
+/// equal-factor segments, because `a/s + b/s` and `(a+b)/s` can differ in
+/// the last ulp.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SlowdownProfile {
+    edges: Vec<SimTime>,
+    factors: Vec<f64>,
+}
+
+impl SlowdownProfile {
+    /// Compile a window set (as produced by
+    /// [`FaultPlan::straggler_windows`]) into its segment decomposition.
+    pub fn new(windows: &[(SimTime, SimTime, f64)]) -> Self {
+        let mut edges: Vec<SimTime> = windows.iter().flat_map(|&(f, u, _)| [f, u]).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut factors = Vec::with_capacity(edges.len() + 1);
+        factors.push(1.0);
+        for &seg_start in &edges {
+            let f = windows
+                .iter()
+                .filter(|&&(from, until, _)| from <= seg_start && seg_start < until)
+                .map(|&(_, _, s)| s)
+                .fold(1.0, f64::max);
+            factors.push(f);
+        }
+        SlowdownProfile { edges, factors }
+    }
+
+    /// True when no windows were compiled in (every lookup returns 1.0).
+    pub fn is_trivial(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Maximum slowdown factor active at `t` (1.0 outside all windows);
+    /// equals [`slowdown_at`] on the source windows.
+    pub fn slowdown_at(&self, t: SimTime) -> f64 {
+        self.factors[self.edges.partition_point(|&e| e <= t)]
+    }
+
+    /// Wall-clock completion of `work` started at `start`; equals
+    /// [`finish_over_windows`] on the source windows, bit for bit.
+    pub fn finish_over(&self, start: SimTime, work: SimDuration) -> SimTime {
+        let mut remaining = work.as_micros() as f64;
+        if remaining <= 0.0 {
+            return start;
+        }
+        let mut t = start;
+        let mut idx = self.edges.partition_point(|&e| e <= t);
+        loop {
+            let s = self.factors[idx];
+            if let Some(&b) = self.edges.get(idx) {
+                let span = b.saturating_since(t).as_micros() as f64;
+                let progressed = span / s; // s = ∞ ⇒ no progress
+                if progressed < remaining {
+                    remaining -= progressed;
+                    t = b;
+                    idx += 1;
+                } else {
+                    return t + SimDuration::from_micros((remaining * s).round() as u64);
+                }
+            } else {
+                debug_assert!(s.is_finite(), "open-ended window with infinite slowdown");
+                return t + SimDuration::from_micros((remaining * s).round() as u64);
+            }
+        }
+    }
+}
+
 /// Seeded fault-plan generator over MTBF/MTTR means: per-GPU failures and
 /// straggler windows, per-machine NIC degradation, and global storage
 /// windows, all with exponential inter-event gaps. A `None` MTBF disables
@@ -773,6 +857,87 @@ mod tests {
         assert_eq!(finish_over_windows(&w, t(0), d(10)), t(70));
         // Started inside the outage: nothing until 65.
         assert_eq!(finish_over_windows(&w, t(20), d(10)), t(75));
+    }
+
+    #[test]
+    fn profile_matches_free_functions_exactly() {
+        // Overlapping, nested, adjacent, and outage windows — the profile
+        // must agree with the per-call scans bit for bit, including at the
+        // half-open boundaries.
+        let windows = [
+            (t(10), t(100), 2.0),
+            (t(50), t(200), 4.0),
+            (t(100), t(150), 1.5),
+            (t(400), t(460), f64::INFINITY),
+        ];
+        let profile = SlowdownProfile::new(&windows);
+        assert!(!profile.is_trivial());
+        for micros in (0..500_000_000u64).step_by(1_234_567) {
+            let at = SimTime::ZERO + SimDuration::from_micros(micros);
+            assert_eq!(
+                profile.slowdown_at(at),
+                slowdown_at(&windows, at),
+                "at {at}"
+            );
+            for work_micros in [0u64, 1, 999_999, 17_000_000, 250_000_000] {
+                let work = SimDuration::from_micros(work_micros);
+                assert_eq!(
+                    profile.finish_over(at, work),
+                    finish_over_windows(&windows, at, work),
+                    "start {at}, work {work}"
+                );
+            }
+        }
+        // Boundary instants exactly on edges.
+        for edge_secs in [10u64, 50, 100, 150, 200, 400, 460] {
+            let at = t(edge_secs);
+            assert_eq!(profile.slowdown_at(at), slowdown_at(&windows, at));
+            assert_eq!(
+                profile.finish_over(at, d(75)),
+                finish_over_windows(&windows, at, d(75))
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_profile_is_identity() {
+        let profile = SlowdownProfile::new(&[]);
+        assert!(profile.is_trivial());
+        assert_eq!(profile.slowdown_at(t(5)), 1.0);
+        assert_eq!(profile.finish_over(t(10), d(25)), t(35));
+        assert_eq!(profile.finish_over(t(10), SimDuration::ZERO), t(10));
+    }
+
+    #[test]
+    fn randomized_profile_equivalence() {
+        // Seeded random window sets: the compiled profile must reproduce
+        // the free functions everywhere we probe.
+        let mut rng = SmallRng::seed_from_u64(0x510d_0d04);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..6);
+            let windows: Vec<(SimTime, SimTime, f64)> = (0..n)
+                .map(|_| {
+                    let from = rng.gen_range(0..2_000u64);
+                    let len = rng.gen_range(1..800u64);
+                    let s = if rng.gen_range(0.0..1.0) < 0.15 {
+                        f64::INFINITY
+                    } else {
+                        rng.gen_range(1.0..6.0)
+                    };
+                    (t(from), t(from + len), s)
+                })
+                .collect();
+            let profile = SlowdownProfile::new(&windows);
+            for _ in 0..40 {
+                let at = t(rng.gen_range(0..3_000u64));
+                assert_eq!(profile.slowdown_at(at), slowdown_at(&windows, at));
+                let work = d(rng.gen_range(0..1_500u64));
+                assert_eq!(
+                    profile.finish_over(at, work),
+                    finish_over_windows(&windows, at, work)
+                );
+            }
+        }
     }
 
     #[test]

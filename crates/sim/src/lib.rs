@@ -4,9 +4,11 @@
 //! PS-based synchronization model wired in.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod build;
 pub mod control;
+mod dense;
 pub mod engine;
 pub mod event;
 pub mod faults;
@@ -25,7 +27,9 @@ pub use faults::{
     FaultPlan, FaultProfile, GpuFault, NetworkFault, SimError, SolverDegradation,
     SpeculationConfig, StorageFault, StorageFaultKind, StragglerWindow,
 };
-pub use metrics::{jct_cdf, FaultMetrics, GpuReport, SimReport, UtilSpan};
+pub use metrics::{
+    completion_stats, jct_cdf, CompletionStats, FaultMetrics, GpuReport, SimReport, UtilSpan,
+};
 pub use policy::{OfflineReplay, Policy, SimView};
 pub use ps::{ParameterServer, SyncOutcome};
 pub use storage::CheckpointStore;

@@ -1,7 +1,9 @@
 //! Simulation reports: the quantities the paper's evaluation plots.
 
 use hare_cluster::{SimDuration, SimTime};
+use hare_core::JobInfo;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// Per-GPU accounting.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -141,6 +143,190 @@ impl SimReport {
     }
 }
 
+/// Per-job completion aggregates shared by the engine's realized
+/// [`SimReport`] and the planner's expectation report: JCTs, the weighted
+/// objective sums and the makespan, all derived from the completion vector
+/// in job-index order so both callers produce bit-identical floats.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompletionStats {
+    /// JCT (completion − arrival) per job.
+    pub jct: Vec<SimDuration>,
+    /// Job weights, copied for the report.
+    pub weights: Vec<f64>,
+    /// Σ wₙ Cₙ in seconds.
+    pub weighted_completion: f64,
+    /// Σ wₙ (Cₙ − aₙ) in seconds.
+    pub weighted_jct: f64,
+    /// Latest completion.
+    pub makespan: SimTime,
+}
+
+/// Derive [`CompletionStats`] from per-job completion times. Sums run in
+/// job-index order — f64 addition is order-sensitive, and golden-snapshot
+/// tests pin these outputs bit for bit.
+pub fn completion_stats(completion: &[SimTime], jobs: &[JobInfo]) -> CompletionStats {
+    debug_assert_eq!(completion.len(), jobs.len());
+    let jct: Vec<SimDuration> = completion
+        .iter()
+        .zip(jobs)
+        .map(|(&c, j)| c.saturating_since(j.arrival))
+        .collect();
+    let weights: Vec<f64> = jobs.iter().map(|j| j.weight).collect();
+    let weighted_completion = completion
+        .iter()
+        .zip(&weights)
+        .map(|(c, w)| c.as_secs_f64() * w)
+        .sum();
+    let weighted_jct = jct
+        .iter()
+        .zip(&weights)
+        .map(|(d, w)| d.as_secs_f64() * w)
+        .sum();
+    let makespan = completion.iter().copied().max().expect("non-empty problem");
+    CompletionStats {
+        jct,
+        weights,
+        weighted_completion,
+        weighted_jct,
+        makespan,
+    }
+}
+
+/// Minimal JSON string escaping (scheme names are plain ASCII, but the
+/// serializer should never emit malformed JSON regardless).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `{:?}` on f64 prints the shortest decimal that round-trips, which is a
+/// deterministic function of the bits — exactly what the golden-snapshot
+/// fixtures need. (It never prints `1` for `1.0`, so output stays valid
+/// JSON numbers.)
+fn push_f64(out: &mut String, v: f64) {
+    let _ = write!(out, "{v:?}");
+}
+
+fn push_u64_seq(out: &mut String, vals: impl Iterator<Item = u64>) {
+    out.push('[');
+    for (i, v) in vals.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+impl SimReport {
+    /// Deterministic, dependency-free JSON rendering with a fixed field
+    /// order and integer-microsecond times. Two reports serialize to the
+    /// same bytes iff they are equal — the golden-snapshot determinism
+    /// test diffs exactly this output against committed fixtures.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\"scheme\":");
+        push_json_str(&mut s, &self.scheme);
+        s.push_str(",\"completion\":");
+        push_u64_seq(&mut s, self.completion.iter().map(|t| t.as_micros()));
+        s.push_str(",\"jct\":");
+        push_u64_seq(&mut s, self.jct.iter().map(|d| d.as_micros()));
+        s.push_str(",\"weights\":[");
+        for (i, w) in self.weights.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_f64(&mut s, *w);
+        }
+        s.push_str("],\"weighted_completion\":");
+        push_f64(&mut s, self.weighted_completion);
+        s.push_str(",\"weighted_jct\":");
+        push_f64(&mut s, self.weighted_jct);
+        let _ = write!(s, ",\"makespan\":{}", self.makespan.as_micros());
+        s.push_str(",\"gpus\":[");
+        for (i, g) in self.gpus.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"busy\":{},\"effective_busy\":{},\"switching\":{},\"switch_count\":{},\"cache_hits\":{}}}",
+                g.busy.as_micros(),
+                g.effective_busy.as_micros(),
+                g.switching.as_micros(),
+                g.switch_count,
+                g.cache_hits
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"storage_fetched\":{},\"storage_local_hits\":{}",
+            self.storage_fetched.as_u64(),
+            self.storage_local_hits
+        );
+        let f = &self.faults;
+        let _ = write!(
+            s,
+            ",\"faults\":{{\"gpu_failures\":{},\"gpu_recoveries\":{},\"recovery_latency\":{},\
+             \"lost_work\":{},\"reexec_work\":{},\"reexecuted_tasks\":{},\"degraded_rounds\":{},\
+             \"dropped_gradients\":{},\"gradients_accepted\":{},\"speculated_tasks\":{},\
+             \"straggler_delay\":{},\"storage_stall\":{}}}",
+            f.gpu_failures,
+            f.gpu_recoveries,
+            f.recovery_latency.as_micros(),
+            f.lost_work.as_micros(),
+            f.reexec_work.as_micros(),
+            f.reexecuted_tasks,
+            f.degraded_rounds,
+            f.dropped_gradients,
+            f.gradients_accepted,
+            f.speculated_tasks,
+            f.straggler_delay.as_micros(),
+            f.storage_stall.as_micros()
+        );
+        s.push_str(",\"timelines\":");
+        match &self.timelines {
+            None => s.push_str("null"),
+            Some(lines) => {
+                s.push('[');
+                for (i, line) in lines.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('[');
+                    for (k, span) in line.iter().enumerate() {
+                        if k > 0 {
+                            s.push(',');
+                        }
+                        let _ = write!(
+                            s,
+                            "{{\"from\":{},\"to\":{},\"level\":",
+                            span.from.as_micros(),
+                            span.to.as_micros()
+                        );
+                        push_f64(&mut s, span.level);
+                        s.push('}');
+                    }
+                    s.push(']');
+                }
+                s.push(']');
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
 /// Empirical CDF of JCTs: sorted (seconds, cumulative fraction) points —
 /// exactly what Fig. 13 plots.
 pub fn jct_cdf(jcts: &[SimDuration]) -> Vec<(f64, f64)> {
@@ -154,6 +340,7 @@ pub fn jct_cdf(jcts: &[SimDuration]) -> Vec<(f64, f64)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

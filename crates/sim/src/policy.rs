@@ -41,11 +41,20 @@ pub trait Policy {
     /// Display name (used in reports and tables).
     fn name(&self) -> String;
 
-    /// Offered a dispatch opportunity: return (ready task, idle GPU) pairs
-    /// to start now. Each task must appear in `view.ready`, each GPU in
-    /// `view.idle_gpus`, and no GPU may be used twice. Returning an empty
-    /// vector means "wait for the next event".
-    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)>;
+    /// Offered a dispatch opportunity: append (ready task, idle GPU) pairs
+    /// to start now onto `out` (cleared by the engine before the call —
+    /// the buffer is reused across calls so steady-state dispatching
+    /// allocates nothing). Each task must appear in `view.ready`, each GPU
+    /// in `view.idle_gpus`, and no GPU may be used twice. Leaving `out`
+    /// empty means "wait for the next event".
+    ///
+    /// Opportunities arrive whenever the view may have changed: after
+    /// every simulation event that can alter the ready/idle sets or job
+    /// progress, and again after each non-empty dispatch until the policy
+    /// passes or a set drains. Events that provably change nothing a
+    /// policy may read (a switch completing on a still-busy GPU) are *not*
+    /// offered, so a policy must not rely on being polled at such moments.
+    fn dispatch(&mut self, view: &SimView<'_>, out: &mut Vec<(usize, usize)>);
 
     /// Notification that `gpu` failed (failure injection): the engine will
     /// not offer it as idle until it recovers (if ever), and `requeued`
@@ -167,17 +176,16 @@ impl Policy for OfflineReplay {
         self.assign_by_planned_start(orphans);
     }
 
-    fn dispatch(&mut self, view: &SimView<'_>) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
+    fn dispatch(&mut self, view: &SimView<'_>, out: &mut Vec<(usize, usize)>) {
         for &gpu in view.idle_gpus {
             if let Some(&head) = self.queues[gpu].front() {
-                if view.ready.contains(&head) {
+                // `view.ready` is ascending by contract.
+                if view.ready.binary_search(&head).is_ok() {
                     self.queues[gpu].pop_front();
                     out.push((head, gpu));
                 }
             }
         }
-        out
     }
 }
 
@@ -192,6 +200,12 @@ mod tests {
         let mut trace = testbed_trace(3);
         trace.truncate(4);
         SimWorkload::build(Cluster::testbed15(), trace, &db)
+    }
+
+    fn dispatch(p: &mut impl Policy, view: &SimView<'_>) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        p.dispatch(view, &mut out);
+        out
     }
 
     #[test]
@@ -213,11 +227,12 @@ mod tests {
             arrived: &vec![true; w.problem.jobs.len()],
             solver_budget_frac: 1.0,
         };
-        assert!(replay.dispatch(&view).is_empty());
+        assert!(dispatch(&mut replay, &view).is_empty());
 
         // Make the heads of two queues ready; they dispatch to their own GPUs.
         let seqs = out.schedule.gpu_sequences(&w.problem);
-        let heads: Vec<usize> = seqs.iter().filter_map(|q| q.first().copied()).collect();
+        let mut heads: Vec<usize> = seqs.iter().filter_map(|q| q.first().copied()).collect();
+        heads.sort_unstable();
         let view = SimView {
             now: SimTime::ZERO,
             workload: &w,
@@ -227,7 +242,7 @@ mod tests {
             arrived: &vec![true; w.problem.jobs.len()],
             solver_budget_frac: 1.0,
         };
-        let assignments = replay.dispatch(&view);
+        let assignments = dispatch(&mut replay, &view);
         assert!(!assignments.is_empty());
         for (task, gpu) in &assignments {
             assert_eq!(seqs[*gpu].first(), Some(task));
@@ -281,6 +296,6 @@ mod tests {
             arrived: &vec![true; w.problem.jobs.len()],
             solver_budget_frac: 1.0,
         };
-        assert!(replay.dispatch(&view).is_empty());
+        assert!(dispatch(&mut replay, &view).is_empty());
     }
 }

@@ -15,9 +15,18 @@ pub struct Criterion {
     sample_size: usize,
 }
 
+/// CI override: when `HARE_BENCH_SAMPLES` is set, every benchmark runs
+/// exactly that many timed samples regardless of per-group settings —
+/// the smoke-test knob that keeps `cargo bench` fast in CI.
+fn env_samples() -> Option<usize> {
+    std::env::var("HARE_BENCH_SAMPLES").ok()?.parse().ok()
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 15 }
+        Criterion {
+            sample_size: env_samples().unwrap_or(15),
+        }
     }
 }
 
@@ -43,9 +52,10 @@ pub struct BenchmarkGroup {
 }
 
 impl BenchmarkGroup {
-    /// Set the number of timed samples per benchmark.
+    /// Set the number of timed samples per benchmark (overridden by
+    /// `HARE_BENCH_SAMPLES` when set — see [`Criterion::default`]).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        self.sample_size = env_samples().unwrap_or(n).max(2);
         self
     }
 
