@@ -163,11 +163,9 @@ impl Policy for SchedAllox {
                 let kb = view.workload.cluster.gpus()[b].kind;
                 (kb == kind)
                     .cmp(&(ka == kind))
-                    .then(
-                        kb.generic_speedup()
-                            .partial_cmp(&ka.generic_speedup())
-                            .expect("generic speedups are finite"),
-                    )
+                    // total_cmp: never panics, even on a NaN speedup from
+                    // a corrupt profile; NaNs order deterministically.
+                    .then(kb.generic_speedup().total_cmp(&ka.generic_speedup()))
                     .then(a.cmp(&b))
             });
             gang.extend(rest.into_iter().take(need - 1));

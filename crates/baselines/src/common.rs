@@ -22,9 +22,9 @@ pub fn fastest_idle(view: &SimView<'_>, n: usize) -> Vec<usize> {
     idle.sort_by(|&a, &b| {
         let sa = view.workload.cluster.gpus()[a].kind.generic_speedup();
         let sb = view.workload.cluster.gpus()[b].kind.generic_speedup();
-        sb.partial_cmp(&sa)
-            .expect("generic speedups are finite")
-            .then(a.cmp(&b))
+        // total_cmp: a NaN speedup (corrupt profile) must not panic the
+        // scheduler mid-run; it just sorts deterministically to one end.
+        sb.total_cmp(&sa).then(a.cmp(&b))
     });
     idle.truncate(n);
     idle
@@ -190,5 +190,33 @@ pub fn continue_on_gang(
     for (&task, &gpu) in tasks.iter().zip(avail.iter()) {
         out.push((task, gpu));
         idle.retain(|&g| g != gpu);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Regression: the float-keyed sorts in the policies (fastest-idle by
+    /// speedup, HareOnline dispatch by priority, AlloX gang filling by
+    /// speedup) once used `partial_cmp().expect(..)`, which panics the
+    /// whole simulation when any key is NaN. They all use `total_cmp`
+    /// now; this pins the contract on the exact comparator shape they
+    /// share: no panic, deterministic order, NaN sorted to a fixed end.
+    #[test]
+    fn float_keyed_sorts_tolerate_nan_without_panicking() {
+        // Descending-value comparator, as in fastest_idle / AlloX.
+        let mut desc: Vec<(usize, f64)> =
+            vec![(0, 1.0), (1, f64::NAN), (2, 2.5), (3, f64::NAN), (4, 0.5)];
+        desc.sort_by(|&(a, sa), &(b, sb)| sb.total_cmp(&sa).then(a.cmp(&b)));
+        let order: Vec<usize> = desc.iter().map(|&(i, _)| i).collect();
+        // Positive NaN is total_cmp's maximum, so descending puts it first;
+        // what matters is that the order is total and reproducible.
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+
+        // Ascending-priority comparator, as in HareOnline::dispatch.
+        let mut asc: Vec<(usize, f64)> =
+            vec![(0, f64::INFINITY), (1, 3.0), (2, f64::NAN), (3, 1.0)];
+        asc.sort_by(|&(a, pa), &(b, pb)| pa.total_cmp(&pb).then(a.cmp(&b)));
+        let order: Vec<usize> = asc.iter().map(|&(i, _)| i).collect();
+        assert_eq!(order, vec![3, 1, 0, 2], "NaN sorts after +inf, stably");
     }
 }

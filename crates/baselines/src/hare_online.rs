@@ -30,11 +30,12 @@
 
 use hare_cluster::{SimDuration, SimTime};
 use hare_core::{
-    anytime_schedule, AnytimeOptions, HareScheduler, JobInfo, PlanProvenance, Rung, SchedProblem,
-    StalePlan,
+    anytime_schedule_traced, AnytimeOptions, HareScheduler, JobInfo, PlanProvenance, Rung,
+    SchedProblem, StalePlan,
 };
-use hare_sim::{Policy, SimView};
-use hare_solver::{CancelToken, SolveBudget};
+use hare_sim::{Policy, SimView, TraceSink};
+use hare_solver::{CancelToken, SolveBudget, SolveTrace};
+use std::sync::Arc;
 
 /// Opt-in configuration for deadline-budgeted replanning.
 #[derive(Copy, Clone, Debug)]
@@ -59,6 +60,15 @@ impl Default for ReplanBudget {
             // 100k pivots ≈ 1 simulated second of solver latency.
             cost_per_work: 1e-5,
         }
+    }
+}
+
+/// Shared trace sink, newtyped so [`HareOnline`] keeps deriving `Debug`.
+struct SinkRef(Arc<dyn TraceSink>);
+
+impl std::fmt::Debug for SinkRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkRef(..)")
     }
 }
 
@@ -94,6 +104,13 @@ pub struct HareOnline {
     last_provenance: Option<PlanProvenance>,
     /// Total simulated solver latency charged across all replans.
     solver_latency: SimDuration,
+    /// Observability sink for replan/solver-phase spans; `None` (default)
+    /// keeps replanning span-free. The same sink can be shared with the
+    /// simulation (`Simulation::with_trace`) so solver lanes line up with
+    /// the task timeline in one exported trace.
+    trace: Option<SinkRef>,
+    /// Work-unit span buffer drained into `trace` after every replan.
+    solve_trace: SolveTrace,
 }
 
 impl HareOnline {
@@ -118,6 +135,16 @@ impl HareOnline {
             budget: Some(cfg),
             ..HareOnline::default()
         }
+    }
+
+    /// Attach a [`TraceSink`]: every replan emits a `replan` span (its
+    /// simulated solver latency — zero in legacy mode) plus the solver's
+    /// fine-grained work-unit spans (cut rounds, B&B branches, ladder
+    /// rungs), all anchored at the replan's simulation time. Share the
+    /// same sink with `Simulation::with_trace` to get one merged trace.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(SinkRef(sink));
+        self
     }
 
     /// Replans performed so far.
@@ -193,14 +220,16 @@ impl HareOnline {
             })
             .collect();
 
+        let solve_trace = self.trace.as_ref().map(|_| &self.solve_trace);
         match self.budget {
             None => {
                 // Legacy path: a free, uncapped relaxation solve whose
                 // priorities take effect immediately.
-                let out = self.scheduler.schedule(&sub);
+                let out = self.scheduler.schedule_traced(&sub, solve_trace);
                 for (i, &global_task) in globals.iter().enumerate() {
                     self.priority[global_task] = out.h[i];
                 }
+                self.forward_spans(view.now, SimDuration::ZERO, "free", 0);
             }
             Some(cfg) => {
                 // The previous plan's priorities, pulled into sub-problem
@@ -210,12 +239,13 @@ impl HareOnline {
                     h: globals.iter().map(|&g| self.priority[g]).collect(),
                 };
                 let scaled = cfg.budget.scaled(view.solver_budget_frac);
-                let out = anytime_schedule(
+                let out = anytime_schedule_traced(
                     &sub,
                     &cfg.options,
                     &scaled,
                     &CancelToken::new(),
                     Some(&stale),
+                    solve_trace,
                 );
                 if let Some(i) = Rung::ALL.iter().position(|r| *r == out.provenance.chosen) {
                     self.rung_hits[i] += 1;
@@ -223,6 +253,12 @@ impl HareOnline {
                 let latency =
                     SimDuration::from_secs_f64(out.provenance.work as f64 * cfg.cost_per_work);
                 self.solver_latency += latency;
+                self.forward_spans(
+                    view.now,
+                    latency,
+                    out.provenance.chosen.name(),
+                    out.provenance.work,
+                );
                 // The plan is installed once its solve "finishes" on the
                 // simulation clock; dispatch keeps the old priorities
                 // until then.
@@ -235,6 +271,19 @@ impl HareOnline {
             }
         }
         self.replans += 1;
+    }
+
+    /// Drain the work-unit spans recorded by the last solve into the
+    /// attached sink, anchored at the replan's simulation time, plus one
+    /// enclosing `replan` span carrying the charged latency.
+    fn forward_spans(&mut self, now: SimTime, latency: SimDuration, rung: &str, work: u64) {
+        let Some(SinkRef(sink)) = &self.trace else {
+            return;
+        };
+        sink.replan(now, latency, rung, work);
+        for span in self.solve_trace.drain() {
+            sink.solver_span(span.phase, now, span.start, span.end, span.detail);
+        }
     }
 
     /// Install a pending budgeted plan whose solver latency has elapsed.

@@ -158,3 +158,38 @@ fn reports_match_golden_fixtures() {
         &run_scheme_faulted(Scheme::GavelFifo, &w, tl_opts, &faulted),
     );
 }
+
+/// Observability must be a pure observer: attaching a `ChromeTraceSink`
+/// to both the engine and online Hare must reproduce the *same committed
+/// fixtures* byte for byte. (This test never blesses — it always compares
+/// against the fixtures the untraced run above maintains, so a tracing
+/// hook that perturbs event order or float summation fails here even
+/// under `HARE_BLESS=1`.)
+#[test]
+fn tracing_leaves_reports_byte_identical() {
+    use hare_sim::ChromeTraceSink;
+    use std::sync::Arc;
+
+    let w = workload();
+    let opts = RunOptions::default();
+    for (suffix, plan) in [
+        ("healthy", FaultPlan::default()),
+        ("faulted", composite_plan()),
+    ] {
+        let sink = Arc::new(ChromeTraceSink::new());
+        let report = build_simulation(Scheme::Hare, &w, opts, &plan)
+            .with_trace(sink.clone())
+            .run(&mut HareOnline::new().with_trace(sink.clone()))
+            .expect("traced simulation failed");
+        assert!(!sink.is_empty(), "the traced run must record events");
+        let got = report.to_json();
+        let path = fixture_path(&format!("Hare_Online_{suffix}"));
+        let want = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e})", path.display()));
+        assert_eq!(
+            got, want,
+            "tracing changed the Hare_Online_{suffix} report bytes — the \
+             observability layer must not perturb simulation behavior"
+        );
+    }
+}

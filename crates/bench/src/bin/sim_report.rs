@@ -68,11 +68,42 @@ fn before_total(scenario: &str) -> Option<f64> {
     }
 }
 
+/// The workspace root: walk up from the crate dir so files land at the
+/// repo root both under `cargo run` (cwd = workspace root) and direct
+/// invocation.
+fn workspace_root() -> std::path::PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            std::path::Path::new(&d)
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench has a workspace root")
+                .to_path_buf()
+        })
+        .unwrap_or_else(|_| std::path::PathBuf::from("."))
+}
+
+/// The `small` scenario's `total_secs` from the committed BENCH_sim.json,
+/// if present — the drift baseline for the disabled-tracing check.
+fn committed_small_total(root: &std::path::Path) -> Option<f64> {
+    let text = std::fs::read_to_string(root.join("BENCH_sim.json")).ok()?;
+    let value = serde_json::from_str(&text).ok()?;
+    value
+        .get("scenarios")?
+        .as_array()?
+        .iter()
+        .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("small"))?
+        .get("total_secs")?
+        .as_f64()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let root = workspace_root();
+    let committed_small = committed_small_total(&root);
 
     let medium_cfg = LargeScale {
         n_gpus: 64,
@@ -111,6 +142,7 @@ fn main() {
     // --- Per-scale, per-scheme sim-only wall-clock + events/sec ------
     json.push_str("  \"scenarios\": [\n");
     let n_scen = scenarios.len();
+    let mut small_total = 0.0;
     for (k, (name, w)) in scenarios.iter().enumerate() {
         println!(
             "{name}: {} tasks, {} gpus",
@@ -162,8 +194,57 @@ fn main() {
                 println!("  total {total:.3}s");
             }
         }
+        if *name == "small" {
+            small_total = total;
+        }
     }
     json.push_str("  ],\n");
+
+    // --- Tracing overhead --------------------------------------------
+    // The observability layer must be zero-cost when disabled. The
+    // scenario timings above already run the disabled path (one Option
+    // check per engine hook), so comparing the small total against the
+    // committed BENCH_sim.json is the drift check; the same run is then
+    // repeated with a ChromeTraceSink attached to put the *enabled* cost
+    // on the record.
+    {
+        let (_, w0) = &scenarios[0];
+        match committed_small {
+            Some(b) => {
+                let drift = small_total / b;
+                println!(
+                    "disabled-tracing check: small total {small_total:.3}s vs committed \
+                     {b:.3}s ({drift:.2}x — must stay within noise)"
+                );
+            }
+            None => println!("disabled-tracing check: no committed BENCH_sim.json baseline"),
+        }
+        let out = HareScheduler::default().schedule(&w0.problem);
+        let mut policy = OfflineReplay::new("Hare", w0, &out.schedule);
+        let sink = std::sync::Arc::new(hare_sim::ChromeTraceSink::new());
+        let opts = RunOptions {
+            seed: 1,
+            ..RunOptions::default()
+        };
+        let t = Instant::now();
+        let (_, traced_events) = build_simulation(Scheme::Hare, w0, opts, &FaultPlan::default())
+            .with_trace(sink.clone())
+            .run_counted(&mut policy)
+            .expect("traced simulation failed");
+        let traced_secs = t.elapsed().as_secs_f64();
+        println!(
+            "tracing enabled (small, Hare): {traced_secs:.3}s, {} trace events recorded",
+            sink.len()
+        );
+        let _ = writeln!(
+            json,
+            "  \"trace_overhead\": {{\"scenario\": \"small\", \"disabled_total_secs\": {small_total:.4}, \
+             \"committed_total_secs\": {}, \"traced_hare_secs\": {traced_secs:.4}, \
+             \"engine_events\": {traced_events}, \"trace_events\": {}}},",
+            committed_small.map_or("null".to_string(), |b| format!("{b:.4}")),
+            sink.len()
+        );
+    }
 
     // --- Multi-seed sweep (sim-only): the parallel-harness workload --
     // Workloads are rebuilt per seed exactly like the sweep binaries do,
@@ -233,17 +314,6 @@ fn main() {
         println!("fig suite (fig16-shaped, end-to-end): {secs:.2}s on {cores} core(s)");
     }
 
-    // Walk up from the crate dir so the file lands at the repo root both
-    // under `cargo run` (cwd = workspace root) and direct invocation.
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| {
-            std::path::Path::new(&d)
-                .ancestors()
-                .nth(2)
-                .expect("crates/bench has a workspace root")
-                .to_path_buf()
-        })
-        .unwrap_or_else(|_| std::path::PathBuf::from("."));
     let path = root.join("BENCH_sim.json");
     std::fs::write(&path, &json).expect("write BENCH_sim.json");
     println!("wrote {}", path.display());

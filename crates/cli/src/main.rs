@@ -3,7 +3,8 @@
 //! ```text
 //! hare compare  [--cluster testbed|low:N|mid:N|high:N] [--jobs N] [--seed S]
 //!               [--bandwidth Gbps] [--mix cv=..,nlp=..,speech=..,rec=..]
-//!               [--trace FILE.csv] [--online] [--timeslice]
+//!               [--input FILE.csv] [--online] [--timeslice]
+//!               [--trace FILE.json]          # Chrome trace of Hare_Online
 //! hare schedule [same workload flags]      # print Hare's plan per GPU
 //! hare export   [workload flags] --out FILE.csv     # write the trace CSV
 //! hare profile                              # the Fig.-2 profile table
@@ -17,9 +18,10 @@ use hare_baselines::{run_all, HareOnline, RunOptions, TimeSlice};
 use hare_cluster::{GpuKind, SimDuration};
 use hare_core::HareScheduler;
 use hare_memory::{switch_time, PrevTask, SwitchPolicy, SwitchRequest};
-use hare_sim::{SimWorkload, Simulation};
+use hare_sim::{ChromeTraceSink, SimWorkload, Simulation};
 use hare_workload::{ModelKind, ProfileDb, TraceConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let opts = match Options::parse(std::env::args().skip(1)) {
@@ -60,7 +62,12 @@ workload flags (compare/schedule/export):
   --seed S        trace + noise seed        (default 1)
   --bandwidth G   NIC speed in Gbps         (default 25)
   --mix cv=F,nlp=F,speech=F,rec=F          (default 0.25 each)
-  --trace FILE    load jobs from a CSV trace instead of generating them
+  --input FILE    load jobs from a CSV trace instead of generating them
+
+observability (compare):
+  --trace FILE    write a Chrome trace-event JSON of an online-Hare run
+                  (task/sync spans per GPU + solver phases; open it at
+                  ui.perfetto.dev or chrome://tracing)
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -69,8 +76,8 @@ fn fail(msg: &str) -> ExitCode {
 }
 
 fn trace(opts: &Options) -> Result<Vec<hare_workload::JobSpec>, String> {
-    if opts.has("trace") {
-        let path = opts.get("trace", "");
+    if opts.has("input") {
+        let path = opts.get("input", "");
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
         return hare_workload::trace_from_csv(&text);
@@ -158,6 +165,33 @@ fn compare(opts: &Options) -> Result<(), String> {
             r.mean_utilization() * 100.0
         );
     }
+    if opts.has("trace") {
+        let path = opts.get("trace", "");
+        if path.is_empty() {
+            return Err("--trace needs an output path".into());
+        }
+        write_chrome_trace(&w, seed, path)?;
+    }
+    Ok(())
+}
+
+/// Run one traced online-Hare pass and write the Chrome trace-event JSON.
+/// A dedicated pass (rather than tracing the comparison runs above) keeps
+/// the comparison itself on the zero-instrumentation fast path.
+fn write_chrome_trace(w: &SimWorkload, seed: u64, path: &str) -> Result<(), String> {
+    let sink = Arc::new(ChromeTraceSink::new());
+    let report = Simulation::new(w)
+        .with_seed(seed)
+        .with_trace(sink.clone())
+        .run(&mut HareOnline::new().with_trace(sink.clone()))
+        .expect("simulation");
+    std::fs::write(path, sink.to_chrome_json())
+        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    println!(
+        "\nwrote Chrome trace of {} ({} events) to {path}",
+        report.scheme,
+        sink.len()
+    );
     Ok(())
 }
 

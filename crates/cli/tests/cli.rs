@@ -65,11 +65,56 @@ fn export_then_compare_roundtrip() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("wrote 6 jobs"));
 
-    let (stdout, stderr, ok) = hare(&["compare", "--trace", csv_str, "--cluster", "mid:8"]);
+    let (stdout, stderr, ok) = hare(&["compare", "--input", csv_str, "--cluster", "mid:8"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("Hare"));
     assert!(stdout.contains("Sched_Allox"));
     assert!(stdout.contains("6 jobs"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_trace_emits_valid_chrome_json() {
+    let dir = std::env::temp_dir().join(format!("hare-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("trace.json");
+    let json_str = json.to_str().unwrap();
+
+    let (stdout, stderr, ok) = hare(&[
+        "compare",
+        "--jobs",
+        "6",
+        "--seed",
+        "3",
+        "--cluster",
+        "mid:6",
+        "--trace",
+        json_str,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("wrote Chrome trace"), "{stdout}");
+
+    let text = std::fs::read_to_string(&json).unwrap();
+    let value = serde_json::from_str(&text).expect("trace must be valid JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    // Task spans from the simulator and phase spans from the solver must
+    // both be present — the trace covers the whole pipeline.
+    assert!(
+        names.iter().any(|n| n.starts_with("train ")),
+        "no task spans in {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("replan ")),
+        "no solver replan spans in {names:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

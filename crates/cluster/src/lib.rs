@@ -12,6 +12,7 @@
 //!   synchronization cost model.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod cluster;
 pub mod gpu;

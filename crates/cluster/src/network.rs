@@ -279,6 +279,7 @@ fn degrade(bw: Bandwidth, factor: f64) -> Bandwidth {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

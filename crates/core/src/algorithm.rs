@@ -95,8 +95,20 @@ pub struct HareOutput {
 impl HareScheduler {
     /// Run Algorithm 1 on a problem.
     pub fn schedule(&self, p: &SchedProblem) -> HareOutput {
+        self.schedule_traced(p, None)
+    }
+
+    /// [`HareScheduler::schedule`] with relaxation-phase work spans
+    /// recorded into `trace` (cut rounds, dense fallbacks, combinatorial
+    /// sweeps — see `hare_solver::trace`). The non-Midpoint priority
+    /// orders do no solver work and record nothing.
+    pub fn schedule_traced(
+        &self,
+        p: &SchedProblem,
+        trace: Option<&hare_solver::SolveTrace>,
+    ) -> HareOutput {
         p.validate().expect("invalid problem");
-        let priorities = self.priorities(p);
+        let priorities = self.priorities(p, trace);
         let (schedule, pi) = list_schedule(p, &priorities, self.assignment);
         // The certified bound is independent of x̂ — compute it directly.
         let lower_bound = hare_solver::certified_lower_bound(&p.to_instance());
@@ -109,10 +121,10 @@ impl HareScheduler {
     }
 
     /// The priority vector driving π.
-    fn priorities(&self, p: &SchedProblem) -> Vec<f64> {
+    fn priorities(&self, p: &SchedProblem, trace: Option<&hare_solver::SolveTrace>) -> Vec<f64> {
         match self.order {
             PriorityOrder::Midpoint => {
-                let sol = relax::solve(&p.to_instance(), &self.relax);
+                let sol = relax::solve_traced(&p.to_instance(), &self.relax, trace);
                 sol.h
             }
             PriorityOrder::Arrival => p
@@ -217,7 +229,7 @@ pub(crate) fn list_schedule(
                 .into_iter()
                 .map(|k| schedule.task_completion(p, k))
                 .max()
-                .unwrap();
+                .expect("every round has at least one task");
             frontier[job] = done;
             if r + 1 < p.jobs[job].rounds {
                 current_round[job] = r + 1;
@@ -259,7 +271,7 @@ pub fn relaxed_round_assign(
     for _ in 0..k {
         let m = (0..phi.len())
             .min_by_key(|&m| (phi[m].max(ready) + p.jobs[job].train[m], m))
-            .unwrap();
+            .expect("problems have at least one GPU");
         let start = phi[m].max(ready);
         phi[m] = start + p.jobs[job].train[m];
         out.push((start, m));
@@ -268,6 +280,7 @@ pub fn relaxed_round_assign(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::sync::SyncMode;

@@ -29,7 +29,9 @@ use crate::algorithm::{list_schedule, smith_priorities, AssignmentRule};
 use crate::problem::{SchedProblem, TaskIdx};
 use crate::schedule::Schedule;
 use hare_solver::relax::{self, RelaxMode, RelaxOptions};
-use hare_solver::{bb, certified_lower_bound, midpoints, CancelToken, SolveBudget, SolveStats};
+use hare_solver::{
+    bb, certified_lower_bound, midpoints, CancelToken, SolveBudget, SolveStats, SolveTrace,
+};
 use serde::{Deserialize, Serialize};
 
 /// Options for the anytime pipeline.
@@ -198,6 +200,23 @@ pub fn anytime_schedule(
     cancel: &CancelToken,
     stale: Option<&StalePlan>,
 ) -> AnytimeOutput {
+    anytime_schedule_traced(p, opts, budget, cancel, stale, None)
+}
+
+/// [`anytime_schedule`] with solver-phase spans recorded into `trace` on
+/// its deterministic work-unit clock: the Exact and Relaxation rungs emit
+/// their own fine-grained spans (`"bb_root"`, `"lp_round"`, ...) through
+/// the traced solver entry points, and every other attempt — skipped,
+/// exhausted, or one of the flat-cost rungs — gets one span named after
+/// its rung (detail: 0 = completed, 1 = skipped, 2 = exhausted).
+pub fn anytime_schedule_traced(
+    p: &SchedProblem,
+    opts: &AnytimeOptions,
+    budget: &SolveBudget,
+    cancel: &CancelToken,
+    stale: Option<&StalePlan>,
+    trace: Option<&SolveTrace>,
+) -> AnytimeOutput {
     p.validate().expect("invalid problem");
     let inst = p.to_instance();
     let mut attempts: Vec<RungAttempt> = Vec::with_capacity(Rung::ALL.len());
@@ -217,7 +236,7 @@ pub fn anytime_schedule(
             work: 0,
         });
     } else {
-        match bb::solve_exact_budgeted(&inst, budget, cancel) {
+        match bb::solve_exact_budgeted_traced(&inst, budget, cancel, trace) {
             Some(sol) => {
                 // The exact start times are folded back into the ladder's
                 // common currency — midpoint priorities — so dispatch
@@ -242,7 +261,7 @@ pub fn anytime_schedule(
     }
 
     // Rung 2: the relaxation (pivot_cap axis).
-    match relax::solve_budgeted(&inst, &opts.relax, budget, cancel) {
+    match relax::solve_budgeted_traced(&inst, &opts.relax, budget, cancel, trace) {
         Some(sol) => {
             stats = sol.stats;
             let work = match sol.mode {
@@ -346,6 +365,24 @@ pub fn anytime_schedule(
         })
         .expect("the Greedy rung always completes");
     let work = attempts.iter().fold(0u64, |a, r| a.saturating_add(r.work));
+
+    if let Some(tr) = trace {
+        // Rung-level spans for every attempt whose work isn't already
+        // covered by fine-grained inner spans (a completed Exact or
+        // Relaxation rung recorded those through the traced solvers).
+        for a in &attempts {
+            let inner_traced = matches!(a.rung, Rung::Exact | Rung::Relaxation)
+                && matches!(a.outcome, RungOutcome::Completed { .. });
+            if !inner_traced {
+                let detail = match a.outcome {
+                    RungOutcome::Completed { .. } => 0,
+                    RungOutcome::Skipped(_) => 1,
+                    RungOutcome::Exhausted => 2,
+                };
+                tr.record(a.rung.name(), a.work, detail);
+            }
+        }
+    }
 
     AnytimeOutput {
         lower_bound: certified_lower_bound(&inst),

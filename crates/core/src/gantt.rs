@@ -30,7 +30,11 @@ pub fn render(p: &SchedProblem, s: &Schedule, width: usize) -> String {
                 *c = symbol;
             }
         }
-        let _ = writeln!(out, "gpu{g:<3}|{}|", String::from_utf8(line).unwrap());
+        let _ = writeln!(
+            out,
+            "gpu{g:<3}|{}|",
+            String::from_utf8(line).expect("gantt rows are ASCII")
+        );
     }
     let _ = writeln!(
         out,

@@ -154,7 +154,7 @@ impl Schedule {
                     .into_iter()
                     .map(|i| self.task_completion(p, i))
                     .max()
-                    .unwrap();
+                    .expect("every round has at least one task");
                 for i in p.round_tasks(j, r) {
                     if self.start[i] < prev_done {
                         return Err(format!(
@@ -205,6 +205,7 @@ impl Schedule {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -115,7 +115,12 @@ pub fn find_gang_slot(avail: &[SimTime], k: usize, ready: SimTime) -> (SimTime, 
     order.sort_by_key(|&m| (avail[m], m));
     let chosen: Vec<usize> = order[..k].to_vec();
     // The gang can start when the *last* of the k earliest GPUs frees up.
-    let start = chosen.iter().map(|&m| avail[m]).max().unwrap().max(ready);
+    let start = chosen
+        .iter()
+        .map(|&m| avail[m])
+        .max()
+        .expect("k >= 1 gang members: asserted above")
+        .max(ready);
     (start, chosen)
 }
 

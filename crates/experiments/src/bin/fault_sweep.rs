@@ -385,4 +385,31 @@ fn main() {
     println!("\nall jobs complete in every configuration; work lost to failures is");
     println!("re-executed (never silently free) and late gradients are dropped by");
     println!("the relaxed scale-fixed quorum rather than double-counted.");
+
+    // `--trace PATH`: rerun online Hare at the harshest level with full
+    // observability and write a Chrome trace-event JSON — failures,
+    // preemptions, recoveries and replans all show as instants/spans.
+    if let Some(i) = extra.iter().position(|a| a == "--trace") {
+        let path = extra.get(i + 1).expect("--trace requires a PATH argument");
+        let sink = std::sync::Arc::new(hare_sim::ChromeTraceSink::new());
+        let (_, plan) = &levels[levels.len() - 1];
+        let traced = build_simulation(
+            Scheme::Hare,
+            &workloads[0],
+            RunOptions {
+                seed: seeds[0],
+                ..RunOptions::default()
+            },
+            plan,
+        )
+        .with_trace(sink.clone())
+        .run(&mut HareOnline::new().with_trace(sink.clone()))
+        .expect("simulation failed");
+        std::fs::write(path, sink.to_chrome_json()).expect("write Chrome trace");
+        println!(
+            "\nwrote Chrome trace of {} under L3 faults ({} events) to {path}",
+            traced.scheme,
+            sink.len()
+        );
+    }
 }

@@ -6,11 +6,17 @@
 //!
 //! `--sync strict` reruns Hare with strict scale-fixed gangs instead of the
 //! relaxed scheme — the relaxed-synchronization ablation of DESIGN.md §6.
+//!
+//! `--trace PATH` additionally runs online Hare on the same workload with
+//! full observability and writes a Chrome trace-event JSON (task spans per
+//! GPU, sync spans, solver phases) — open it at ui.perfetto.dev. See
+//! EXPERIMENTS.md for a walkthrough.
 
-use hare_baselines::{run_all, RunOptions, Scheme};
+use hare_baselines::{run_all, HareOnline, RunOptions, Scheme};
 use hare_core::HareScheduler;
 use hare_experiments::{paper_line, parse_args, testbed_workload, Table};
-use hare_sim::{planned_report, OfflineReplay, Simulation};
+use hare_sim::{planned_report, ChromeTraceSink, OfflineReplay, Simulation};
+use std::sync::Arc;
 
 fn main() {
     let (seeds, _, extra) = parse_args();
@@ -114,5 +120,21 @@ fn main() {
             strict.weighted_jct / hare_jct
         );
         let _ = Scheme::ALL; // keep the scheme list in scope for docs
+    }
+
+    if let Some(i) = extra.iter().position(|a| a == "--trace") {
+        let path = extra.get(i + 1).expect("--trace requires a PATH argument");
+        let sink = Arc::new(ChromeTraceSink::new());
+        let traced = Simulation::new(&w)
+            .with_seed(seed)
+            .with_trace(sink.clone())
+            .run(&mut HareOnline::new().with_trace(sink.clone()))
+            .expect("simulation");
+        std::fs::write(path, sink.to_chrome_json()).expect("write Chrome trace");
+        println!(
+            "\nwrote Chrome trace of {} ({} events) to {path}",
+            traced.scheme,
+            sink.len()
+        );
     }
 }

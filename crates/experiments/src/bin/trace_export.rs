@@ -1,0 +1,114 @@
+//! Trace-export smoke: run a small traced scenario end-to-end and
+//! validate the emitted Chrome trace-event JSON.
+//!
+//! This is the CI guard for the observability layer: it attaches one
+//! `ChromeTraceSink` to both the simulator and online Hare, runs a
+//! 12-job testbed workload under a transient GPU failure (so fault
+//! instants are exercised too), writes the trace, re-parses it with
+//! `serde_json`, and asserts the structural invariants every consumer
+//! (Perfetto, `chrome://tracing`) relies on:
+//!
+//! * the file is a single JSON object with a non-empty `traceEvents` array;
+//! * simulator task spans (`train …`) and solver spans (pid 1) are present;
+//! * every complete span has non-negative `ts`/`dur`.
+//!
+//! Pass `--out PATH` to keep the trace; by default it goes to a
+//! temporary file that is removed on success. Exits non-zero (panics)
+//! on any violation, so CI can run it bare.
+
+use hare_baselines::HareOnline;
+use hare_cluster::{Cluster, SimDuration, SimTime};
+use hare_experiments::parse_args;
+use hare_sim::{ChromeTraceSink, FaultPlan, GpuFault, SimWorkload, Simulation};
+use hare_workload::{ProfileDb, TraceConfig};
+use std::sync::Arc;
+
+fn main() {
+    let (seeds, _csv, extra) = parse_args();
+    let seed = seeds[0];
+    let out = extra.iter().position(|a| a == "--out").map(|i| {
+        extra
+            .get(i + 1)
+            .expect("--out requires a PATH argument")
+            .clone()
+    });
+    let keep = out.is_some();
+    let path = out.unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("hare-trace-smoke-{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+
+    let db = ProfileDb::new(seed);
+    let trace = TraceConfig {
+        n_jobs: 12,
+        seed,
+        ..TraceConfig::default()
+    }
+    .generate();
+    let w = SimWorkload::build(Cluster::testbed15(), trace, &db);
+    let mut plan = FaultPlan::default();
+    plan.gpu_faults.push(GpuFault {
+        gpu: 0,
+        at: SimTime::from_secs(120),
+        recover_after: Some(SimDuration::from_secs(600)),
+    });
+
+    let sink = Arc::new(ChromeTraceSink::new());
+    let report = Simulation::new(&w)
+        .with_seed(seed)
+        .with_fault_plan(&plan)
+        .with_trace(sink.clone())
+        .run(&mut HareOnline::new().with_trace(sink.clone()))
+        .expect("traced simulation");
+    assert_eq!(report.completion.len(), 12, "all jobs must complete");
+
+    let json = sink.to_chrome_json();
+    std::fs::write(&path, &json).expect("write trace");
+
+    // Re-read from disk: validate exactly the bytes a consumer would load.
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    let value = serde_json::from_str(&text).expect("trace must be valid JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must be non-empty");
+
+    let mut task_spans = 0usize;
+    let mut solver_spans = 0usize;
+    let mut instants = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        let name = e.get("name").and_then(|n| n.as_str()).expect("name field");
+        match ph {
+            "X" => {
+                let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+                let dur = e.get("dur").and_then(|d| d.as_f64()).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0, "negative ts/dur on {name}");
+                let pid = e.get("pid").and_then(|p| p.as_u64()).expect("pid");
+                if pid == 1 {
+                    solver_spans += 1;
+                } else if name.starts_with("train ") {
+                    task_spans += 1;
+                }
+            }
+            "i" => instants += 1,
+            "M" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(task_spans > 0, "no simulator task spans");
+    assert!(solver_spans > 0, "no solver spans");
+    assert!(instants > 0, "no instant events (arrivals/failures)");
+
+    println!(
+        "trace-export smoke OK: {} events ({task_spans} task spans, \
+         {solver_spans} solver spans, {instants} instants) -> {path}",
+        events.len()
+    );
+    if !keep {
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -7,6 +7,7 @@
 //! designs: early task cleaning and speculative memory management.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod cleaning;
 pub mod pool;

@@ -30,7 +30,9 @@ use crate::faults::{FaultPlan, GpuFault, SimError, SlowdownProfile};
 use crate::metrics::{FaultMetrics, GpuReport, SimReport, UtilSpan};
 use crate::policy::{Policy, SimView};
 use crate::ps::ParameterServer;
+use crate::registry::MetricsRegistry;
 use crate::storage::CheckpointStore;
+use crate::trace::{SimInstant, SinkHandle, TaskPhase, TraceSink};
 use hare_cluster::{SimDuration, SimTime};
 use hare_core::Schedule;
 use hare_memory::{PrevTask, SpeculativeCache, SwitchPolicy, SwitchRequest, TaskModelRef};
@@ -48,6 +50,9 @@ pub struct Simulation<'a> {
     record_timelines: bool,
     faults: FaultPlan,
     storage: CheckpointStore,
+    /// Observer for execution tracing; `None` (the default) keeps the
+    /// event hot path to a single branch per hook.
+    trace: Option<SinkHandle>,
 }
 
 impl<'a> Simulation<'a> {
@@ -61,7 +66,17 @@ impl<'a> Simulation<'a> {
             record_timelines: false,
             faults: FaultPlan::default(),
             storage: CheckpointStore::default(),
+            trace: None,
         }
+    }
+
+    /// Attach a [`TraceSink`] observing task/switch/sync spans and
+    /// lifecycle instants. Tracing never feeds back into the simulation;
+    /// the golden-snapshot suite pins that reports are byte-identical
+    /// with and without a sink attached.
+    pub fn with_trace(mut self, sink: std::sync::Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(SinkHandle(sink));
+        self
     }
 
     /// Select the task-switching protocol charged at each switch.
@@ -397,6 +412,9 @@ impl<'a, 'b> Engine<'a, 'b> {
         match event {
             Event::JobArrival { job } => {
                 self.arrived[job] = true;
+                if let Some(ts) = &self.cfg.trace {
+                    ts.instant(SimInstant::JobArrival { job }, None, self.now);
+                }
                 for i in w.round_range(job, 0) {
                     debug_assert_eq!(self.task_state[i], TaskState::Pending);
                     self.task_state[i] = TaskState::Ready;
@@ -427,6 +445,17 @@ impl<'a, 'b> Engine<'a, 'b> {
                 let model = w.task_model(task);
                 let kind = w.cluster.gpus()[gpu].kind;
                 self.gpus[gpu].effective_busy += realized.mul_f64(model.utilization(kind));
+                if let Some(ts) = &self.cfg.trace {
+                    let job = w.problem.tasks[task].job;
+                    ts.task_span(
+                        TaskPhase::Switch,
+                        gpu,
+                        task,
+                        job,
+                        self.occupied_since[gpu],
+                        self.now,
+                    );
+                }
                 if let Some(tl) = &mut self.timelines {
                     tl[gpu].push(UtilSpan {
                         from: self.occupied_since[gpu],
@@ -463,6 +492,12 @@ impl<'a, 'b> Engine<'a, 'b> {
                 self.idle.insert(gpu);
                 self.running_copies[task] -= 1;
                 let job = w.problem.tasks[task].job;
+                if let Some(ts) = &self.cfg.trace {
+                    // Recorded before the duplicate-gradient check so a
+                    // losing speculation twin's (wasted) run still shows.
+                    let from = SimTime::from_micros(self.now.as_micros() - cur.busy.as_micros());
+                    ts.task_span(TaskPhase::Train, gpu, task, job, from, self.now);
+                }
                 if self.task_state[task] == TaskState::Done {
                     // A speculation twin already delivered this gradient:
                     // this copy's entire run is waste, and its gradient is
@@ -508,6 +543,9 @@ impl<'a, 'b> Engine<'a, 'b> {
                         self.round_tainted[job] = false;
                         self.fm.degraded_rounds += 1;
                     }
+                    if let Some(ts) = &self.cfg.trace {
+                        ts.sync_span(job, outcome.round as usize, self.now, outcome.done_at);
+                    }
                     self.queue.push(
                         outcome.done_at,
                         Event::SyncDone {
@@ -525,6 +563,9 @@ impl<'a, 'b> Engine<'a, 'b> {
                 self.gen[gpu] += 1;
                 self.fail_time[gpu] = Some(self.now);
                 self.fm.gpu_failures += 1;
+                if let Some(ts) = &self.cfg.trace {
+                    ts.instant(SimInstant::GpuFailure, Some(gpu), self.now);
+                }
                 self.idle.remove(gpu);
                 // Drop the GPU's pending occupancy event from the queue —
                 // but only when speculation is off: popping a stale
@@ -563,6 +604,9 @@ impl<'a, 'b> Engine<'a, 'b> {
                         self.task_state[cur.task] = TaskState::Ready;
                         self.ready.insert(cur.task);
                         self.reexec[cur.task] = true;
+                        if let Some(ts) = &self.cfg.trace {
+                            ts.instant(SimInstant::Preempt { task: cur.task }, Some(gpu), self.now);
+                        }
                         requeued.push(cur.task);
                     }
                 }
@@ -581,6 +625,9 @@ impl<'a, 'b> Engine<'a, 'b> {
                 if let Some(down_at) = self.fail_time[gpu].take() {
                     self.fm.recovery_latency += self.now.saturating_since(down_at);
                 }
+                if let Some(ts) = &self.cfg.trace {
+                    ts.instant(SimInstant::GpuRecovery, Some(gpu), self.now);
+                }
                 self.policy.on_gpu_recovery(gpu);
             }
             Event::SyncDone { job, round } => {
@@ -590,6 +637,9 @@ impl<'a, 'b> Engine<'a, 'b> {
                 if round + 1 == w.problem.jobs[job].rounds {
                     self.completion[job] = Some(self.now);
                     self.jobs_done += 1;
+                    if let Some(ts) = &self.cfg.trace {
+                        ts.instant(SimInstant::JobComplete { job }, None, self.now);
+                    }
                     // The job will never run again: release its cached
                     // models and garbage-collect its checkpoints.
                     for cache in &mut self.caches {
@@ -842,6 +892,32 @@ impl<'a, 'b> Engine<'a, 'b> {
             faults.dropped_gradients += ps.dropped();
         }
         faults.storage_stall = self.store.stalled();
+        // The registry is filled once here — never on the event hot path —
+        // and is excluded from `SimReport::to_json` so golden fixtures are
+        // unaffected. Everything recorded is a deterministic function of
+        // run state, keeping reports bit-reproducible.
+        let mut metrics = MetricsRegistry::new();
+        metrics.add("sim.events_processed", self.events_processed);
+        metrics.add("sim.jobs_completed", completion.len() as u64);
+        metrics.add("sim.gpu_failures", u64::from(faults.gpu_failures));
+        metrics.add("sim.gpu_recoveries", u64::from(faults.gpu_recoveries));
+        metrics.add("sim.gradients_accepted", faults.gradients_accepted);
+        metrics.add("sim.gradients_dropped", faults.dropped_gradients);
+        metrics.add(
+            "sim.switches",
+            self.gpus.iter().map(|g| u64::from(g.switch_count)).sum(),
+        );
+        metrics.add(
+            "sim.cache_hits",
+            self.gpus.iter().map(|g| u64::from(g.cache_hits)).sum(),
+        );
+        metrics.set_gauge("sim.makespan_secs", stats.makespan.as_secs_f64());
+        metrics.set_gauge("sim.weighted_jct", stats.weighted_jct);
+        const JCT_BUCKETS_SECS: &[f64] =
+            &[60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0];
+        for jct in &stats.jct {
+            metrics.observe("sim.jct_secs", JCT_BUCKETS_SECS, jct.as_secs_f64());
+        }
         SimReport {
             scheme: self.policy.name(),
             makespan: stats.makespan,
@@ -855,6 +931,7 @@ impl<'a, 'b> Engine<'a, 'b> {
             storage_local_hits: self.store.local_hits(),
             faults,
             timelines: self.timelines,
+            metrics,
         }
     }
 }
@@ -889,6 +966,7 @@ pub fn planned_report(workload: &SimWorkload, schedule: &Schedule, name: &str) -
         storage_local_hits: 0,
         faults: FaultMetrics::default(),
         timelines: None,
+        metrics: MetricsRegistry::default(),
     }
 }
 

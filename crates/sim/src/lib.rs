@@ -15,7 +15,9 @@ pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod ps;
+pub mod registry;
 pub mod storage;
+pub mod trace;
 
 pub use build::SimWorkload;
 pub use control::{
@@ -32,4 +34,6 @@ pub use metrics::{
 };
 pub use policy::{OfflineReplay, Policy, SimView};
 pub use ps::{ParameterServer, SyncOutcome};
+pub use registry::{Histogram, MetricsRegistry};
 pub use storage::CheckpointStore;
+pub use trace::{ChromeTraceSink, NoopSink, SimInstant, TaskPhase, TraceSink};

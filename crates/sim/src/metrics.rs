@@ -96,6 +96,11 @@ pub struct SimReport {
     pub faults: FaultMetrics,
     /// Optional per-GPU utilization timelines.
     pub timelines: Option<Vec<Vec<UtilSpan>>>,
+    /// Named counters/gauges/histograms filled at report time. Excluded
+    /// from [`SimReport::to_json`] (the golden-fixture format) so new
+    /// series can be added without re-blessing fixtures; render it with
+    /// [`crate::MetricsRegistry::to_json`].
+    pub metrics: crate::registry::MetricsRegistry,
 }
 
 impl SimReport {
@@ -163,7 +168,8 @@ pub struct CompletionStats {
 
 /// Derive [`CompletionStats`] from per-job completion times. Sums run in
 /// job-index order — f64 addition is order-sensitive, and golden-snapshot
-/// tests pin these outputs bit for bit.
+/// tests pin these outputs bit for bit. An empty completion set (a report
+/// aggregated from zero jobs) is legal and yields all-zero stats.
 pub fn completion_stats(completion: &[SimTime], jobs: &[JobInfo]) -> CompletionStats {
     debug_assert_eq!(completion.len(), jobs.len());
     let jct: Vec<SimDuration> = completion
@@ -182,7 +188,7 @@ pub fn completion_stats(completion: &[SimTime], jobs: &[JobInfo]) -> CompletionS
         .zip(&weights)
         .map(|(d, w)| d.as_secs_f64() * w)
         .sum();
-    let makespan = completion.iter().copied().max().expect("non-empty problem");
+    let makespan = completion.iter().copied().max().unwrap_or(SimTime::ZERO);
     CompletionStats {
         jct,
         weights,
@@ -194,7 +200,7 @@ pub fn completion_stats(completion: &[SimTime], jobs: &[JobInfo]) -> CompletionS
 
 /// Minimal JSON string escaping (scheme names are plain ASCII, but the
 /// serializer should never emit malformed JSON regardless).
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -212,9 +218,15 @@ fn push_json_str(out: &mut String, s: &str) {
 /// `{:?}` on f64 prints the shortest decimal that round-trips, which is a
 /// deterministic function of the bits — exactly what the golden-snapshot
 /// fixtures need. (It never prints `1` for `1.0`, so output stays valid
-/// JSON numbers.)
-fn push_f64(out: &mut String, v: f64) {
-    let _ = write!(out, "{v:?}");
+/// JSON numbers.) Non-finite values have no JSON number representation —
+/// `{:?}` would print literal `NaN`/`inf` and corrupt the document — so
+/// they serialize as `null`, keeping the writer total over all inputs.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
 }
 
 fn push_u64_seq(out: &mut String, vals: impl Iterator<Item = u64>) {
@@ -231,8 +243,12 @@ fn push_u64_seq(out: &mut String, vals: impl Iterator<Item = u64>) {
 impl SimReport {
     /// Deterministic, dependency-free JSON rendering with a fixed field
     /// order and integer-microsecond times. Two reports serialize to the
-    /// same bytes iff they are equal — the golden-snapshot determinism
-    /// test diffs exactly this output against committed fixtures.
+    /// same bytes iff their fixture-pinned fields are equal — the
+    /// golden-snapshot determinism test diffs exactly this output against
+    /// committed fixtures. The [`SimReport::metrics`] registry is
+    /// intentionally *not* rendered here (it has its own `to_json`), so
+    /// the registry can grow without invalidating fixtures. The output is
+    /// valid JSON for every input: non-finite floats become `null`.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\"scheme\":");
@@ -373,7 +389,89 @@ mod tests {
             storage_local_hits: 0,
             faults: FaultMetrics::default(),
             timelines: None,
+            metrics: crate::registry::MetricsRegistry::default(),
         }
+    }
+
+    /// A report aggregated from zero jobs on zero GPUs — what heavy fault
+    /// plans or empty sweep cells can produce upstream.
+    fn empty_report() -> SimReport {
+        SimReport {
+            scheme: "empty".into(),
+            completion: Vec::new(),
+            jct: Vec::new(),
+            weights: Vec::new(),
+            weighted_completion: 0.0,
+            weighted_jct: 0.0,
+            makespan: SimTime::ZERO,
+            gpus: Vec::new(),
+            storage_fetched: hare_cluster::Bytes::ZERO,
+            storage_local_hits: 0,
+            faults: FaultMetrics::default(),
+            timelines: None,
+            metrics: crate::registry::MetricsRegistry::default(),
+        }
+    }
+
+    #[test]
+    fn empty_report_aggregates_are_zero_not_nan() {
+        let r = empty_report();
+        assert_eq!(r.mean_jct(), 0.0);
+        assert_eq!(r.fraction_within(SimDuration::from_secs(60)), 0.0);
+        assert_eq!(r.mean_utilization(), 0.0);
+        assert_eq!(r.total_switching(), SimDuration::ZERO);
+        assert_eq!(r.switch_stats(), (0, 0));
+    }
+
+    #[test]
+    fn zero_gpu_report_with_jobs_has_zero_utilization() {
+        let mut r = report();
+        r.gpus.clear();
+        assert_eq!(r.mean_utilization(), 0.0);
+        assert!(serde_json::from_str(&r.to_json()).is_ok());
+    }
+
+    #[test]
+    fn completion_stats_of_empty_set_is_total() {
+        let stats = completion_stats(&[], &[]);
+        assert_eq!(stats.makespan, SimTime::ZERO);
+        assert_eq!(stats.weighted_completion, 0.0);
+        assert_eq!(stats.weighted_jct, 0.0);
+        assert!(stats.jct.is_empty() && stats.weights.is_empty());
+    }
+
+    #[test]
+    fn empty_report_serializes_to_valid_json() {
+        let json = empty_report().to_json();
+        let v = serde_json::from_str(&json).expect("empty report JSON parses");
+        assert_eq!(
+            v.get("scheme").and_then(serde_json::Value::as_str),
+            Some("empty")
+        );
+        assert_eq!(
+            v.get("completion").and_then(serde_json::Value::as_array),
+            Some(&Vec::new())
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let mut r = report();
+        r.weights = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.5];
+        r.weighted_completion = f64::NAN;
+        r.weighted_jct = f64::INFINITY;
+        r.timelines = Some(vec![vec![UtilSpan {
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(1),
+            level: f64::NAN,
+        }]]);
+        let json = r.to_json();
+        let v = serde_json::from_str(&json).expect("NaN-laden report still parses");
+        assert!(v.get("weighted_completion").unwrap().is_null());
+        assert!(v.get("weighted_jct").unwrap().is_null());
+        let weights = v.get("weights").unwrap().as_array().unwrap();
+        assert!(weights[0].is_null() && weights[1].is_null() && weights[2].is_null());
+        assert_eq!(weights[3].as_f64(), Some(1.5));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Run-scoped metrics registry: named counters, gauges, and fixed-bucket
+//! histograms attached to every [`crate::SimReport`].
+//!
+//! The registry is filled once, when the engine builds its report — never
+//! on the event hot path — so it adds nothing to simulation cost. It is
+//! deliberately *excluded* from [`crate::SimReport::to_json`]: that
+//! serializer is the golden-snapshot fixture format, pinned byte-for-byte
+//! across PRs, while the registry is free to grow new series. Render it
+//! separately with [`MetricsRegistry::to_json`].
+//!
+//! All maps are `BTreeMap`s so iteration (and therefore JSON output) is
+//! deterministic, matching the rest of the repo's bit-reproducibility
+//! discipline.
+
+use crate::metrics::{push_f64, push_json_str};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`, and one extra overflow bucket catches everything above the
+/// last bound (including non-finite observations, which have no
+/// meaningful position on the axis).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` entries; the last is the overflow bucket.
+    counts: Vec<u64>,
+    /// Total observations, including overflow.
+    count: u64,
+    /// Sum of the *finite* observations (NaN would poison the sum).
+    sum: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending, finite bucket upper edges.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be ascending and finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation. Non-finite values land in the overflow
+    /// bucket and are kept out of the running sum.
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair has `None` as its
+    /// bound — the overflow bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (Option<f64>, u64)> + '_ {
+        self.bounds
+            .iter()
+            .map(|&b| Some(b))
+            .chain(std::iter::once(None))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// Named counters, gauges, and histograms for one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to a counter, creating it at zero on first touch.
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Set a gauge to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record `v` into the named histogram, creating it with `bounds` on
+    /// first touch (later calls ignore `bounds` — buckets are fixed).
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(v);
+    }
+
+    /// A counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, when set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, when it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Deterministic JSON rendering (sorted keys via `BTreeMap`; gauge
+    /// values go through the same total float writer as the report, so
+    /// non-finite gauges serialize as `null` rather than corrupting the
+    /// document).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, k);
+            let _ = write!(s, ":{v}");
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, k);
+            s.push(':');
+            push_f64(&mut s, *v);
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, k);
+            let _ = write!(s, ":{{\"count\":{},\"sum\":", h.count);
+            push_f64(&mut s, h.sum);
+            s.push_str(",\"buckets\":[");
+            for (j, (bound, count)) in h.buckets().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"le\":");
+                match bound {
+                    Some(b) => push_f64(&mut s, b),
+                    None => s.push_str("null"),
+                }
+                let _ = write!(s, ",\"count\":{count}}}");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.inc("events");
+        r.add("events", 4);
+        r.set_gauge("util", 0.5);
+        r.set_gauge("util", 0.75);
+        assert_eq!(r.counter("events"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("util"), Some(0.75));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 100.0, f64::NAN, f64::INFINITY] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(Some(1.0), 2), (Some(10.0), 1), (None, 3)]);
+        assert!((h.sum() - 106.4).abs() < 1e-9, "NaN/inf stay out of sum");
+    }
+
+    #[test]
+    fn json_is_valid_even_with_non_finite_gauges() {
+        let mut r = MetricsRegistry::new();
+        r.inc("c");
+        r.set_gauge("bad", f64::NAN);
+        r.set_gauge("worse", f64::NEG_INFINITY);
+        r.observe("h", &[1.0], f64::INFINITY);
+        let json = r.to_json();
+        let v = serde_json::from_str(&json).expect("registry JSON parses");
+        assert!(v.get("gauges").unwrap().get("bad").unwrap().is_null());
+        assert_eq!(
+            v.get("counters").unwrap().get("c").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn empty_registry_serializes() {
+        let json = MetricsRegistry::new().to_json();
+        assert!(serde_json::from_str(&json).is_ok());
+    }
+}

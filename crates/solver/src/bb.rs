@@ -36,6 +36,7 @@
 
 use crate::budget::{CancelToken, SolveBudget};
 use crate::instance::Instance;
+use crate::trace::SolveTrace;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
@@ -61,6 +62,16 @@ pub struct ExactSolution {
 /// Solve exactly. Exponential — intended for ≤ ~14 tasks and ≤ 4 machines;
 /// panics above a hard safety limit of [`MAX_TASKS`] tasks.
 pub fn solve_exact(inst: &Instance) -> ExactSolution {
+    solve_exact_traced(inst, None)
+}
+
+/// [`solve_exact`] recording one `"bb_root"` span per root branch into
+/// `trace` (work = nodes explored, detail = branch index). Spans are
+/// recorded after the parallel join, in branch-index order, so the span
+/// *sequence* is deterministic; per-branch node counts may still vary
+/// run-to-run with bound-propagation timing (as documented on
+/// [`ExactSolution::nodes`]). The budgeted search is fully deterministic.
+pub fn solve_exact_traced(inst: &Instance, trace: Option<&SolveTrace>) -> ExactSolution {
     inst.validate().expect("invalid instance");
     assert!(
         inst.n_tasks() <= MAX_TASKS,
@@ -115,6 +126,12 @@ pub fn solve_exact(inst: &Instance) -> ExactSolution {
     });
     per_branch.sort_by_key(|&(bi, _)| bi);
 
+    if let Some(tr) = trace {
+        for (bi, r) in &per_branch {
+            tr.record("bb_root", r.nodes, *bi as u64);
+        }
+    }
+
     // Deterministic reduction: minimum objective, ties to the smallest
     // root-branch index (the sort above fixes the visit order).
     let mut nodes = 1; // the root itself
@@ -152,11 +169,23 @@ pub fn solve_exact_budgeted(
     budget: &SolveBudget,
     cancel: &CancelToken,
 ) -> Option<ExactSolution> {
+    solve_exact_budgeted_traced(inst, budget, cancel, None)
+}
+
+/// [`solve_exact_budgeted`] recording one `"bb_root"` span per explored
+/// root branch into `trace` (work = nodes, detail = branch order). An
+/// aborted search keeps the spans of the branches that did complete.
+pub fn solve_exact_budgeted_traced(
+    inst: &Instance,
+    budget: &SolveBudget,
+    cancel: &CancelToken,
+    trace: Option<&SolveTrace>,
+) -> Option<ExactSolution> {
     if cancel.is_cancelled() || budget.deadline_passed() {
         return None;
     }
     if budget.is_unlimited() {
-        return Some(solve_exact(inst));
+        return Some(solve_exact_traced(inst, trace));
     }
     inst.validate().expect("invalid instance");
     assert!(
@@ -172,7 +201,7 @@ pub fn solve_exact_budgeted(
 
     let mut nodes = 1u64; // the root itself
     let mut best: Option<(f64, Vec<f64>, Vec<usize>)> = None;
-    for (task, machine) in branches {
+    for (bi, (task, machine)) in branches.into_iter().enumerate() {
         let mut s = Search::fresh(inst, &sym, &global);
         s.node_cap = budget.node_cap.saturating_sub(nodes);
         s.budget = Some(budget);
@@ -181,6 +210,9 @@ pub fn solve_exact_budgeted(
         nodes = nodes.saturating_add(s.nodes);
         if s.aborted {
             return None;
+        }
+        if let Some(tr) = trace {
+            tr.record("bb_root", s.nodes, bi as u64);
         }
         // Ties keep the earlier branch, matching solve_exact's reduction.
         if s.best.is_finite() && best.as_ref().is_none_or(|&(b, _, _)| s.best < b) {

@@ -14,7 +14,9 @@
 //!   certified lower bound on the optimum;
 //! * [`bb`] — exact branch-and-bound ground truth for tiny instances;
 //! * [`budget`] — cooperative solve budgets and cancellation, honored by
-//!   every solver above so a solve can be bounded or aborted mid-flight.
+//!   every solver above so a solve can be bounded or aborted mid-flight;
+//! * [`trace`] — deterministic work-unit span recording for the
+//!   observability layer (cut rounds, B&B branches, ladder rungs).
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
@@ -25,13 +27,18 @@ pub mod instance;
 pub mod lp;
 pub mod matching;
 pub mod relax;
+pub mod trace;
 
-pub use bb::{solve_exact, solve_exact_budgeted, ExactSolution};
+pub use bb::{
+    solve_exact, solve_exact_budgeted, solve_exact_budgeted_traced, solve_exact_traced,
+    ExactSolution,
+};
 pub use budget::{CancelToken, SolveBudget};
 pub use instance::{fig1_instance, Instance, InstanceBuilder, JobMeta, ProblemError, TaskMeta};
 pub use lp::{Cmp, Constraint, LinearProgram, LpOutcome, RevisedSimplex};
 pub use matching::{min_cost_matching, Matching};
 pub use relax::{
-    certified_lower_bound, combinatorial_work, midpoints, min_max, solve_budgeted, RelaxMode,
-    RelaxOptions, RelaxSolution, SolveStats,
+    certified_lower_bound, combinatorial_work, midpoints, min_max, solve_budgeted,
+    solve_budgeted_traced, solve_traced, RelaxMode, RelaxOptions, RelaxSolution, SolveStats,
 };
+pub use trace::{SolveSpan, SolveTrace};

@@ -29,6 +29,7 @@
 use crate::budget::{CancelToken, SolveBudget};
 use crate::instance::Instance;
 use crate::lp::{Cmp, LinearProgram, LpOutcome, RevisedSimplex};
+use crate::trace::SolveTrace;
 use serde::{Deserialize, Serialize};
 
 /// Options controlling the relaxation solver.
@@ -110,10 +111,24 @@ pub struct RelaxSolution {
 
 /// Solve the relaxation.
 pub fn solve(inst: &Instance, opts: &RelaxOptions) -> RelaxSolution {
+    solve_traced(inst, opts, None)
+}
+
+/// [`solve`] with per-phase work spans recorded into `trace`: one span
+/// per LP cut round (work = pivots spent, detail = cut index), or one
+/// flat-cost span for the combinatorial sweep.
+pub fn solve_traced(
+    inst: &Instance,
+    opts: &RelaxOptions,
+    trace: Option<&SolveTrace>,
+) -> RelaxSolution {
     inst.validate().expect("invalid instance");
     let (x_hat, mode, stats) = if inst.n_tasks() <= opts.lp_task_limit {
-        lp_mode(inst, opts)
+        lp_mode(inst, opts, trace)
     } else {
+        if let Some(tr) = trace {
+            tr.record("combinatorial", combinatorial_work(inst, opts), 0);
+        }
         (
             combinatorial_mode(inst, opts),
             RelaxMode::Combinatorial,
@@ -149,18 +164,35 @@ pub fn solve_budgeted(
     budget: &SolveBudget,
     cancel: &CancelToken,
 ) -> Option<RelaxSolution> {
+    solve_budgeted_traced(inst, opts, budget, cancel, None)
+}
+
+/// [`solve_budgeted`] with per-phase work spans recorded into `trace`
+/// (see [`solve_traced`]). An aborted solve leaves the spans of the
+/// rounds that did complete — useful for diagnosing where a budget ran
+/// out.
+pub fn solve_budgeted_traced(
+    inst: &Instance,
+    opts: &RelaxOptions,
+    budget: &SolveBudget,
+    cancel: &CancelToken,
+    trace: Option<&SolveTrace>,
+) -> Option<RelaxSolution> {
     if cancel.is_cancelled() || budget.deadline_passed() {
         return None;
     }
     if budget.is_unlimited() {
-        return Some(solve(inst, opts));
+        return Some(solve_traced(inst, opts, trace));
     }
     inst.validate().expect("invalid instance");
     let (x_hat, mode, stats) = if inst.n_tasks() <= opts.lp_task_limit {
-        budgeted_lp_mode(inst, opts, budget, cancel)?
+        budgeted_lp_mode(inst, opts, budget, cancel, trace)?
     } else {
         if combinatorial_work(inst, opts) > budget.pivot_cap {
             return None;
+        }
+        if let Some(tr) = trace {
+            tr.record("combinatorial", combinatorial_work(inst, opts), 0);
         }
         (
             combinatorial_mode(inst, opts),
@@ -287,9 +319,33 @@ fn separate_cut(inst: &Instance, x_hat: &[f64]) -> Option<(Vec<(usize, f64)>, f6
     Some((terms, rhs))
 }
 
-fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveStats) {
+fn lp_mode(
+    inst: &Instance,
+    opts: &RelaxOptions,
+    trace: Option<&SolveTrace>,
+) -> (Vec<f64>, RelaxMode, SolveStats) {
     let t = inst.n_tasks();
     let mut lp = base_program(inst);
+
+    // One span per LP solve: work = pivots spent on the round (productive
+    // or discarded), phase marks whether the dense fallback fired.
+    let record_round = |stats: &SolveStats, before: (u64, usize), cut: usize| {
+        if let Some(tr) = trace {
+            let spent = stats.revised_pivots + stats.discarded_pivots - before.0;
+            let phase = if stats.dense_fallbacks > before.1 {
+                "lp_dense_fallback"
+            } else {
+                "lp_round"
+            };
+            tr.record(phase, spent, cut as u64);
+        }
+    };
+    let snapshot = |stats: &SolveStats| {
+        (
+            stats.revised_pivots + stats.discarded_pivots,
+            stats.dense_fallbacks,
+        )
+    };
 
     // Per-solve pivot budget: far above anything a healthy cut round
     // needs, so it only trips on cycling or a pathological cut sequence —
@@ -334,7 +390,9 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveS
         lp_solves: 1,
         ..SolveStats::default()
     };
+    let mut before = snapshot(&stats);
     let mut x_hat = solve_or_dense(&mut simplex, &lp, &mut stats, t);
+    record_round(&stats, before, 0);
     let mut cuts = 0usize;
 
     for _ in 0..opts.max_cut_rounds {
@@ -351,7 +409,9 @@ fn lp_mode(inst: &Instance, opts: &RelaxOptions) -> (Vec<f64>, RelaxMode, SolveS
             lp.constrain(terms, Cmp::Ge, rhs);
             simplex = RevisedSimplex::new(&lp);
         }
+        before = snapshot(&stats);
         x_hat = solve_or_dense(&mut simplex, &lp, &mut stats, t);
+        record_round(&stats, before, cuts);
         stats.lp_solves += 1;
     }
 
@@ -368,9 +428,16 @@ fn budgeted_lp_mode(
     opts: &RelaxOptions,
     budget: &SolveBudget,
     cancel: &CancelToken,
+    trace: Option<&SolveTrace>,
 ) -> Option<(Vec<f64>, RelaxMode, SolveStats)> {
     let t = inst.n_tasks();
     let mut lp = base_program(inst);
+
+    let record_round = |stats: &SolveStats, before: u64, cut: usize| {
+        if let Some(tr) = trace {
+            tr.record("lp_round", stats.revised_pivots - before, cut as u64);
+        }
+    };
 
     fn solve_once(
         simplex: &mut RevisedSimplex,
@@ -399,7 +466,9 @@ fn budgeted_lp_mode(
         ..SolveStats::default()
     };
     let mut retired: u64 = 0;
+    let mut before = stats.revised_pivots;
     let mut x_hat = solve_once(&mut simplex, &mut stats, t, retired, budget, cancel)?;
+    record_round(&stats, before, 0);
     let mut cuts = 0usize;
 
     for _ in 0..opts.max_cut_rounds {
@@ -418,7 +487,9 @@ fn budgeted_lp_mode(
             retired = retired.saturating_add(simplex.pivots());
             simplex = RevisedSimplex::new(&lp);
         }
+        before = stats.revised_pivots;
         x_hat = solve_once(&mut simplex, &mut stats, t, retired, budget, cancel)?;
+        record_round(&stats, before, cuts);
         stats.lp_solves += 1;
     }
 

@@ -111,6 +111,7 @@ pub fn parse_model(name: &str) -> Option<ModelKind> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::trace::testbed_trace;

@@ -4,6 +4,7 @@
 //! generation (Section 7.1).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod csv;
 pub mod job;

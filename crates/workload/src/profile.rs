@@ -197,6 +197,7 @@ pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -39,14 +39,20 @@ impl DomainMix {
         assert!((0.0..=1.0).contains(&frac));
         let rest = (1.0 - frac) / 3.0;
         let mut fractions = [rest; 4];
-        let idx = Domain::ALL.iter().position(|&d| d == domain).unwrap();
+        let idx = Domain::ALL
+            .iter()
+            .position(|&d| d == domain)
+            .expect("Domain::ALL lists every variant");
         fractions[idx] = frac;
         DomainMix { fractions }
     }
 
     /// Fraction for one domain.
     pub fn fraction(&self, domain: Domain) -> f64 {
-        let idx = Domain::ALL.iter().position(|&d| d == domain).unwrap();
+        let idx = Domain::ALL
+            .iter()
+            .position(|&d| d == domain)
+            .expect("Domain::ALL lists every variant");
         self.fractions[idx]
     }
 
@@ -146,7 +152,7 @@ impl TraceConfig {
                 return Domain::ALL[i];
             }
         }
-        *Domain::ALL.last().unwrap()
+        *Domain::ALL.last().expect("Domain::ALL is non-empty")
     }
 
     /// Hyper-exponential inter-arrival gap: with probability `burstiness`
@@ -222,6 +228,7 @@ pub fn large_scale_trace(n_jobs: u32, mix: DomainMix, seed: u64) -> Vec<JobSpec>
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
