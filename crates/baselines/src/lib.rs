@@ -11,6 +11,7 @@ pub mod common;
 pub mod gavel_fifo;
 pub mod hare_online;
 pub mod sched_homo;
+pub mod serve_sched;
 pub mod srtf;
 pub mod suite;
 pub mod timeslice;
@@ -19,6 +20,7 @@ pub use allox::SchedAllox;
 pub use gavel_fifo::GavelFifo;
 pub use hare_online::{HareOnline, ReplanBudget};
 pub use sched_homo::SchedHomo;
+pub use serve_sched::{LadderServe, SrtfServe};
 pub use srtf::Srtf;
 pub use suite::{build_simulation, run_all, run_scheme, run_scheme_faulted, RunOptions, Scheme};
 pub use timeslice::TimeSlice;

@@ -1,6 +1,8 @@
 //! End-to-end scheme comparison (the Fig.-12 pipeline, sized for a bench):
 //! schedule + simulate 16 jobs on the 15-GPU testbed under each scheme.
 
+#![warn(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use hare_baselines::{run_scheme, RunOptions, Scheme};
 use hare_bench::bench_workload;

@@ -2,6 +2,8 @@
 //! protocol (the Table-3 scenario) and speculative-cache planning
 //! throughput.
 
+#![warn(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use hare_cluster::{GpuKind, SimDuration};
 use hare_memory::{plan_cache, switch_time, PrevTask, SwitchPolicy, SwitchRequest, TaskModelRef};

@@ -1,6 +1,8 @@
 //! Scheduling-latency benchmarks: Algorithm 1 end-to-end (relaxation +
 //! list scheduling) vs instance size, and the priority-order ablation.
 
+#![warn(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hare_bench::bench_workload;
 use hare_core::{AssignmentRule, HareScheduler, PriorityOrder};

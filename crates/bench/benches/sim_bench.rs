@@ -1,6 +1,8 @@
 //! Discrete-event-engine throughput: full-fidelity simulation of the
 //! testbed workload under offline replay, and the event-queue hot path.
 
+#![warn(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hare_bench::bench_workload;
 use hare_cluster::SimTime;

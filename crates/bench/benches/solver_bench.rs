@@ -1,6 +1,8 @@
 //! Solver benchmarks: simplex LPs, Hungarian matching, the Hare_Sched_RL
 //! relaxation in both modes, and the exact branch-and-bound certifier.
 
+#![warn(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hare_solver::{
     fig1_instance, min_cost_matching, relax, solve_exact, Cmp, InstanceBuilder, LinearProgram,

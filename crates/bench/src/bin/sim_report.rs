@@ -17,6 +17,8 @@
 //! (`-- --smoke` for the CI-sized variant: small+medium only, short
 //! sweep, no fig suite).
 
+#![warn(clippy::unwrap_used)]
+
 use hare_baselines::{build_simulation, RunOptions, Scheme};
 use hare_core::HareScheduler;
 use hare_experiments::{sweep_table, testbed_workload, LargeScale};

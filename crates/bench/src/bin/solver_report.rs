@@ -8,6 +8,8 @@
 //!
 //! Run with `cargo run --release -p hare-bench --bin solver_report`.
 
+#![warn(clippy::unwrap_used)]
+
 use hare_solver::{
     fig1_instance, relax, solve_exact, Cmp, Instance, InstanceBuilder, LinearProgram, LpOutcome,
     RelaxOptions,

@@ -2,6 +2,7 @@
 //! `benches/` directory). Shared helpers live here.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 use hare_cluster::Cluster;
 use hare_sim::SimWorkload;

@@ -23,10 +23,7 @@ impl Options {
                 if key.is_empty() {
                     return Err("empty flag name".into());
                 }
-                let value = match iter.peek() {
-                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
-                    _ => String::new(),
-                };
+                let value = iter.next_if(|v| !v.starts_with("--")).unwrap_or_default();
                 if out.flags.insert(key.to_string(), value).is_some() {
                     return Err(format!("duplicate flag --{key}"));
                 }
@@ -116,6 +113,7 @@ impl Options {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -9,9 +9,15 @@
 //! hare export   [workload flags] --out FILE.csv     # write the trace CSV
 //! hare profile                              # the Fig.-2 profile table
 //! hare switch --from MODEL --to MODEL [--gpu KIND]   # switching costs
+//! hare serve  [--load F] [--process poisson|bursty|diurnal] [--horizon S]
+//!             [--scheduler ladder|srtf] [--unthrottled] [--pace-ms N]
+//!             [--journal FILE] [--out FILE] [--smoke]   # continuous service
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 mod args;
+mod serve;
 
 use args::Options;
 use hare_baselines::{run_all, HareOnline, RunOptions, TimeSlice};
@@ -34,6 +40,7 @@ fn main() -> ExitCode {
         Some("export") => export(&opts),
         Some("profile") => profile(),
         Some("switch") => switching(&opts),
+        Some("serve") => serve::serve(&opts),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => {
             print!("{HELP}");
@@ -55,6 +62,8 @@ commands:
   export     write the generated workload trace as CSV (--out FILE)
   profile    per-model, per-GPU batch-time profile table (Fig. 2)
   switch     task-switching cost between two models (--from, --to, --gpu)
+  serve      continuous-service mode: open arrivals, admission control,
+             brownout under overload, graceful SIGTERM/SIGINT drain
 
 workload flags (compare/schedule/export):
   --cluster testbed|low:N|mid:N|high:N   (default testbed = 15 mixed GPUs)
@@ -68,6 +77,17 @@ observability (compare):
   --trace FILE    write a Chrome trace-event JSON of an online-Hare run
                   (task/sync spans per GPU + solver phases; open it at
                   ui.perfetto.dev or chrome://tracing)
+
+serve flags:
+  --load F        offered load as a fraction of estimated capacity (0.8)
+  --process P     poisson | bursty | diurnal                    (poisson)
+  --horizon S     stop admitting after S simulated seconds        (3600)
+  --scheduler S   ladder (anytime degradation ladder) | srtf    (ladder)
+  --unthrottled   disable admission caps and brownout (baseline mode)
+  --pace-ms N     wall-clock ms per decision epoch (live pacing; 0=off)
+  --journal FILE  append the final cell durably; --replay-journal FILE
+  --out FILE      write the JSON report to FILE instead of stdout
+  --smoke         short run (600 s horizon) for CI
 ";
 
 fn fail(msg: &str) -> ExitCode {

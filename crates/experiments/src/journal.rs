@@ -12,7 +12,8 @@
 //! Crash consistency comes from the append-only, line-framed format: a
 //! line is the atomic unit, each record is flushed and fsynced before the
 //! cell is considered durable, and a torn final line (the process died
-//! mid-write) is simply ignored on load. Duplicate keys are legal; the
+//! mid-write) is ignored *and truncated away* on load, so a resumed
+//! run's appends start on a fresh line. Duplicate keys are legal; the
 //! last complete record wins.
 //!
 //! The format is deliberately dependency-free (no JSON library in the
@@ -35,7 +36,13 @@ pub struct Journal {
 
 impl Journal {
     /// Open (or create) the journal at `path`, loading every complete
-    /// record. Torn trailing lines and malformed records are skipped.
+    /// record. Torn trailing lines and malformed records are skipped,
+    /// and a torn tail is truncated away so that a later [`record`]
+    /// starts on a fresh line (otherwise the first resumed cell would
+    /// concatenate onto the torn bytes and be lost as one malformed
+    /// line).
+    ///
+    /// [`record`]: Journal::record
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Journal> {
         let path = path.into();
         let mut done = BTreeMap::new();
@@ -44,10 +51,13 @@ impl Journal {
                 // Only newline-terminated lines are complete records: a
                 // crash mid-append leaves a torn tail, which must not be
                 // trusted (it may hold a truncated value).
-                let complete = match text.rfind('\n') {
-                    Some(end) => &text[..end],
-                    None => "",
-                };
+                let complete_len = text.rfind('\n').map_or(0, |end| end + 1);
+                if complete_len < text.len() {
+                    let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(complete_len as u64)?;
+                    file.sync_data()?;
+                }
+                let complete = &text[..complete_len];
                 for line in complete.lines() {
                     if let Some((key, value, note)) = parse_record(line) {
                         done.insert(key.to_string(), (value, note.to_string()));

@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod admission;
 pub mod build;
 pub mod control;
 mod dense;
@@ -16,9 +17,14 @@ pub mod metrics;
 pub mod policy;
 pub mod ps;
 pub mod registry;
+pub mod serve;
 pub mod storage;
 pub mod trace;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionCounters, AdmissionOutcome, BudgetController,
+    PendingJob, PressureCurve, RejectReason, TenantId, TokenBucketConfig, BUDGET_LEVELS,
+};
 pub use build::SimWorkload;
 pub use control::{
     broadcast_schedule, broadcast_schedule_with_failures, ControlLog, ExecutorMsg, SchedulerMsg,
@@ -35,5 +41,6 @@ pub use metrics::{
 pub use policy::{OfflineReplay, Policy, SimView};
 pub use ps::{ParameterServer, SyncOutcome};
 pub use registry::{Histogram, MetricsRegistry};
+pub use serve::{PlanOutcome, QueueScheduler, ServeConfig, ServeLoop, ServeReport};
 pub use storage::CheckpointStore;
 pub use trace::{ChromeTraceSink, NoopSink, SimInstant, TaskPhase, TraceSink};

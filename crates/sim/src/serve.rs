@@ -1,0 +1,563 @@
+//! Continuous-service mode: an always-on scheduling loop absorbing an
+//! open arrival stream (DESIGN.md §12).
+//!
+//! The batch engine ([`crate::engine`]) materializes a complete trace and
+//! replays it to quiescence; a production scheduler never sees the end of
+//! its workload. [`ServeLoop`] is the complementary *job-granularity*
+//! continuous-service simulator:
+//!
+//! * arrivals are pulled **lazily** from an
+//!   [`hare_workload::ArrivalStream`] — one at a time, as simulated time
+//!   reaches them; nothing is materialized;
+//! * every arrival passes the [`AdmissionController`] (token buckets →
+//!   bounded fair queue, typed outcomes, conservation accounting);
+//! * at each **decision epoch** the [`BudgetController`] turns queue
+//!   depth + recent decision-latency p99 into a solver-budget fraction
+//!   (with hysteresis), a pluggable [`QueueScheduler`] ranks the fair-
+//!   queue head window under that fraction, and ranked jobs dispatch to
+//!   idle GPUs. The decision's deterministic work is priced into
+//!   simulated latency (the `cost_per_work` convention shared with the
+//!   online baselines) and charged before the dispatched jobs start;
+//! * a **drain** (arrival horizon exhausted, or an external stop flag —
+//!   SIGTERM in `hare serve`) stops admission, sheds the pending queue,
+//!   lets in-flight jobs finish, and produces the final [`ServeReport`].
+//!
+//! Decision-latency p50/p99 (via [`Histogram::quantile`]) and
+//! decisions/sec are first-class [`MetricsRegistry`] series. Everything
+//! is simulated-time deterministic: two runs of the same config and
+//! scheduler produce byte-identical reports.
+
+use crate::admission::{
+    AdmissionConfig, AdmissionController, AdmissionCounters, BudgetController, PendingJob,
+    PressureCurve, TenantId,
+};
+use crate::metrics::{push_f64, push_json_str};
+use crate::registry::{Histogram, MetricsRegistry};
+use hare_cluster::{Cluster, SimDuration, SimTime};
+use hare_workload::{ArrivalStream, OpenArrival, OpenArrivalConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One scheduling decision over the planning window.
+#[derive(Clone, Debug)]
+pub struct PlanOutcome {
+    /// Dispatch order as indices into the window handed to
+    /// [`QueueScheduler::plan`] (best first). An index outside the
+    /// window, or repeated, is a scheduler bug and panics in the loop.
+    pub order: Vec<usize>,
+    /// Deterministic work units spent deciding (priced into latency).
+    pub work: u64,
+    /// Which ladder rung (or heuristic) produced the plan — tallied into
+    /// the report's rung-hit counts.
+    pub rung: &'static str,
+}
+
+/// A scheduler ranking the pending-queue head under a budget fraction.
+///
+/// Implementations live in `hare-baselines` (the anytime-ladder scheduler
+/// and an SRTF heuristic); the trait keeps `hare-sim` solver-free.
+pub trait QueueScheduler {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Rank `window` (fair-queue order, never empty) for dispatch onto
+    /// `cluster`, spending at most `budget_frac` of the full solve
+    /// budget.
+    fn plan(&mut self, window: &[&PendingJob], cluster: &Cluster, budget_frac: f64) -> PlanOutcome;
+}
+
+/// Configuration of one serve run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Open arrival stream (process, load factor, tenants, seed).
+    pub arrivals: OpenArrivalConfig,
+    /// Admission control (quotas, queue bound).
+    pub admission: AdmissionConfig,
+    /// Backpressure → budget mapping.
+    pub pressure: PressureCurve,
+    /// Hysteresis dwell (decision epochs of calm before ascending one
+    /// budget level).
+    pub ascend_dwell: u32,
+    /// Decision epoch length.
+    pub decision_interval: SimDuration,
+    /// Stop generating arrivals at this simulated instant, then drain.
+    pub horizon: SimTime,
+    /// Maximum jobs the scheduler sees per decision (the fair-queue
+    /// head; bounds per-decision solve cost).
+    pub plan_window: usize,
+    /// Simulated seconds charged per unit of scheduler work (the
+    /// `ReplanBudget::cost_per_work` convention: 1e-5 ⇒ 100k work units
+    /// ≈ 1 s of decision latency).
+    pub cost_per_work: f64,
+    /// Recent-decision window feeding the pressure controller's p99.
+    pub latency_window: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            arrivals: OpenArrivalConfig::default(),
+            admission: AdmissionConfig::default(),
+            pressure: PressureCurve::default(),
+            ascend_dwell: 5,
+            decision_interval: SimDuration::from_secs(5),
+            horizon: SimTime::from_secs(3_600),
+            plan_window: 16,
+            cost_per_work: 1e-5,
+            latency_window: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The unthrottled baseline: same arrivals, but no admission caps
+    /// and no brownout — the configuration the resilience sweep compares
+    /// against.
+    pub fn unthrottled(mut self) -> Self {
+        self.admission = AdmissionConfig::unthrottled();
+        self.pressure = PressureCurve::disabled();
+        self
+    }
+}
+
+/// Decision-latency histogram buckets (seconds).
+const LATENCY_BUCKETS_SECS: [f64; 9] = [0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 20.0, 60.0];
+/// Queue-wait histogram buckets (seconds).
+const WAIT_BUCKETS_SECS: [f64; 8] = [1.0, 10.0, 60.0, 300.0, 900.0, 3600.0, 14400.0, 86400.0];
+
+/// Final report of one serve run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Scheduler name.
+    pub scheme: String,
+    /// Simulated instant the loop finished draining.
+    pub end: SimTime,
+    /// Admission conservation counters at the end of the run.
+    pub counters: AdmissionCounters,
+    /// Jobs that finished service.
+    pub completed: u64,
+    /// Scheduling decisions taken.
+    pub decisions: u64,
+    /// Decisions per simulated second.
+    pub decisions_per_sec: f64,
+    /// Decision-latency distribution (simulated seconds).
+    pub decision_latency: Histogram,
+    /// Plans per rung name (ladder descent shows up here).
+    pub rung_hits: BTreeMap<String, u64>,
+    /// Peak pending-queue depth.
+    pub queue_depth_max: usize,
+    /// Pending-queue depth when the drain began (all shed).
+    pub queue_depth_at_drain: usize,
+    /// Deepest solver-budget level the controller reached.
+    pub min_budget_level: f64,
+    /// Budget-level transitions (both directions).
+    pub budget_transitions: u32,
+    /// Mean completion time of finished jobs (arrival → service end),
+    /// seconds; zero when nothing completed.
+    pub mean_jct_secs: f64,
+    /// Every figure above (plus the queue-wait histogram) as registry
+    /// series, for uniform JSON export.
+    pub metrics: MetricsRegistry,
+}
+
+impl ServeReport {
+    /// Decision-latency quantile in simulated seconds.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        self.decision_latency.quantile(q)
+    }
+
+    /// Deterministic JSON rendering (scheme + headline figures + the
+    /// full metrics registry). Not a golden-pinned format — serve mode
+    /// is new — but byte-stable for a given run.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\"scheme\":");
+        push_json_str(&mut s, &self.scheme);
+        let _ = write!(
+            s,
+            ",\"end_secs\":{},\"completed\":{},\"decisions\":{}",
+            self.end.as_secs_f64(),
+            self.completed,
+            self.decisions,
+        );
+        s.push_str(",\"decision_latency_p50\":");
+        push_f64(&mut s, self.latency_quantile(0.5).unwrap_or(f64::NAN));
+        s.push_str(",\"decision_latency_p99\":");
+        push_f64(&mut s, self.latency_quantile(0.99).unwrap_or(f64::NAN));
+        s.push_str(",\"decisions_per_sec\":");
+        push_f64(&mut s, self.decisions_per_sec);
+        s.push_str(",\"metrics\":");
+        s.push_str(&self.metrics.to_json());
+        s.push('}');
+        s
+    }
+}
+
+/// A dispatched job in service on one GPU.
+#[derive(Clone, Debug)]
+struct Running {
+    done_at: SimTime,
+    arrival: SimTime,
+}
+
+/// The continuous-service loop.
+pub struct ServeLoop {
+    cluster: Cluster,
+    cfg: ServeConfig,
+}
+
+impl ServeLoop {
+    /// A loop serving `cfg.arrivals` on `cluster`.
+    pub fn new(cluster: Cluster, cfg: ServeConfig) -> Self {
+        assert!(cfg.plan_window > 0, "empty plan window");
+        assert!(!cfg.decision_interval.is_zero(), "zero decision interval");
+        assert!(
+            cfg.cost_per_work >= 0.0 && cfg.cost_per_work.is_finite(),
+            "cost_per_work must be non-negative and finite"
+        );
+        assert!(cfg.latency_window > 0, "empty latency window");
+        ServeLoop { cluster, cfg }
+    }
+
+    /// Sequential service time of `job` on GPU `gpu` (all tasks back to
+    /// back on that one GPU — the serve loop schedules at job
+    /// granularity; intra-job parallelism is the batch engine's domain).
+    fn service_time(&self, job: &hare_workload::JobSpec, gpu: usize) -> SimDuration {
+        let kind = self.cluster.gpus()[gpu].kind;
+        SimDuration::from_millis_f64(job.task_ms(kind) * job.task_count() as f64)
+    }
+
+    /// Run to drain with no external stop signal.
+    pub fn run(&self, scheduler: &mut dyn QueueScheduler) -> ServeReport {
+        static NEVER: AtomicBool = AtomicBool::new(false);
+        self.run_with_stop(scheduler, &NEVER, None)
+    }
+
+    /// Run until the arrival horizon drains or `stop` becomes true
+    /// (checked every epoch; SIGTERM handlers set it). `pace` sleeps that
+    /// long per decision epoch in *wall-clock* time — live-service pacing
+    /// so an external signal can land mid-run; `None` runs flat out.
+    /// Pacing ends once draining: the drain itself is pure simulation.
+    pub fn run_with_stop(
+        &self,
+        scheduler: &mut dyn QueueScheduler,
+        stop: &AtomicBool,
+        pace: Option<std::time::Duration>,
+    ) -> ServeReport {
+        let horizon = self.cfg.horizon;
+        let mut admission = AdmissionController::new(self.cfg.admission.clone());
+        let mut budget = BudgetController::new(self.cfg.pressure, self.cfg.ascend_dwell);
+        let mut stream: ArrivalStream = self.cfg.arrivals.stream();
+        // The stream is infinite; the horizon truncates it lazily.
+        let mut next_arrival: Option<OpenArrival> =
+            stream.next().filter(|a| a.spec.arrival < horizon);
+
+        let n_gpus = self.cluster.gpu_count();
+        let mut running: Vec<Option<Running>> = vec![None; n_gpus];
+        let mut now = SimTime::ZERO;
+        let mut epoch = now + self.cfg.decision_interval;
+
+        let mut latency_hist = Histogram::new(&LATENCY_BUCKETS_SECS);
+        let mut wait_hist = Histogram::new(&WAIT_BUCKETS_SECS);
+        let mut recent: Vec<f64> = Vec::with_capacity(self.cfg.latency_window);
+        let mut recent_at = 0usize;
+        let mut decisions = 0u64;
+        let mut rung_hits: BTreeMap<String, u64> = BTreeMap::new();
+        let mut completed = 0u64;
+        let mut jct_sum = 0.0f64;
+        let mut depth_max = 0usize;
+        let mut depth_at_drain = 0usize;
+        let mut work_total = 0u64;
+
+        loop {
+            // Next event: arrival (until drain), completion, or epoch.
+            let next_completion = running
+                .iter()
+                .flatten()
+                .map(|r| r.done_at)
+                .min()
+                .unwrap_or(SimTime::MAX);
+            let arrival_t = match (&next_arrival, admission.is_draining()) {
+                (Some(a), false) => a.spec.arrival,
+                _ => SimTime::MAX,
+            };
+
+            if arrival_t <= next_completion && arrival_t <= epoch {
+                now = arrival_t;
+                let a = next_arrival.take().expect("arrival_t was finite");
+                admission.offer(now, TenantId(a.tenant), a.spec);
+                depth_max = depth_max.max(admission.depth());
+                next_arrival = stream.next().filter(|n| n.spec.arrival < horizon);
+                continue;
+            }
+            if next_completion <= epoch {
+                now = next_completion;
+                for slot in running.iter_mut() {
+                    if slot.as_ref().is_some_and(|r| r.done_at == now) {
+                        let r = slot.take().expect("checked is_some");
+                        completed += 1;
+                        jct_sum += now.saturating_since(r.arrival).as_secs_f64();
+                    }
+                }
+                continue;
+            }
+
+            // Decision epoch.
+            now = epoch;
+            epoch += self.cfg.decision_interval;
+            if let Some(d) = pace {
+                if !admission.is_draining() {
+                    std::thread::sleep(d);
+                }
+            }
+            let drain_due = stop.load(Ordering::SeqCst) || next_arrival.is_none();
+            if drain_due && !admission.is_draining() {
+                // Graceful drain: stop admitting, shed the pending queue,
+                // let in-flight jobs finish.
+                depth_at_drain = admission.depth();
+                admission.begin_drain();
+                let _ = admission.shed_all();
+                next_arrival = None;
+            }
+            if admission.is_draining() {
+                if running.iter().all(Option::is_none) {
+                    break;
+                }
+                continue;
+            }
+
+            admission.poll(now);
+            depth_max = depth_max.max(admission.depth());
+
+            // Backpressure: depth + recent decision-latency p99 → budget.
+            let p99 = if recent.is_empty() {
+                0.0
+            } else {
+                let mut v = recent.clone();
+                v.sort_by(f64::total_cmp);
+                v[((v.len() as f64 * 0.99).ceil() as usize).clamp(1, v.len()) - 1]
+            };
+            let frac = budget.update(admission.depth(), p99);
+
+            let mut idle: Vec<usize> = (0..n_gpus).filter(|&g| running[g].is_none()).collect();
+            if idle.is_empty() || admission.depth() == 0 {
+                continue;
+            }
+
+            // Plan over the fair-queue head window.
+            let window = admission.peek_window(self.cfg.plan_window);
+            let window_seqs: Vec<u64> = window.iter().map(|p| p.seq).collect();
+            let outcome = scheduler.plan(&window, &self.cluster, frac);
+            let latency_secs = outcome.work as f64 * self.cfg.cost_per_work;
+            let latency = SimDuration::from_secs_f64(latency_secs);
+            decisions += 1;
+            work_total += outcome.work;
+            latency_hist.record(latency_secs);
+            if recent.len() < self.cfg.latency_window {
+                recent.push(latency_secs);
+            } else {
+                recent[recent_at] = latency_secs;
+                recent_at = (recent_at + 1) % self.cfg.latency_window;
+            }
+            *rung_hits.entry(outcome.rung.to_string()).or_insert(0) += 1;
+
+            // Dispatch in plan order: each job onto the idle GPU that
+            // serves it fastest; decision latency is charged up front.
+            let mut seen = vec![false; window_seqs.len()];
+            for &wi in &outcome.order {
+                if idle.is_empty() {
+                    break;
+                }
+                assert!(
+                    wi < window_seqs.len() && !std::mem::replace(&mut seen[wi], true),
+                    "scheduler returned an invalid dispatch order"
+                );
+                let job = admission
+                    .take(window_seqs[wi])
+                    .expect("window entries stay live until taken");
+                let (pos, &gpu) = idle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &g)| (self.service_time(&job.spec, g), g))
+                    .expect("idle is non-empty: checked above");
+                idle.remove(pos);
+                wait_hist.record(now.saturating_since(job.admitted_at).as_secs_f64());
+                let done_at = now + latency + self.service_time(&job.spec, gpu);
+                running[gpu] = Some(Running {
+                    done_at,
+                    arrival: job.spec.arrival,
+                });
+            }
+        }
+
+        let counters = admission.counters();
+        let elapsed = now.as_secs_f64().max(1e-9);
+        let decisions_per_sec = decisions as f64 / elapsed;
+        let mean_jct_secs = if completed > 0 {
+            jct_sum / completed as f64
+        } else {
+            0.0
+        };
+
+        let mut metrics = MetricsRegistry::new();
+        metrics.add("serve.offered", counters.offered);
+        metrics.add("serve.admitted", counters.admitted);
+        metrics.add(
+            "serve.rejected_rate_limited",
+            counters.rejected_rate_limited,
+        );
+        metrics.add("serve.rejected_queue_full", counters.rejected_queue_full);
+        metrics.add("serve.rejected_draining", counters.rejected_draining);
+        metrics.add("serve.deferrals", counters.deferrals);
+        metrics.add("serve.shed", counters.shed);
+        metrics.add("serve.completed", completed);
+        metrics.add("serve.decisions", decisions);
+        metrics.add("serve.decision_work", work_total);
+        metrics.add("serve.queue_depth_max", depth_max as u64);
+        metrics.set_gauge("serve.decisions_per_sec", decisions_per_sec);
+        metrics.set_gauge(
+            "serve.decision_latency_p50",
+            latency_hist.quantile(0.5).unwrap_or(0.0),
+        );
+        metrics.set_gauge(
+            "serve.decision_latency_p99",
+            latency_hist.quantile(0.99).unwrap_or(0.0),
+        );
+        metrics.set_gauge("serve.min_budget_level", budget.min_level());
+        metrics.set_gauge("serve.budget_transitions", budget.transitions() as f64);
+        metrics.set_gauge("serve.mean_jct_secs", mean_jct_secs);
+        for (rung, hits) in &rung_hits {
+            metrics.add(&format!("serve.rung.{rung}"), *hits);
+        }
+        metrics.insert_histogram("serve.decision_latency_secs", latency_hist.clone());
+        metrics.insert_histogram("serve.queue_wait_secs", wait_hist);
+
+        ServeReport {
+            scheme: scheduler.name().to_string(),
+            end: now,
+            counters,
+            completed,
+            decisions,
+            decisions_per_sec,
+            decision_latency: latency_hist,
+            rung_hits,
+            queue_depth_max: depth_max,
+            queue_depth_at_drain: depth_at_drain,
+            min_budget_level: budget.min_level(),
+            budget_transitions: budget.transitions(),
+            mean_jct_secs,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::admission::TokenBucketConfig;
+    use hare_workload::estimate_capacity_jobs_per_sec;
+
+    /// Trivial FIFO scheduler: dispatch in fair-queue order, flat work.
+    struct Fifo;
+
+    impl QueueScheduler for Fifo {
+        fn name(&self) -> &'static str {
+            "FIFO"
+        }
+        fn plan(&mut self, window: &[&PendingJob], _cluster: &Cluster, _frac: f64) -> PlanOutcome {
+            PlanOutcome {
+                order: (0..window.len()).collect(),
+                work: window.len() as u64 * 10,
+                rung: "fifo",
+            }
+        }
+    }
+
+    fn config(load: f64, horizon_secs: u64) -> ServeConfig {
+        let cluster = Cluster::testbed15();
+        let mut arrivals = OpenArrivalConfig {
+            load_factor: load,
+            seed: 11,
+            ..OpenArrivalConfig::default()
+        };
+        let counts: Vec<_> = cluster.count_by_kind().into_iter().collect();
+        arrivals.capacity_jobs_per_sec = estimate_capacity_jobs_per_sec(&counts, &arrivals, 128);
+        ServeConfig {
+            arrivals,
+            horizon: SimTime::from_secs(horizon_secs),
+            admission: AdmissionConfig {
+                queue_capacity: 64,
+                bucket: TokenBucketConfig {
+                    rate_per_sec: 1.0,
+                    burst: 32.0,
+                },
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_to_drain_and_conserves() {
+        let cfg = config(0.7, 2_000);
+        let report = ServeLoop::new(Cluster::testbed15(), cfg).run(&mut Fifo);
+        assert!(report.completed > 0, "jobs completed");
+        assert!(report.counters.conserved(), "{:?}", report.counters);
+        assert_eq!(
+            report.counters.admitted,
+            report.completed + report.counters.shed,
+            "admitted jobs either completed or were shed at drain"
+        );
+        assert!(report.decisions > 0);
+        assert!(report.latency_quantile(0.99).is_some());
+        assert!(report.mean_jct_secs > 0.0);
+    }
+
+    #[test]
+    fn deterministic_byte_identical_reports() {
+        let cfg = config(1.3, 1_200);
+        let a = ServeLoop::new(Cluster::testbed15(), cfg.clone()).run(&mut Fifo);
+        let b = ServeLoop::new(Cluster::testbed15(), cfg).run(&mut Fifo);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(serde_json::from_str(&a.to_json()).is_ok());
+    }
+
+    #[test]
+    fn overload_keeps_the_queue_bounded() {
+        let cfg = config(2.5, 3_000);
+        let cap = cfg.admission.queue_capacity;
+        let report = ServeLoop::new(Cluster::testbed15(), cfg).run(&mut Fifo);
+        assert!(report.queue_depth_max <= cap, "bounded queue");
+        assert!(
+            report.counters.rejected() > 0 || report.counters.shed > 0,
+            "overload must shed or reject: {:?}",
+            report.counters
+        );
+        assert!(report.counters.conserved());
+    }
+
+    #[test]
+    fn stop_flag_triggers_a_clean_drain() {
+        // A pre-set stop flag: the loop must drain at the first epoch and
+        // still produce a valid, conserved report.
+        let cfg = config(1.0, 100_000);
+        let stop = AtomicBool::new(true);
+        let report =
+            ServeLoop::new(Cluster::testbed15(), cfg).run_with_stop(&mut Fifo, &stop, None);
+        assert!(report.end < SimTime::from_secs(100));
+        assert!(report.counters.conserved());
+    }
+
+    #[test]
+    fn unthrottled_config_never_rejects() {
+        let cfg = config(1.5, 1_000).unthrottled();
+        let report = ServeLoop::new(Cluster::testbed15(), cfg).run(&mut Fifo);
+        assert_eq!(report.counters.rejected(), 0);
+        assert_eq!(report.counters.deferrals, 0);
+        assert_eq!(report.min_budget_level, 1.0, "no brownout when disabled");
+        assert!(report.counters.conserved());
+    }
+}

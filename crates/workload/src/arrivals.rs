@@ -1,0 +1,475 @@
+//! Open-loop arrival generation for the continuous-service mode.
+//!
+//! The closed traces of [`crate::trace`] materialize a fixed job list up
+//! front; a production scheduler instead absorbs an *open* stream whose
+//! offered rate does not care whether the cluster keeps up. This module
+//! generates such streams lazily — one arrival at a time, never a
+//! materialized trace — from three classic processes:
+//!
+//! * **Poisson** — memoryless, the M/G baseline;
+//! * **Bursty** — an MMPP-style on/off modulated Poisson process: long
+//!   quiet phases punctuated by high-rate bursts, same long-run mean rate;
+//! * **Diurnal** — sinusoidal rate modulation (a day/night cycle),
+//!   sampled by thinning against the peak rate.
+//!
+//! The offered rate is a *load-factor dial*: `rate = load_factor ×
+//! capacity_jobs_per_sec`, where capacity comes from
+//! [`estimate_capacity_jobs_per_sec`] (or any estimate the caller trusts).
+//! `load_factor > 1` is sustained overload by construction.
+//!
+//! Everything is seeded and deterministic: the same
+//! [`OpenArrivalConfig`] yields a byte-identical stream whether iterated
+//! on one thread or many (each iterator owns its RNG), a property the
+//! golden-fixture test pins down.
+
+use crate::job::{JobId, JobSpec};
+use crate::trace::{draw_domain, draw_load, draw_model, draw_sync_scale, exponential, DomainMix};
+use hare_cluster::{GpuKind, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The arrival process shaping *when* jobs arrive (the job bodies are
+/// drawn from the same per-domain distributions as [`crate::TraceConfig`]).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at the configured mean rate.
+    Poisson,
+    /// MMPP-style on/off modulation: during an *on* phase the rate is
+    /// `boost ×` the mean, during *off* phases it drops so the long-run
+    /// mean rate is unchanged.
+    Bursty {
+        /// Fraction of time spent in the on (burst) phase, in (0, 1).
+        on_fraction: f64,
+        /// Rate multiplier during bursts; must satisfy
+        /// `boost ≤ 1 / on_fraction` so the off-phase rate stays ≥ 0.
+        boost: f64,
+        /// Mean duration of one on+off cycle.
+        mean_cycle: SimDuration,
+    },
+    /// Sinusoidal day/night modulation:
+    /// `rate(t) = mean × (1 + amplitude·sin(2πt/period))`.
+    Diurnal {
+        /// Cycle length (a "day").
+        period: SimDuration,
+        /// Peak-to-mean swing, in [0, 1).
+        amplitude: f64,
+    },
+}
+
+/// Configuration of an open arrival stream.
+///
+/// ```
+/// use hare_workload::{ArrivalProcess, OpenArrivalConfig};
+///
+/// let cfg = OpenArrivalConfig {
+///     load_factor: 0.5,
+///     capacity_jobs_per_sec: 0.1,
+///     seed: 7,
+///     ..OpenArrivalConfig::default()
+/// };
+/// let first: Vec<_> = cfg.stream().take(5).collect();
+/// // Deterministic: same config, same stream.
+/// let again: Vec<_> = cfg.stream().take(5).collect();
+/// assert_eq!(first, again);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpenArrivalConfig {
+    /// Arrival process shape.
+    pub process: ArrivalProcess,
+    /// Offered load relative to `capacity_jobs_per_sec`; > 1 is sustained
+    /// overload.
+    pub load_factor: f64,
+    /// Estimated cluster service capacity in jobs/second (see
+    /// [`estimate_capacity_jobs_per_sec`]).
+    pub capacity_jobs_per_sec: f64,
+    /// Domain mix of the generated jobs.
+    pub mix: DomainMix,
+    /// Batch-size multiplier (as in [`crate::TraceConfig`]).
+    pub batch_scale: f64,
+    /// Number of tenants submitting jobs.
+    pub n_tenants: u32,
+    /// Fraction of arrivals funneled to tenant 0 *before* the uniform
+    /// draw over all tenants (0 = uniform). A hot tenant exercises the
+    /// fair-share quota machinery.
+    pub hot_share: f64,
+    /// RNG seed; equal configs generate identical streams.
+    pub seed: u64,
+}
+
+impl Default for OpenArrivalConfig {
+    fn default() -> Self {
+        OpenArrivalConfig {
+            process: ArrivalProcess::Poisson,
+            load_factor: 0.8,
+            capacity_jobs_per_sec: 0.05,
+            mix: DomainMix::default(),
+            batch_scale: 1.0,
+            n_tenants: 4,
+            hot_share: 0.0,
+            seed: 0x0b5e12,
+        }
+    }
+}
+
+/// One arrival of the open stream: the job plus the tenant submitting it.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpenArrival {
+    /// The job; `spec.arrival` is the arrival instant, ids are dense in
+    /// arrival order.
+    pub spec: JobSpec,
+    /// Submitting tenant, in `0..n_tenants`.
+    pub tenant: u32,
+}
+
+impl OpenArrival {
+    /// Canonical single-line encoding, the golden-fixture format: every
+    /// field that determines scheduling behaviour, tab-separated, with
+    /// the arrival in integer microseconds and the weight in bit-exact
+    /// hex — byte-identical across platforms.
+    pub fn canonical_line(&self) -> String {
+        let s = &self.spec;
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}",
+            s.id.0,
+            s.arrival.as_micros(),
+            self.tenant,
+            s.model,
+            s.rounds,
+            s.sync_scale,
+            s.batches_per_task,
+            s.batch_size,
+            s.weight.to_bits(),
+        )
+    }
+}
+
+impl OpenArrivalConfig {
+    /// Offered arrival rate in jobs/second.
+    pub fn rate_jobs_per_sec(&self) -> f64 {
+        self.load_factor * self.capacity_jobs_per_sec
+    }
+
+    /// The lazy, infinite arrival stream. Each call returns a fresh
+    /// iterator from the seed — streams are independent and identical.
+    pub fn stream(&self) -> ArrivalStream {
+        assert!(
+            self.load_factor > 0.0 && self.load_factor.is_finite(),
+            "load factor must be positive"
+        );
+        assert!(
+            self.capacity_jobs_per_sec > 0.0 && self.capacity_jobs_per_sec.is_finite(),
+            "capacity must be positive"
+        );
+        assert!(self.n_tenants > 0, "need at least one tenant");
+        assert!((0.0..=1.0).contains(&self.hot_share));
+        assert!(self.batch_scale > 0.0 && self.batch_scale.is_finite());
+        if let ArrivalProcess::Bursty {
+            on_fraction, boost, ..
+        } = self.process
+        {
+            assert!((0.0..1.0).contains(&on_fraction) && on_fraction > 0.0);
+            assert!(
+                boost >= 1.0 && boost <= 1.0 / on_fraction,
+                "burst boost must keep the off-phase rate non-negative"
+            );
+        }
+        if let ArrivalProcess::Diurnal { amplitude, .. } = self.process {
+            assert!((0.0..1.0).contains(&amplitude));
+        }
+        ArrivalStream {
+            cfg: *self,
+            rng: SmallRng::seed_from_u64(self.seed),
+            t: SimTime::ZERO,
+            next_id: 0,
+            phase_on: false,
+            phase_end: SimTime::ZERO,
+        }
+    }
+}
+
+/// Infinite iterator over [`OpenArrival`]s; owns its RNG, so concurrent
+/// streams from the same config never interfere.
+#[derive(Clone, Debug)]
+pub struct ArrivalStream {
+    cfg: OpenArrivalConfig,
+    rng: SmallRng,
+    t: SimTime,
+    next_id: u32,
+    /// MMPP phase state (bursty process only); streams start *off*.
+    phase_on: bool,
+    phase_end: SimTime,
+}
+
+impl ArrivalStream {
+    /// Advance `self.t` to the next arrival instant.
+    fn advance(&mut self) {
+        let rate = self.cfg.rate_jobs_per_sec();
+        match self.cfg.process {
+            ArrivalProcess::Poisson => {
+                let gap = exponential(&mut self.rng, 1.0 / rate);
+                self.t += SimDuration::from_secs_f64(gap);
+            }
+            ArrivalProcess::Bursty {
+                on_fraction,
+                boost,
+                mean_cycle,
+            } => {
+                // Explicit two-state MMPP. Within a phase arrivals are
+                // Poisson at the phase rate; a candidate gap crossing the
+                // phase boundary is discarded and redrawn in the next
+                // phase — valid because the exponential is memoryless.
+                let rate_on = rate * boost;
+                let rate_off = rate * (1.0 - on_fraction * boost) / (1.0 - on_fraction);
+                loop {
+                    if self.t >= self.phase_end {
+                        self.phase_on = !self.phase_on;
+                        let mean_phase = mean_cycle.as_secs_f64()
+                            * if self.phase_on {
+                                on_fraction
+                            } else {
+                                1.0 - on_fraction
+                            };
+                        let len = exponential(&mut self.rng, mean_phase);
+                        self.phase_end += SimDuration::from_secs_f64(len);
+                        continue;
+                    }
+                    let phase_rate = if self.phase_on { rate_on } else { rate_off };
+                    if phase_rate <= 0.0 {
+                        self.t = self.phase_end;
+                        continue;
+                    }
+                    let gap =
+                        SimDuration::from_secs_f64(exponential(&mut self.rng, 1.0 / phase_rate));
+                    if self.t + gap <= self.phase_end {
+                        self.t += gap;
+                        return;
+                    }
+                    self.t = self.phase_end;
+                }
+            }
+            ArrivalProcess::Diurnal { period, amplitude } => {
+                // Thinning (Lewis–Shedler) against the peak rate: draw
+                // candidates at rate_max, accept with rate(t)/rate_max.
+                let rate_max = rate * (1.0 + amplitude);
+                loop {
+                    let gap = exponential(&mut self.rng, 1.0 / rate_max);
+                    self.t += SimDuration::from_secs_f64(gap);
+                    let phase =
+                        2.0 * std::f64::consts::PI * self.t.as_secs_f64() / period.as_secs_f64();
+                    let rate_t = rate * (1.0 + amplitude * phase.sin());
+                    let u: f64 = self.rng.gen();
+                    if u * rate_max < rate_t {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = OpenArrival;
+
+    fn next(&mut self) -> Option<OpenArrival> {
+        self.advance();
+        let cfg = &self.cfg;
+        let tenant = {
+            let u: f64 = self.rng.gen();
+            if u < cfg.hot_share {
+                0
+            } else {
+                self.rng.gen_range(0..cfg.n_tenants)
+            }
+        };
+        let domain = draw_domain(&cfg.mix, &mut self.rng);
+        let model = draw_model(domain, &mut self.rng);
+        let (rounds, batches) = draw_load(domain, &mut self.rng);
+        let sync_scale = draw_sync_scale(&mut self.rng);
+        let weight = self.rng.gen_range(1..=5) as f64;
+        let batch_size = ((model.spec().batch_size as f64 * cfg.batch_scale).round() as u32).max(1);
+        let batches = ((batches as f64 / cfg.batch_scale).round() as u32).max(1);
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        Some(OpenArrival {
+            spec: JobSpec::new(id, model, rounds, sync_scale)
+                .arriving_at(self.t)
+                .with_weight(weight)
+                .with_batch_size(batch_size)
+                .with_batches_per_task(batches),
+            tenant,
+        })
+    }
+}
+
+/// Estimate cluster capacity in jobs/second for the load-factor dial:
+/// sample `sample_n` jobs from the config's distributions and divide the
+/// cluster's aggregate single-GPU throughput by the mean sequential work
+/// of one job. Deterministic in (config, kinds, sample_n); intentionally
+/// crude — the dial needs a stable reference point, not a queueing model.
+pub fn estimate_capacity_jobs_per_sec(
+    kinds: &[(GpuKind, u32)],
+    cfg: &OpenArrivalConfig,
+    sample_n: u32,
+) -> f64 {
+    assert!(!kinds.is_empty() && sample_n > 0);
+    let probe = OpenArrivalConfig {
+        // The probe only samples job *bodies*; any positive rate works.
+        load_factor: 1.0,
+        capacity_jobs_per_sec: 1.0,
+        ..*cfg
+    };
+    // Mean sequential service time per job, per GPU kind.
+    let mut per_kind_secs = vec![0.0f64; kinds.len()];
+    for a in probe.stream().take(sample_n as usize) {
+        for (i, &(kind, _)) in kinds.iter().enumerate() {
+            per_kind_secs[i] += a.spec.task_ms(kind) * a.spec.task_count() as f64 / 1000.0;
+        }
+    }
+    let mut capacity = 0.0;
+    for (i, &(_, count)) in kinds.iter().enumerate() {
+        let mean = per_kind_secs[i] / sample_n as f64;
+        capacity += count as f64 / mean;
+    }
+    capacity
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn cfg(process: ArrivalProcess) -> OpenArrivalConfig {
+        OpenArrivalConfig {
+            process,
+            load_factor: 1.0,
+            capacity_jobs_per_sec: 0.5,
+            seed: 42,
+            ..OpenArrivalConfig::default()
+        }
+    }
+
+    fn bursty() -> ArrivalProcess {
+        ArrivalProcess::Bursty {
+            on_fraction: 0.25,
+            boost: 3.0,
+            mean_cycle: SimDuration::from_secs(400),
+        }
+    }
+
+    fn diurnal() -> ArrivalProcess {
+        ArrivalProcess::Diurnal {
+            period: SimDuration::from_secs(2000),
+            amplitude: 0.8,
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_monotone() {
+        for p in [ArrivalProcess::Poisson, bursty(), diurnal()] {
+            let a: Vec<_> = cfg(p).stream().take(200).collect();
+            let b: Vec<_> = cfg(p).stream().take(200).collect();
+            assert_eq!(a, b);
+            for (i, w) in a.windows(2).enumerate() {
+                assert!(w[0].spec.arrival <= w[1].spec.arrival);
+                assert_eq!(w[0].spec.id, JobId(i as u32), "dense ids in order");
+            }
+            for x in &a {
+                assert!(x.spec.validate().is_ok());
+                assert!(x.tenant < cfg(p).n_tenants);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_rate_tracks_the_load_dial() {
+        // All three processes share the configured long-run mean rate.
+        for p in [ArrivalProcess::Poisson, bursty(), diurnal()] {
+            let c = cfg(p); // rate 0.5/s -> mean gap 2s
+            let n = 20_000;
+            let last = c.stream().nth(n - 1).unwrap().spec.arrival;
+            let mean_gap = last.as_secs_f64() / (n - 1) as f64;
+            assert!(
+                (mean_gap - 2.0).abs() < 0.2,
+                "{p:?}: mean gap {mean_gap:.3}s, want ~2s"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_is_burstier_than_poisson() {
+        let cv2 = |p: ArrivalProcess| {
+            let arr: Vec<f64> = cfg(p)
+                .stream()
+                .take(20_000)
+                .map(|a| a.spec.arrival.as_secs_f64())
+                .collect();
+            let gaps: Vec<f64> = arr.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let p = cv2(ArrivalProcess::Poisson);
+        let b = cv2(bursty());
+        assert!((p - 1.0).abs() < 0.15, "poisson CV^2 ~ 1, got {p:.2}");
+        assert!(b > 1.5, "bursty CV^2 well above 1, got {b:.2}");
+    }
+
+    #[test]
+    fn diurnal_rate_peaks_and_troughs() {
+        // Count arrivals in the first half-period (sin > 0, peak) vs the
+        // second (sin < 0, trough): the peak half must see clearly more.
+        let c = cfg(diurnal());
+        let period = 2000.0;
+        let mut peak = 0u32;
+        let mut trough = 0u32;
+        for a in c.stream().take(50_000) {
+            let t = a.spec.arrival.as_secs_f64() % period;
+            if t < period / 2.0 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn hot_share_skews_tenant_zero() {
+        let c = OpenArrivalConfig {
+            hot_share: 0.6,
+            n_tenants: 4,
+            ..cfg(ArrivalProcess::Poisson)
+        };
+        let n = 10_000;
+        let hot = c.stream().take(n).filter(|a| a.tenant == 0).count();
+        // 0.6 direct + 0.4/4 uniform = 70% expected.
+        let frac = hot as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.03, "hot-tenant share {frac:.3}");
+    }
+
+    #[test]
+    fn capacity_estimate_is_positive_and_scales_with_gpus() {
+        let c = cfg(ArrivalProcess::Poisson);
+        let one = estimate_capacity_jobs_per_sec(&[(GpuKind::V100, 1)], &c, 128);
+        let four = estimate_capacity_jobs_per_sec(&[(GpuKind::V100, 4)], &c, 128);
+        assert!(one > 0.0);
+        assert!((four / one - 4.0).abs() < 1e-9, "linear in GPU count");
+        let slow = estimate_capacity_jobs_per_sec(&[(GpuKind::K80, 1)], &c, 128);
+        assert!(slow < one, "K80 serves fewer jobs/sec than V100");
+    }
+
+    #[test]
+    #[should_panic(expected = "off-phase rate")]
+    fn over_boosted_burst_is_rejected() {
+        let c = cfg(ArrivalProcess::Bursty {
+            on_fraction: 0.5,
+            boost: 3.0,
+            mean_cycle: SimDuration::from_secs(100),
+        });
+        let _ = c.stream();
+    }
+}

@@ -6,12 +6,16 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod arrivals;
 pub mod csv;
 pub mod job;
 pub mod model;
 pub mod profile;
 pub mod trace;
 
+pub use arrivals::{
+    estimate_capacity_jobs_per_sec, ArrivalProcess, ArrivalStream, OpenArrival, OpenArrivalConfig,
+};
 pub use csv::{parse_model, trace_from_csv, trace_to_csv};
 pub use job::{JobId, JobSpec};
 pub use model::{alpha_over, Domain, ModelKind, ModelSpec};

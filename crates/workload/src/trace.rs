@@ -144,15 +144,7 @@ impl TraceConfig {
     }
 
     fn draw_domain(&self, rng: &mut SmallRng) -> Domain {
-        let u: f64 = rng.gen();
-        let mut acc = 0.0;
-        for (i, &f) in self.mix.fractions.iter().enumerate() {
-            acc += f;
-            if u < acc {
-                return Domain::ALL[i];
-            }
-        }
-        *Domain::ALL.last().expect("Domain::ALL is non-empty")
+        draw_domain(&self.mix, rng)
     }
 
     /// Hyper-exponential inter-arrival gap: with probability `burstiness`
@@ -170,14 +162,29 @@ impl TraceConfig {
     }
 }
 
-fn draw_model(domain: Domain, rng: &mut SmallRng) -> ModelKind {
+/// Draw a domain according to `mix` (shared with the open-arrival
+/// generator in [`crate::arrivals`] so closed traces and open streams
+/// sample jobs from one distribution).
+pub(crate) fn draw_domain(mix: &DomainMix, rng: &mut SmallRng) -> Domain {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &f) in mix.fractions.iter().enumerate() {
+        acc += f;
+        if u < acc {
+            return Domain::ALL[i];
+        }
+    }
+    *Domain::ALL.last().expect("Domain::ALL is non-empty")
+}
+
+pub(crate) fn draw_model(domain: Domain, rng: &mut SmallRng) -> ModelKind {
     let models = ModelKind::of_domain(domain);
     models[rng.gen_range(0..models.len())]
 }
 
 /// Per-domain training load: NLP jobs carry "more training rounds and more
 /// training time" (Section 7.3, Fig. 17), Rec jobs the least.
-fn draw_load(domain: Domain, rng: &mut SmallRng) -> (u32, u32) {
+pub(crate) fn draw_load(domain: Domain, rng: &mut SmallRng) -> (u32, u32) {
     let (rounds_lo, rounds_hi, batches_lo, batches_hi) = match domain {
         Domain::Cv => (24, 60, 30, 70),
         Domain::Nlp => (40, 100, 40, 90),
@@ -193,12 +200,12 @@ fn draw_load(domain: Domain, rng: &mut SmallRng) -> (u32, u32) {
 /// Synchronization scale |D_r|: mostly small gangs with an occasional wide
 /// job (the wide tail is what makes gang schedulers' head-of-line blocking
 /// expensive in practice).
-fn draw_sync_scale(rng: &mut SmallRng) -> u32 {
+pub(crate) fn draw_sync_scale(rng: &mut SmallRng) -> u32 {
     const CHOICES: [u32; 8] = [1, 1, 2, 2, 2, 3, 4, 6];
     CHOICES[rng.gen_range(0..CHOICES.len())]
 }
 
-fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
+pub(crate) fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
     let u: f64 = rng.gen();
     -mean * (1.0 - u).ln()
 }

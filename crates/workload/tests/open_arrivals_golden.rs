@@ -1,0 +1,100 @@
+//! Golden fixture for open-arrival generation: the first 32 arrivals of
+//! one pinned config per arrival process, in the canonical line format.
+//!
+//! The fixture proves two things:
+//! * **per-seed determinism across PRs** — regenerating the pinned
+//!   streams must reproduce the committed bytes exactly;
+//! * **serial ≡ parallel** — generating the same stream concurrently
+//!   from many threads (each iterator owns its RNG) yields byte-identical
+//!   output, so harness parallelism can never perturb a workload.
+//!
+//! To regenerate after an *intentional* generator change:
+//! `HARE_BLESS=1 cargo test -p hare-workload --test open_arrivals_golden`
+
+#![allow(clippy::unwrap_used)]
+
+use hare_cluster::SimDuration;
+use hare_workload::{ArrivalProcess, OpenArrivalConfig};
+
+const FIXTURE: &str = include_str!("fixtures/open_arrivals.golden");
+const TAKE: usize = 32;
+
+/// The pinned configs, one per process, labelled for the fixture header.
+fn pinned() -> Vec<(&'static str, OpenArrivalConfig)> {
+    let base = OpenArrivalConfig {
+        load_factor: 1.2,
+        capacity_jobs_per_sec: 0.04,
+        n_tenants: 4,
+        hot_share: 0.5,
+        seed: 0xfeed,
+        ..OpenArrivalConfig::default()
+    };
+    vec![
+        ("poisson", base),
+        (
+            "bursty",
+            OpenArrivalConfig {
+                process: ArrivalProcess::Bursty {
+                    on_fraction: 0.25,
+                    boost: 3.0,
+                    mean_cycle: SimDuration::from_secs(600),
+                },
+                ..base
+            },
+        ),
+        (
+            "diurnal",
+            OpenArrivalConfig {
+                process: ArrivalProcess::Diurnal {
+                    period: SimDuration::from_secs(3600),
+                    amplitude: 0.9,
+                },
+                ..base
+            },
+        ),
+    ]
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    for (label, cfg) in pinned() {
+        out.push_str(&format!("# {label}\n"));
+        for a in cfg.stream().take(TAKE) {
+            out.push_str(&a.canonical_line());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn arrival_streams_match_the_committed_fixture() {
+    let got = render();
+    if std::env::var_os("HARE_BLESS").is_some() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/fixtures/open_arrivals.golden"
+            ),
+            &got,
+        )
+        .unwrap();
+        return;
+    }
+    assert_eq!(
+        got, FIXTURE,
+        "open-arrival stream drifted from the golden fixture; if the \
+         generator changed intentionally, re-bless with HARE_BLESS=1"
+    );
+}
+
+#[test]
+fn parallel_streams_are_byte_identical_to_serial() {
+    let serial = render();
+    // Race eight full regenerations; every one must match the serial
+    // bytes exactly (each stream owns its RNG — no shared state).
+    let hands: Vec<_> = (0..8).map(|_| std::thread::spawn(render)).collect();
+    for h in hands {
+        assert_eq!(h.join().unwrap(), serial);
+    }
+}
