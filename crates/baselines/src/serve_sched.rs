@@ -101,6 +101,56 @@ impl QueueScheduler for LadderServe {
         "Ladder"
     }
 
+    /// The ladder's plans depend on the stale-plan cache (and the rung
+    /// tallies feed reports), so both must survive a crash snapshot:
+    /// `hits:hits:hits:hits|id:priority_bits,…` — only `:,|` separators,
+    /// as the serve snapshot framing requires.
+    fn save_state(&self) -> String {
+        let mut s = String::with_capacity(32 + 24 * self.prev_h.len());
+        use std::fmt::Write as _;
+        let _ = write!(
+            s,
+            "{}:{}:{}:{}|",
+            self.rung_hits[0], self.rung_hits[1], self.rung_hits[2], self.rung_hits[3]
+        );
+        for (i, (id, h)) in self.prev_h.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{id}:{:016x}", h.to_bits());
+        }
+        s
+    }
+
+    fn load_state(&mut self, state: &str) {
+        let parsed = (|| -> Option<(Vec<u64>, BTreeMap<u32, f64>)> {
+            let (hits, prev) = state.split_once('|')?;
+            let hits: Vec<u64> = hits
+                .split(':')
+                .map(|h| h.parse::<u64>().ok())
+                .collect::<Option<_>>()?;
+            if hits.len() != 4 {
+                return None;
+            }
+            let mut prev_h = BTreeMap::new();
+            if !prev.is_empty() {
+                for entry in prev.split(',') {
+                    let (id, bits) = entry.split_once(':')?;
+                    prev_h.insert(
+                        id.parse::<u32>().ok()?,
+                        f64::from_bits(u64::from_str_radix(bits, 16).ok()?),
+                    );
+                }
+            }
+            Some((hits, prev_h))
+        })();
+        let Some((hits, prev_h)) = parsed else {
+            panic!("corrupt LadderServe snapshot state: {state:?}");
+        };
+        self.rung_hits = [hits[0], hits[1], hits[2], hits[3]];
+        self.prev_h = prev_h;
+    }
+
     fn plan(&mut self, window: &[&PendingJob], cluster: &Cluster, budget_frac: f64) -> PlanOutcome {
         let sub = window_problem(window, cluster);
         // One task per job, built in window order.
@@ -317,6 +367,26 @@ mod tests {
             "exact rung should dominate at low load: {:?}",
             report.rung_hits
         );
+    }
+
+    #[test]
+    fn ladder_state_survives_a_save_load_round_trip() {
+        let (a, _) = window_of((0..6).map(|i| spec(i, ModelKind::ResNet50, 2)).collect());
+        let window = a.peek_window(6);
+        let mut warm = LadderServe::new();
+        let _ = warm.plan(&window, &Cluster::testbed15(), 1.0);
+        let _ = warm.plan(&window, &Cluster::testbed15(), 0.1);
+
+        let mut cold = LadderServe::new();
+        cold.load_state(&warm.save_state());
+        assert_eq!(cold.save_state(), warm.save_state(), "state is bit-exact");
+        // Identical state ⇒ identical future plans (the stale-plan rung
+        // reads prev_h, so a lossy restore would diverge here).
+        let a = warm.plan(&window, &Cluster::testbed15(), 0.0);
+        let b = cold.plan(&window, &Cluster::testbed15(), 0.0);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.work, b.work);
+        assert_eq!(a.rung, b.rung);
     }
 
     #[test]

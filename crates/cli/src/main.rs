@@ -12,6 +12,8 @@
 //! hare serve  [--load F] [--process poisson|bursty|diurnal] [--horizon S]
 //!             [--scheduler ladder|srtf] [--unthrottled] [--pace-ms N]
 //!             [--journal FILE] [--out FILE] [--smoke]   # continuous service
+//!             [--wal FILE] [--snapshot-every N] [--recover] [--crash-at N]
+//!             [--lease-timeout S] [--heartbeat S]       # crash tolerance
 //! ```
 
 #![warn(clippy::unwrap_used)]
@@ -88,6 +90,16 @@ serve flags:
   --journal FILE  append the final cell durably; --replay-journal FILE
   --out FILE      write the JSON report to FILE instead of stdout
   --smoke         short run (600 s horizon) for CI
+
+serve crash tolerance:
+  --wal FILE      write-ahead log every transition; group-committed per epoch
+  --snapshot-every N   compact the WAL into a full snapshot every N epochs (20)
+  --recover       resume from --wal FILE after a crash; the recovered report
+                  is byte-identical to an uninterrupted run
+  --crash-at N    inject a scheduler crash at decision epoch N (needs --wal)
+  --lease-timeout S    lease-based GPU liveness: expire a worker S s after
+                  its last heartbeat, requeue its job with backoff
+  --heartbeat S   worker heartbeat interval for leases              (10)
 ";
 
 fn fail(msg: &str) -> ExitCode {

@@ -8,12 +8,24 @@
 //! admission stops, the pending queue is shed, in-flight jobs finish,
 //! the journal and the final JSON report are flushed, and the process
 //! exits 0. That drain path is exercised by the CI smoke step.
+//!
+//! With `--wal FILE` every state transition is write-ahead logged
+//! (snapshot-compacted every `--snapshot-every` epochs), so a crash —
+//! injected via `--crash-at N` or a real SIGKILL — leaves a log that
+//! `--recover` resumes from deterministically: the recovered report is
+//! byte-identical to an uninterrupted run (DESIGN.md §13). The CI
+//! kill-and-recover step diffs exactly that. `--lease-timeout S` turns
+//! on lease-based GPU liveness: silently-dead workers are detected by
+//! missed heartbeats and their in-flight jobs requeued with backoff.
 
 use crate::args::Options;
 use hare_baselines::{LadderServe, SrtfServe};
 use hare_cluster::{SimDuration, SimTime};
 use hare_experiments::Journal;
-use hare_sim::{QueueScheduler, ServeConfig, ServeLoop, ServeReport};
+use hare_sim::{
+    LeaseConfig, QueueScheduler, RecoveryError, SchedulerCrash, ServeConfig, ServeLoop,
+    ServeReport, WalOptions,
+};
 use hare_workload::{estimate_capacity_jobs_per_sec, ArrivalProcess, OpenArrivalConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -93,6 +105,26 @@ fn config(opts: &Options) -> Result<ServeConfig, String> {
     if opts.has("unthrottled") {
         cfg = cfg.unthrottled();
     }
+    if opts.has("lease-timeout") {
+        let timeout: u64 = opts.num("lease-timeout", 60)?;
+        if timeout == 0 {
+            return Err("--lease-timeout must be positive".into());
+        }
+        cfg.lease = Some(LeaseConfig {
+            heartbeat: SimDuration::from_secs(opts.num("heartbeat", 10)?),
+            timeout: SimDuration::from_secs(timeout),
+            ..LeaseConfig::default()
+        });
+    } else if opts.has("heartbeat") {
+        return Err("--heartbeat needs --lease-timeout (leases are off without it)".into());
+    }
+    if opts.has("crash-at") {
+        let at_epoch: u64 = opts.num("crash-at", 0)?;
+        if at_epoch == 0 {
+            return Err("--crash-at must be a decision epoch >= 1".into());
+        }
+        cfg.faults.crash = Some(SchedulerCrash { at_epoch });
+    }
     Ok(cfg)
 }
 
@@ -106,14 +138,21 @@ fn print_summary(report: &ServeReport, stopped: bool) {
         if stopped { "signal" } else { "horizon" }
     );
     println!(
-        "  offered {}  admitted {}  rejected {}  deferred {}  shed {}  completed {}",
+        "  offered {}  admitted {}  rejected {}  deferred {}  drained {}  shed {}  completed {}",
         c.offered,
         c.admitted,
         c.rejected(),
         c.deferrals,
+        c.drained,
         c.shed,
         report.completed
     );
+    if report.requeued + report.lease_expiries + report.lease_rejoins + report.lease_lost > 0 {
+        println!(
+            "  leases: {} expiries  {} rejoins  {} requeues  {} jobs lost",
+            report.lease_expiries, report.lease_rejoins, report.requeued, report.lease_lost
+        );
+    }
     println!(
         "  decisions {}  ({:.4}/s)  latency p50 {:.3}s  p99 {:.3}s",
         report.decisions,
@@ -156,6 +195,18 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     let seed: u64 = opts.num("seed", 1)?;
     let pace_ms: u64 = opts.num("pace-ms", 0)?;
     let pace = (pace_ms > 0).then(|| std::time::Duration::from_millis(pace_ms));
+    let wal_path = opts.get("wal", "").to_string();
+    let recover = opts.has("recover");
+    let snapshot_every: u64 = opts.num("snapshot-every", 20)?;
+    if snapshot_every == 0 {
+        return Err("--snapshot-every must be >= 1".into());
+    }
+    if recover && wal_path.is_empty() {
+        return Err("--recover needs --wal FILE (the log to recover from)".into());
+    }
+    if opts.has("crash-at") && wal_path.is_empty() {
+        return Err("--crash-at needs --wal FILE (a crash without a WAL is unrecoverable)".into());
+    }
     install_signal_handlers();
 
     let mut ladder;
@@ -180,7 +231,33 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         cluster.gpu_count(),
         cfg.horizon,
     );
-    let report = ServeLoop::new(cluster, cfg).run_with_stop(scheduler, &STOP, pace);
+    let serve_loop = ServeLoop::new(cluster, cfg);
+    let report = if wal_path.is_empty() {
+        serve_loop.run_with_stop(scheduler, &STOP, pace)
+    } else {
+        let mut wal = WalOptions::new(&wal_path);
+        wal.snapshot_every = snapshot_every;
+        if recover {
+            let (report, stats) = serve_loop
+                .recover(scheduler, &wal, &STOP, pace)
+                .map_err(|e| format!("recovery from {wal_path:?} failed: {e}"))?;
+            eprintln!(
+                "recovered from {wal_path}: resumed at {}, {} WAL record(s) replayed",
+                stats.resumed_at, stats.replayed
+            );
+            report
+        } else {
+            match serve_loop.run_with_wal(scheduler, &wal, &STOP, pace) {
+                Ok(report) => report,
+                Err(e @ RecoveryError::InjectedCrash { .. }) => {
+                    return Err(format!(
+                        "{e}; the WAL at {wal_path:?} is ready for --recover"
+                    ));
+                }
+                Err(e) => return Err(format!("serve with WAL {wal_path:?} failed: {e}")),
+            }
+        }
+    };
     let stopped = STOP.load(Ordering::SeqCst);
     print_summary(&report, stopped);
 

@@ -18,11 +18,18 @@
 //!
 //! The format is deliberately dependency-free (no JSON library in the
 //! offline vendor set): one record per line,
-//! `key TAB f64-bits-as-hex TAB note`. The primary value (a weighted JCT,
-//! a mean, …) travels as the hex of [`f64::to_bits`], so reloading is
-//! bit-exact — no decimal round-tripping. The free-form `note` carries
-//! preformatted report text (it must not contain tabs or newlines).
+//! `key TAB f64-bits-as-hex TAB note TAB crc32-as-8-hex`, where the CRC
+//! (the [`hare_sim::crc32`] shared with the serve WAL) covers the first
+//! three fields. The primary value (a weighted JCT, a mean, …) travels as
+//! the hex of [`f64::to_bits`], so reloading is bit-exact — no decimal
+//! round-tripping. The free-form `note` carries preformatted report text
+//! (it must not contain tabs or newlines). A record whose CRC does not
+//! match is *in-place corruption*, not a torn append: everything from the
+//! first bad record on is untrusted, truncated away on open, and surfaced
+//! through [`Journal::dropped`]. CRC-less three-field records (the
+//! pre-checksum format) still load, so old journals resume cleanly.
 
+use hare_sim::crc32;
 use std::collections::BTreeMap;
 use std::io::{self, Write as _};
 use std::path::PathBuf;
@@ -32,42 +39,73 @@ use std::path::PathBuf;
 pub struct Journal {
     path: PathBuf,
     done: BTreeMap<String, (f64, String)>,
+    dropped: usize,
+}
+
+/// What one journal line turned out to be.
+enum Parsed<'a> {
+    /// A complete record.
+    Record(&'a str, f64, &'a str),
+    /// Unparseable in a way the CRC-less legacy format also produced
+    /// (missing fields, bad hex): skipped, as it always was.
+    Skip,
+    /// A CRC-framed record whose checksum (or checksummed payload) does
+    /// not verify: in-place corruption — this line and everything after
+    /// it are untrusted.
+    Corrupt,
 }
 
 impl Journal {
     /// Open (or create) the journal at `path`, loading every complete
-    /// record. Torn trailing lines and malformed records are skipped,
-    /// and a torn tail is truncated away so that a later [`record`]
-    /// starts on a fresh line (otherwise the first resumed cell would
-    /// concatenate onto the torn bytes and be lost as one malformed
-    /// line).
+    /// record. Torn trailing lines and malformed records are skipped; a
+    /// torn tail is truncated away so that a later [`record`] starts on
+    /// a fresh line, and a CRC mismatch truncates *from the first bad
+    /// record onward* (in-place corruption invalidates everything after
+    /// it). The number of records lost that way is [`dropped`].
     ///
     /// [`record`]: Journal::record
+    /// [`dropped`]: Journal::dropped
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Journal> {
         let path = path.into();
         let mut done = BTreeMap::new();
+        let mut dropped = 0usize;
         match std::fs::read_to_string(&path) {
             Ok(text) => {
                 // Only newline-terminated lines are complete records: a
                 // crash mid-append leaves a torn tail, which must not be
                 // trusted (it may hold a truncated value).
                 let complete_len = text.rfind('\n').map_or(0, |end| end + 1);
-                if complete_len < text.len() {
-                    let file = std::fs::OpenOptions::new().write(true).open(&path)?;
-                    file.set_len(complete_len as u64)?;
-                    file.sync_data()?;
-                }
-                let complete = &text[..complete_len];
-                for line in complete.lines() {
-                    if let Some((key, value, note)) = parse_record(line) {
-                        done.insert(key.to_string(), (value, note.to_string()));
+                let mut keep = complete_len;
+                let mut offset = 0usize;
+                for line in text[..complete_len].split_inclusive('\n') {
+                    let start = offset;
+                    offset += line.len();
+                    match parse_record(line.trim_end_matches('\n')) {
+                        Parsed::Record(key, value, note) => {
+                            done.insert(key.to_string(), (value, note.to_string()));
+                        }
+                        Parsed::Skip => {}
+                        Parsed::Corrupt => {
+                            keep = start;
+                            dropped = text[keep..complete_len].lines().count();
+                            break;
+                        }
                     }
+                }
+                if keep < text.len() {
+                    let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(keep as u64)?;
+                    file.sync_data()?;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
-        Ok(Journal { path, done })
+        Ok(Journal {
+            path,
+            done,
+            dropped,
+        })
     }
 
     /// The canonical cell key of a (scheme, scenario, seed) triple.
@@ -90,9 +128,17 @@ impl Journal {
         self.done.is_empty()
     }
 
-    /// Record a completed cell durably: append one line, flush, and fsync
-    /// before returning, so a kill after this call never loses the cell.
-    /// `key` and `note` must not contain tabs or newlines.
+    /// Records discarded on open because a CRC mismatch invalidated them
+    /// (the corrupt record and everything after it). Zero for a healthy
+    /// journal; a sweep can use this to warn that cells will re-run.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Record a completed cell durably: append one CRC-framed line,
+    /// flush, and fsync before returning, so a kill after this call
+    /// never loses the cell. `key` and `note` must not contain tabs or
+    /// newlines.
     pub fn record(&mut self, key: &str, value: f64, note: &str) -> io::Result<()> {
         assert!(
             !key.contains(['\t', '\n']) && !note.contains(['\t', '\n']),
@@ -102,7 +148,8 @@ impl Journal {
             .create(true)
             .append(true)
             .open(&self.path)?;
-        writeln!(file, "{key}\t{:016x}\t{note}", value.to_bits())?;
+        let payload = format!("{key}\t{:016x}\t{note}", value.to_bits());
+        writeln!(file, "{payload}\t{:08x}", crc32(payload.as_bytes()))?;
         file.flush()?;
         file.sync_data()?;
         self.done.insert(key.to_string(), (value, note.to_string()));
@@ -110,16 +157,39 @@ impl Journal {
     }
 }
 
-/// Parse one complete record line; `None` on any malformation.
-fn parse_record(line: &str) -> Option<(&str, f64, &str)> {
-    let mut parts = line.splitn(3, '\t');
-    let key = parts.next()?;
-    let bits = u64::from_str_radix(parts.next()?, 16).ok()?;
-    let note = parts.next().unwrap_or("");
-    if key.is_empty() {
-        return None;
+/// Classify one complete journal line. Four tab-separated fields are the
+/// CRC-framed format (notes are tab-free, so the count is unambiguous);
+/// two or three are a legacy record, tolerated without verification.
+fn parse_record(line: &str) -> Parsed<'_> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    match fields[..] {
+        [key, bits, note, crc] => {
+            let Ok(crc) = u32::from_str_radix(crc, 16) else {
+                return Parsed::Corrupt;
+            };
+            let payload_len = key.len() + 1 + bits.len() + 1 + note.len();
+            if crc != crc32(&line.as_bytes()[..payload_len]) {
+                return Parsed::Corrupt;
+            }
+            // The CRC vouches for the payload: a malformed key/value
+            // here means the writer itself was broken, not the disk.
+            let (Ok(bits), false) = (u64::from_str_radix(bits, 16), key.is_empty()) else {
+                return Parsed::Corrupt;
+            };
+            Parsed::Record(key, f64::from_bits(bits), note)
+        }
+        [key, bits] | [key, bits, _] => {
+            let Ok(bits) = u64::from_str_radix(bits, 16) else {
+                return Parsed::Skip;
+            };
+            if key.is_empty() {
+                return Parsed::Skip;
+            }
+            let note = fields.get(2).copied().unwrap_or("");
+            Parsed::Record(key, f64::from_bits(bits), note)
+        }
+        _ => Parsed::Skip,
     }
-    Some((key, f64::from_bits(bits), note))
 }
 
 #[cfg(test)]
@@ -146,6 +216,7 @@ mod tests {
         drop(j);
         let j = Journal::open(&path).unwrap();
         assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 0);
         let (got, note) = j.get(&Journal::key("Hare", "L3 harsh", 7)).unwrap();
         assert_eq!(got.to_bits(), v.to_bits(), "bit-exact reload");
         assert_eq!(note, "note text");
@@ -166,6 +237,7 @@ mod tests {
         std::fs::write(&path, &text).unwrap();
         let j = Journal::open(&path).unwrap();
         assert_eq!(j.len(), 1);
+        assert_eq!(j.dropped(), 0, "a torn tail is not corruption");
         let (v, note) = j.get("cell").unwrap();
         assert_eq!(v, 2.0, "last complete record wins; torn tail ignored");
         assert_eq!(note, "second");
@@ -173,7 +245,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_are_skipped() {
+    fn malformed_legacy_lines_are_skipped() {
         let path = tmp("malformed");
         std::fs::write(
             &path,
@@ -182,7 +254,53 @@ mod tests {
         .unwrap();
         let j = Journal::open(&path).unwrap();
         assert_eq!(j.len(), 1);
+        assert_eq!(j.dropped(), 0);
         assert_eq!(j.get("ok").unwrap().0, 1.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crc_mismatch_truncates_from_the_first_bad_record() {
+        let path = tmp("crc");
+        let mut j = Journal::open(&path).unwrap();
+        j.record("a", 1.0, "keep").unwrap();
+        j.record("b", 2.0, "corrupt-me").unwrap();
+        j.record("c", 3.0, "doomed").unwrap();
+        drop(j);
+        // Flip one payload byte of record "b": its CRC no longer
+        // matches, so "b" AND the (intact) "c" after it must both go.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = bytes
+            .windows("corrupt-me".len())
+            .position(|w| w == b"corrupt-me")
+            .unwrap();
+        bytes[pos] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1, "only the pre-corruption prefix survives");
+        assert_eq!(j.dropped(), 2, "the bad record and its successor");
+        assert!(j.get("a").is_some());
+        assert!(j.get("b").is_none());
+        assert!(j.get("c").is_none());
+        // The file was physically truncated: a reopen is clean.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!((j.len(), j.dropped()), (1, 0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_crc_less_records_still_load() {
+        let path = tmp("legacy");
+        std::fs::write(&path, "old\t4000000000000000\tlegacy note\n").unwrap();
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.get("old"), Some((2.0, "legacy note")));
+        // New appends are CRC-framed and coexist with the legacy line.
+        j.record("new", 3.0, "").unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 0);
         std::fs::remove_file(&path).unwrap();
     }
 

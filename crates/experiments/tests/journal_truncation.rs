@@ -27,8 +27,11 @@ fn tmp_path() -> PathBuf {
 
 /// Independent re-implementation of the journal's load rules, applied to
 /// raw bytes: keep only the prefix up to the last newline, then parse
-/// each `key TAB hex-bits TAB note` line, skipping malformed ones;
-/// duplicate keys resolve to the last complete record.
+/// each `key TAB hex-bits TAB note TAB crc` line, skipping malformed
+/// ones; duplicate keys resolve to the last complete record. Truncation
+/// only ever removes a suffix, so every surviving newline-terminated
+/// line is an intact record and its CRC is trusted without re-checking
+/// (corruption-in-place is covered by the unit tests in `journal.rs`).
 fn reference_parse(bytes: &[u8]) -> BTreeMap<String, (u64, String)> {
     let text = std::str::from_utf8(bytes).expect("ASCII-only journal content");
     let complete = match text.rfind('\n') {
@@ -37,8 +40,8 @@ fn reference_parse(bytes: &[u8]) -> BTreeMap<String, (u64, String)> {
     };
     let mut done = BTreeMap::new();
     for line in complete.lines() {
-        let mut parts = line.splitn(3, '\t');
-        let (Some(key), Some(hex)) = (parts.next(), parts.next()) else {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let [key, hex, note, _crc] = fields[..] else {
             continue;
         };
         let Ok(bits) = u64::from_str_radix(hex, 16) else {
@@ -47,8 +50,7 @@ fn reference_parse(bytes: &[u8]) -> BTreeMap<String, (u64, String)> {
         if key.is_empty() {
             continue;
         }
-        let note = parts.next().unwrap_or("").to_string();
-        done.insert(key.to_string(), (bits, note));
+        done.insert(key.to_string(), (bits, note.to_string()));
     }
     done
 }

@@ -26,10 +26,12 @@
 //! Everything here is pure state-machine code driven by simulation time —
 //! deterministic, no clocks, no threads.
 
+use crate::recovery::{f64_from_hex, f64_hex};
 use hare_cluster::{SimDuration, SimTime};
-use hare_workload::JobSpec;
+use hare_workload::{JobId, JobSpec, ModelKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Dense tenant identifier.
 #[derive(
@@ -152,9 +154,16 @@ pub struct AdmissionCounters {
     /// Total deferrals ever issued (observability; not part of the
     /// conservation identity).
     pub deferrals: u64,
-    /// Admitted jobs shed from the pending queue at drain (graceful
-    /// shedding; a *post-admission* event, outside the identity).
+    /// Admitted jobs shed from the pending queue under genuine overload
+    /// (a *post-admission* event, outside the identity).
     pub shed: u64,
+    /// Admitted jobs dropped by the graceful drain — the residual queue
+    /// when the run winds down. Kept separate from `shed` so that
+    /// counter measures real overload loss, not the drain formality.
+    pub drained: u64,
+    /// Requeue re-admissions after a lease expiry (a job re-entering the
+    /// queue is not a new offer; also outside the identity).
+    pub readmitted: u64,
 }
 
 impl AdmissionCounters {
@@ -256,13 +265,44 @@ impl AdmissionController {
         self.counters.rejected_draining += parked;
     }
 
-    /// Shed the whole pending queue (graceful shedding at drain);
-    /// returns the shed jobs, oldest virtual tag first.
+    /// Shed the whole pending queue under overload pressure; returns the
+    /// shed jobs, oldest virtual tag first. Counts into
+    /// [`AdmissionCounters::shed`] — for the graceful end-of-run drop use
+    /// [`Self::drain_all`], which counts separately.
     pub fn shed_all(&mut self) -> Vec<PendingJob> {
         let shed: Vec<PendingJob> = std::mem::take(&mut self.queue).into_values().collect();
         self.by_seq.clear();
         self.counters.shed += shed.len() as u64;
         shed
+    }
+
+    /// Drop the whole pending queue as part of a graceful drain; returns
+    /// the dropped jobs, oldest virtual tag first. Counts into
+    /// [`AdmissionCounters::drained`], not `shed`.
+    pub fn drain_all(&mut self) -> Vec<PendingJob> {
+        let dropped: Vec<PendingJob> = std::mem::take(&mut self.queue).into_values().collect();
+        self.by_seq.clear();
+        self.counters.drained += dropped.len() as u64;
+        dropped
+    }
+
+    /// Count jobs dropped at drain that were no longer in the pending
+    /// queue (e.g. the serve loop's requeue pool) into `drained`, so the
+    /// end-of-run accounting identity stays exact.
+    pub(crate) fn count_drained(&mut self, n: u64) {
+        self.counters.drained += n;
+    }
+
+    /// Re-admit a job whose worker lost its lease. Bypasses the token
+    /// bucket and the queue bound (the job already paid admission once
+    /// and the scheduler owes it service); keeps the original
+    /// `admitted_at` so queue-wait accounting spans the disruption, and
+    /// assigns fresh fair-queue tags and a fresh `seq` handle, which is
+    /// returned.
+    pub fn readmit(&mut self, job: PendingJob) -> u64 {
+        self.counters.readmitted += 1;
+        self.enqueue(job.admitted_at, job.tenant, job.spec);
+        self.next_seq - 1
     }
 
     fn refill(&mut self, tenant: TenantId, now: SimTime) {
@@ -392,6 +432,247 @@ impl AdmissionController {
         let job = self.queue.remove(&key).expect("key just observed");
         self.vtime = self.vtime.max(job.start_tag);
         Some(job)
+    }
+
+    /// Bit-exact single-line encoding of the complete controller state
+    /// (counters, virtual time, token buckets, pending queue, deferral
+    /// pool) for the crash-tolerance snapshots of DESIGN.md §13. Floats
+    /// are hex bit patterns, times integer microseconds; the encoding
+    /// uses only `:|,` separators so it can nest inside the serve
+    /// snapshot's `;`/`=` framing.
+    pub(crate) fn encode_state(&self) -> String {
+        let c = &self.counters;
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+            c.offered,
+            c.admitted,
+            c.rejected_rate_limited,
+            c.rejected_queue_full,
+            c.rejected_draining,
+            c.deferred_pending,
+            c.deferrals,
+            c.shed,
+            c.drained,
+            c.readmitted,
+        );
+        let _ = write!(
+            s,
+            "|{}|{}|{}",
+            f64_hex(self.vtime),
+            self.next_seq,
+            u8::from(self.draining)
+        );
+        s.push('|');
+        for (i, (t, ts)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{}:{}:{}:{}",
+                t.0,
+                f64_hex(ts.tokens),
+                ts.last_refill.as_micros(),
+                f64_hex(ts.last_finish),
+                u8::from(ts.initialized)
+            );
+        }
+        s.push('|');
+        for (i, (key, job)) in self.queue.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{:016x}:{}", key.0, job.encode());
+        }
+        s.push('|');
+        for (i, d) in self.deferred.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{}:{}",
+                d.tenant.0,
+                encode_job(&d.spec),
+                d.retry_at.as_micros()
+            );
+        }
+        s
+    }
+
+    /// Inverse of [`Self::encode_state`]: rebuild a controller with the
+    /// given configuration from an encoded snapshot section.
+    pub(crate) fn decode_state(cfg: AdmissionConfig, s: &str) -> Result<Self, String> {
+        let sections: Vec<&str> = s.split('|').collect();
+        let [counters, vtime, next_seq, draining, tenants, queue, deferred] = sections[..] else {
+            return Err(format!(
+                "admission state has {} sections, want 7",
+                sections.len()
+            ));
+        };
+        let cn: Vec<u64> = counters
+            .split(':')
+            .map(|x| {
+                x.parse::<u64>()
+                    .map_err(|e| format!("bad counter {x:?}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let [offered, admitted, rr, rqf, rd, dp, df, shed, drained, readmitted] = cn[..] else {
+            return Err(format!("admission counters: {} fields, want 10", cn.len()));
+        };
+        let mut a = AdmissionController::new(cfg);
+        a.counters = AdmissionCounters {
+            offered,
+            admitted,
+            rejected_rate_limited: rr,
+            rejected_queue_full: rqf,
+            rejected_draining: rd,
+            deferred_pending: dp,
+            deferrals: df,
+            shed,
+            drained,
+            readmitted,
+        };
+        a.vtime = f64_from_hex(vtime).ok_or_else(|| format!("bad vtime {vtime:?}"))?;
+        a.next_seq = next_seq
+            .parse::<u64>()
+            .map_err(|e| format!("bad next_seq {next_seq:?}: {e}"))?;
+        a.draining = draining == "1";
+        for item in tenants.split(',').filter(|i| !i.is_empty()) {
+            let f: Vec<&str> = item.split(':').collect();
+            let [id, tokens, refill, finish, init] = f[..] else {
+                return Err(format!("tenant item {item:?}"));
+            };
+            let tid = TenantId(id.parse::<u32>().map_err(|e| format!("tenant id: {e}"))?);
+            a.tenants.insert(
+                tid,
+                TenantState {
+                    tokens: f64_from_hex(tokens).ok_or_else(|| format!("tokens {tokens:?}"))?,
+                    last_refill: SimTime::from_micros(
+                        refill.parse::<u64>().map_err(|e| format!("refill: {e}"))?,
+                    ),
+                    last_finish: f64_from_hex(finish)
+                        .ok_or_else(|| format!("finish {finish:?}"))?,
+                    initialized: init == "1",
+                },
+            );
+        }
+        for item in queue.split(',').filter(|i| !i.is_empty()) {
+            let (key_hex, rest) = item
+                .split_once(':')
+                .ok_or_else(|| format!("queue item {item:?}"))?;
+            let key_bits =
+                u64::from_str_radix(key_hex, 16).map_err(|e| format!("queue key: {e}"))?;
+            let job = PendingJob::decode(rest)?;
+            let key = (key_bits, job.seq);
+            a.by_seq.insert(job.seq, key);
+            a.queue.insert(key, job);
+        }
+        for item in deferred.split(',').filter(|i| !i.is_empty()) {
+            let f: Vec<&str> = item.split(':').collect();
+            if f.len() != 10 {
+                return Err(format!(
+                    "deferred item {item:?}: {} fields, want 10",
+                    f.len()
+                ));
+            }
+            let tenant = TenantId(
+                f[0].parse::<u32>()
+                    .map_err(|e| format!("deferred tenant: {e}"))?,
+            );
+            let spec = decode_job(&f[1..9])?;
+            let retry_at =
+                SimTime::from_micros(f[9].parse::<u64>().map_err(|e| format!("retry_at: {e}"))?);
+            a.deferred.push(Deferred {
+                tenant,
+                spec,
+                retry_at,
+            });
+        }
+        Ok(a)
+    }
+}
+
+/// Encode a [`JobSpec`] as 8 `:`-separated fields (model as its index in
+/// [`ModelKind::ALL`], weight as hex bits, arrival in microseconds).
+pub(crate) fn encode_job(s: &JobSpec) -> String {
+    let model_idx = ModelKind::ALL
+        .iter()
+        .position(|&m| m == s.model)
+        .expect("every ModelKind is in ALL");
+    format!(
+        "{}:{}:{}:{}:{}:{}:{}:{}",
+        s.id.0,
+        model_idx,
+        s.batch_size,
+        s.rounds,
+        s.sync_scale,
+        s.batches_per_task,
+        f64_hex(s.weight),
+        s.arrival.as_micros()
+    )
+}
+
+/// Inverse of [`encode_job`] over exactly 8 already-split fields.
+pub(crate) fn decode_job(parts: &[&str]) -> Result<JobSpec, String> {
+    let [id, model, batch, rounds, sync, bpt, weight, arrival] = *parts else {
+        return Err(format!("job: {} fields, want 8", parts.len()));
+    };
+    let pu32 = |x: &str| x.parse::<u32>().map_err(|e| format!("bad u32 {x:?}: {e}"));
+    let model_idx = model
+        .parse::<usize>()
+        .map_err(|e| format!("bad model index {model:?}: {e}"))?;
+    let model = *ModelKind::ALL
+        .get(model_idx)
+        .ok_or_else(|| format!("model index {model_idx} out of range"))?;
+    Ok(JobSpec {
+        id: JobId(pu32(id)?),
+        model,
+        batch_size: pu32(batch)?,
+        rounds: pu32(rounds)?,
+        sync_scale: pu32(sync)?,
+        batches_per_task: pu32(bpt)?,
+        weight: f64_from_hex(weight).ok_or_else(|| format!("bad weight {weight:?}"))?,
+        arrival: SimTime::from_micros(
+            arrival
+                .parse::<u64>()
+                .map_err(|e| format!("bad arrival {arrival:?}: {e}"))?,
+        ),
+    })
+}
+
+impl PendingJob {
+    /// 12 `:`-separated fields: tenant, the 8 job fields, admission
+    /// instant, start tag bits, seq.
+    pub(crate) fn encode(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}",
+            self.tenant.0,
+            encode_job(&self.spec),
+            self.admitted_at.as_micros(),
+            f64_hex(self.start_tag),
+            self.seq
+        )
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub(crate) fn decode(s: &str) -> Result<PendingJob, String> {
+        let f: Vec<&str> = s.split(':').collect();
+        if f.len() != 12 {
+            return Err(format!("pending job {s:?}: {} fields, want 12", f.len()));
+        }
+        Ok(PendingJob {
+            tenant: TenantId(f[0].parse::<u32>().map_err(|e| format!("tenant: {e}"))?),
+            spec: decode_job(&f[1..9])?,
+            admitted_at: SimTime::from_micros(
+                f[9].parse::<u64>()
+                    .map_err(|e| format!("admitted_at: {e}"))?,
+            ),
+            start_tag: f64_from_hex(f[10]).ok_or_else(|| format!("start_tag {:?}", f[10]))?,
+            seq: f[11].parse::<u64>().map_err(|e| format!("seq: {e}"))?,
+        })
     }
 }
 
@@ -532,6 +813,45 @@ impl BudgetController {
     /// The deepest brownout level reached so far.
     pub fn min_level(&self) -> f64 {
         BUDGET_LEVELS[self.min_idx]
+    }
+
+    /// Ladder index of the level currently in force (for WAL records).
+    pub(crate) fn level_idx(&self) -> usize {
+        self.idx
+    }
+
+    /// Snapshot encoding of the hysteresis state (4 `:`-joined fields).
+    pub(crate) fn encode_state(&self) -> String {
+        format!(
+            "{}:{}:{}:{}",
+            self.idx, self.dwell, self.transitions, self.min_idx
+        )
+    }
+
+    /// Inverse of [`Self::encode_state`].
+    pub(crate) fn decode_state(
+        curve: PressureCurve,
+        ascend_dwell: u32,
+        s: &str,
+    ) -> Result<Self, String> {
+        let f: Vec<&str> = s.split(':').collect();
+        let [idx, dwell, transitions, min_idx] = f[..] else {
+            return Err(format!("budget state {s:?}: {} fields, want 4", f.len()));
+        };
+        let pi = |x: &str| {
+            x.parse::<usize>()
+                .map_err(|e| format!("bad index {x:?}: {e}"))
+        };
+        let pu = |x: &str| x.parse::<u32>().map_err(|e| format!("bad u32 {x:?}: {e}"));
+        let mut b = BudgetController::new(curve, ascend_dwell);
+        b.idx = pi(idx)?;
+        b.min_idx = pi(min_idx)?;
+        if b.idx >= BUDGET_LEVELS.len() || b.min_idx >= BUDGET_LEVELS.len() {
+            return Err(format!("budget level index out of range in {s:?}"));
+        }
+        b.dwell = pu(dwell)?;
+        b.transitions = pu(transitions)?;
+        Ok(b)
     }
 }
 
@@ -696,6 +1016,92 @@ mod tests {
     }
 
     #[test]
+    fn drain_all_counts_separately_from_shed() {
+        let mut a = AdmissionController::new(AdmissionConfig {
+            bucket: TokenBucketConfig {
+                rate_per_sec: 100.0,
+                burst: 100.0,
+            },
+            ..AdmissionConfig::default()
+        });
+        for i in 0..4 {
+            a.offer(t(0), TenantId(i % 2), job(i));
+        }
+        let dropped = a.drain_all();
+        assert_eq!(dropped.len(), 4);
+        let c = a.counters();
+        assert_eq!(
+            (c.drained, c.shed),
+            (4, 0),
+            "drain is not overload shedding"
+        );
+        assert!(c.conserved());
+    }
+
+    #[test]
+    fn readmit_requeues_with_fresh_seq_and_original_admission_time() {
+        let mut a = AdmissionController::new(AdmissionConfig::default());
+        a.offer(t(3), TenantId(1), job(0));
+        let j = a.pop().unwrap();
+        let old_seq = j.seq;
+        let new_seq = a.readmit(j);
+        assert_ne!(new_seq, old_seq, "requeue gets a fresh dispatch handle");
+        assert_eq!(a.depth(), 1);
+        let back = a.pop().unwrap();
+        assert_eq!(back.seq, new_seq);
+        assert_eq!(back.admitted_at, t(3), "queue-wait spans the disruption");
+        let c = a.counters();
+        assert_eq!((c.admitted, c.readmitted), (1, 1));
+        assert!(c.conserved(), "readmission is outside the offer identity");
+    }
+
+    #[test]
+    fn state_encoding_round_trips_bit_exactly() {
+        let cfg = AdmissionConfig {
+            queue_capacity: 8,
+            defer_capacity: 4,
+            bucket: TokenBucketConfig {
+                rate_per_sec: 0.2,
+                burst: 3.0,
+            },
+            tenant_weights: vec![2.0, 1.0],
+        };
+        let mut a = AdmissionController::new(cfg.clone());
+        for i in 0..7 {
+            a.offer(t(i as u64 * 2), TenantId(i % 3), job(i));
+        }
+        let _ = a.pop();
+        let encoded = a.encode_state();
+        let mut b = AdmissionController::decode_state(cfg, &encoded).unwrap();
+        assert_eq!(b.encode_state(), encoded, "decode∘encode is the identity");
+        assert_eq!(b.counters(), a.counters());
+        assert_eq!(b.depth(), a.depth());
+        // Behavioral equivalence: both controllers drain identically.
+        let from_a: Vec<_> = std::iter::from_fn(|| a.pop()).collect();
+        let from_b: Vec<_> = std::iter::from_fn(|| b.pop()).collect();
+        assert_eq!(from_a, from_b);
+        // And job encode/decode is exact, including float weights.
+        let spec = job(9).with_weight(2.5).arriving_at(t(17));
+        let enc = encode_job(&spec);
+        let parts: Vec<&str> = enc.split(':').collect();
+        assert_eq!(decode_job(&parts).unwrap(), spec);
+    }
+
+    #[test]
+    fn budget_state_encoding_round_trips() {
+        let mut b = BudgetController::new(PressureCurve::default(), 3);
+        b.update(1000, 0.0);
+        b.update(0, 0.0);
+        let enc = b.encode_state();
+        let c = BudgetController::decode_state(PressureCurve::default(), 3, &enc).unwrap();
+        assert_eq!(c.encode_state(), enc);
+        assert_eq!(c.level(), b.level());
+        assert_eq!(c.min_level(), b.min_level());
+        assert_eq!(c.transitions(), b.transitions());
+        assert!(BudgetController::decode_state(PressureCurve::default(), 3, "9:0:0:0").is_err());
+    }
+
+    #[test]
     fn pressure_curve_ramps_and_floors() {
         let c = PressureCurve {
             depth_low: 10,
@@ -780,18 +1186,24 @@ mod tests {
             Poll,
             /// Begin drain (idempotent).
             Drain,
-            /// Shed the pending queue.
+            /// Shed the pending queue (overload).
             Shed,
+            /// Drop the pending queue gracefully (drain accounting).
+            DrainAll,
+            /// Pop the head and immediately re-admit it (lease requeue).
+            Readmit,
         }
 
         fn op() -> impl Strategy<Value = Op> {
             // Weighted mix: offers dominate so queues actually fill.
-            (0u8..13, 0u32..4, 0u32..30_000).prop_map(|(sel, tenant, dt_ms)| match sel {
+            (0u8..16, 0u32..4, 0u32..30_000).prop_map(|(sel, tenant, dt_ms)| match sel {
                 0..=5 => Op::Offer { tenant, dt_ms },
                 6..=8 => Op::Pop,
                 9..=10 => Op::Poll,
                 11 => Op::Drain,
-                _ => Op::Shed,
+                12 => Op::Shed,
+                13 => Op::DrainAll,
+                _ => Op::Readmit,
             })
         }
 
@@ -817,6 +1229,7 @@ mod tests {
                 let mut now = SimTime::ZERO;
                 let mut popped = 0u64;
                 let mut shed = 0u64;
+                let mut drained = 0u64;
                 for (i, o) in ops.iter().enumerate() {
                     match *o {
                         Op::Offer { tenant, dt_ms } => {
@@ -833,6 +1246,15 @@ mod tests {
                         Op::Shed => {
                             shed += a.shed_all().len() as u64;
                         }
+                        Op::DrainAll => {
+                            drained += a.drain_all().len() as u64;
+                        }
+                        Op::Readmit => {
+                            if let Some(j) = a.pop() {
+                                popped += 1;
+                                a.readmit(j);
+                            }
+                        }
                     }
                     let c = a.counters();
                     prop_assert!(
@@ -841,13 +1263,15 @@ mod tests {
                         c.offered, c.admitted, c.rejected(), c.deferred_pending
                     );
                     prop_assert!(a.depth() <= tight_cfg().queue_capacity, "queue bound");
-                    // Admitted jobs are exactly accounted for: still
-                    // queued, dispatched, or shed.
+                    // Every queue entry ever made (fresh admission or
+                    // lease requeue) is exactly accounted for: still
+                    // queued, dispatched, shed, or drained.
                     prop_assert_eq!(c.shed, shed, "controller and test agree on sheds");
+                    prop_assert_eq!(c.drained, drained, "and on drains");
                     prop_assert_eq!(
-                        c.admitted,
-                        a.depth() as u64 + popped + c.shed,
-                        "admitted = queued + popped + shed"
+                        c.admitted + c.readmitted,
+                        a.depth() as u64 + popped + c.shed + c.drained,
+                        "admitted + readmitted = queued + popped + shed + drained"
                     );
                     if a.is_draining() {
                         prop_assert_eq!(c.deferred_pending, 0, "drain keeps no deferrals");

@@ -332,6 +332,111 @@ impl FaultPlan {
     }
 }
 
+/// A silently-dead worker window for the serve loop's lease machinery:
+/// the GPU stops heartbeating at `from` and — unlike a [`GpuFault`] —
+/// the scheduler receives **no failure event**; only missed heartbeats
+/// reveal the death, after the lease timeout. Work in flight on the GPU
+/// when the window opens is lost (requeued once the lease expires). With
+/// `until` set the worker comes back and resumes heartbeating; `None` is
+/// a permanent silent death.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SilentWorkerFault {
+    /// Affected GPU.
+    pub gpu: usize,
+    /// Instant heartbeats stop (inclusive).
+    pub from: SimTime,
+    /// Instant heartbeats resume (exclusive); `None` = never.
+    pub until: Option<SimTime>,
+}
+
+/// An injected scheduler crash: the serve loop aborts at the start of
+/// the given decision epoch (1-based), returning
+/// [`crate::RecoveryError::InjectedCrash`] and leaving its WAL behind
+/// for `--recover`. Applies to fresh runs only — recovery strips it.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerCrash {
+    /// Decision epoch (1-based) at whose start the loop dies.
+    pub at_epoch: u64,
+}
+
+/// Everything injected into one serve run — the continuous-service
+/// analogue of [`FaultPlan`]. Empty by default.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeFaultPlan {
+    /// Silently-dead worker windows (lease-detected).
+    pub silent_workers: Vec<SilentWorkerFault>,
+    /// Scheduler crash injection.
+    pub crash: Option<SchedulerCrash>,
+}
+
+impl ServeFaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.silent_workers.is_empty() && self.crash.is_none()
+    }
+
+    /// Check the plan against a cluster of `n_gpus` GPUs: indices in
+    /// range, windows non-empty and per-GPU disjoint (permanent death
+    /// last), silent deaths only when the lease machinery that can
+    /// detect them is on, and a crash epoch ≥ 1.
+    pub fn validate(&self, n_gpus: usize, leases_enabled: bool) -> Result<(), SimError> {
+        let bad = |why: String| Err(SimError::InvalidFaultPlan(why));
+        if !self.silent_workers.is_empty() && !leases_enabled {
+            return bad(
+                "silent worker faults without lease-based liveness would never be detected"
+                    .to_string(),
+            );
+        }
+        for f in &self.silent_workers {
+            if f.gpu >= n_gpus {
+                return bad(format!(
+                    "silent worker fault on GPU {} of a {n_gpus}-GPU cluster",
+                    f.gpu
+                ));
+            }
+            if f.until.is_some_and(|u| u <= f.from) {
+                return bad(format!(
+                    "silent-death window [{}, {}) of GPU {} is empty",
+                    f.from,
+                    f.until.unwrap_or(SimTime::MAX),
+                    f.gpu
+                ));
+            }
+        }
+        let mut windows: Vec<(usize, SimTime, Option<SimTime>)> = self
+            .silent_workers
+            .iter()
+            .map(|f| (f.gpu, f.from, f.until))
+            .collect();
+        windows.sort_by_key(|&(gpu, from, _)| (gpu, from));
+        for w in windows.windows(2) {
+            let ((g0, _, until0), (g1, from1, _)) = (w[0], w[1]);
+            if g0 != g1 {
+                continue;
+            }
+            match until0 {
+                None => {
+                    return bad(format!(
+                        "GPU {g0} dies silently at {from1} after dying permanently"
+                    ));
+                }
+                Some(up) if from1 < up => {
+                    return bad(format!(
+                        "GPU {g0} dies silently at {from1} while already dead"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(c) = &self.crash {
+            if c.at_epoch == 0 {
+                return bad("scheduler crash at epoch 0: epochs are 1-based".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Maximum slowdown factor active at `t` among `(from, until, slowdown)`
 /// windows (1.0 when none are open).
 pub fn slowdown_at(windows: &[(SimTime, SimTime, f64)], t: SimTime) -> f64 {

@@ -16,6 +16,7 @@ pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod ps;
+pub mod recovery;
 pub mod registry;
 pub mod serve;
 pub mod storage;
@@ -32,14 +33,16 @@ pub use control::{
 pub use engine::{planned_report, Simulation};
 pub use event::{Event, EventQueue};
 pub use faults::{
-    FaultPlan, FaultProfile, GpuFault, NetworkFault, SimError, SolverDegradation,
-    SpeculationConfig, StorageFault, StorageFaultKind, StragglerWindow,
+    FaultPlan, FaultProfile, GpuFault, NetworkFault, SchedulerCrash, ServeFaultPlan,
+    SilentWorkerFault, SimError, SolverDegradation, SpeculationConfig, StorageFault,
+    StorageFaultKind, StragglerWindow,
 };
 pub use metrics::{
     completion_stats, jct_cdf, CompletionStats, FaultMetrics, GpuReport, SimReport, UtilSpan,
 };
 pub use policy::{OfflineReplay, Policy, SimView};
 pub use ps::{ParameterServer, SyncOutcome};
+pub use recovery::{crc32, LeaseConfig, RecoveryError, RecoveryStats, WalFile, WalOptions};
 pub use registry::{Histogram, MetricsRegistry};
 pub use serve::{PlanOutcome, QueueScheduler, ServeConfig, ServeLoop, ServeReport};
 pub use storage::CheckpointStore;

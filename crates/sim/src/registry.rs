@@ -114,6 +114,29 @@ impl Histogram {
         None
     }
 
+    /// Per-bucket counts (`bounds.len() + 1` entries, overflow last) —
+    /// the serve snapshot's raw view of the histogram.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild a histogram from `bounds`, per-bucket `counts`, and the
+    /// finite-observation `sum` (the inverse of [`Histogram::counts`] +
+    /// [`Histogram::sum`]; the total count is implied by the buckets).
+    /// `None` when the counts length does not match the bounds.
+    pub fn from_parts(bounds: &[f64], counts: Vec<u64>, sum: f64) -> Option<Histogram> {
+        if counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        let count = counts.iter().sum();
+        Some(Histogram {
+            bounds: bounds.to_vec(),
+            counts,
+            count,
+            sum,
+        })
+    }
+
     /// `(upper_bound, count)` pairs; the final pair has `None` as its
     /// bound — the overflow bucket.
     pub fn buckets(&self) -> impl Iterator<Item = (Option<f64>, u64)> + '_ {

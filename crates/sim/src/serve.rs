@@ -1,5 +1,6 @@
 //! Continuous-service mode: an always-on scheduling loop absorbing an
-//! open arrival stream (DESIGN.md §12).
+//! open arrival stream (DESIGN.md §12), with crash tolerance and
+//! lease-based worker liveness layered on top (DESIGN.md §13).
 //!
 //! The batch engine ([`crate::engine`]) materializes a complete trace and
 //! replays it to quiescence; a production scheduler never sees the end of
@@ -19,8 +20,33 @@
 //!   simulated latency (the `cost_per_work` convention shared with the
 //!   online baselines) and charged before the dispatched jobs start;
 //! * a **drain** (arrival horizon exhausted, or an external stop flag —
-//!   SIGTERM in `hare serve`) stops admission, sheds the pending queue,
-//!   lets in-flight jobs finish, and produces the final [`ServeReport`].
+//!   SIGTERM in `hare serve`) stops admission, *drains* the pending
+//!   queue (counted separately from overload shedding), lets in-flight
+//!   jobs finish, and produces the final [`ServeReport`].
+//!
+//! # Crash tolerance
+//!
+//! [`ServeLoop::run_with_wal`] journals every state transition to a
+//! [`WalFile`] (group-committed at epoch boundaries) and periodically
+//! writes a compacted snapshot of the *complete* loop state — pending
+//! queue, token buckets, in-flight placements, arrival-stream cursor,
+//! budget hysteresis, scheduler-private state. After a crash (a real
+//! SIGKILL, or an injected [`crate::faults::SchedulerCrash`]),
+//! [`ServeLoop::recover`] loads the last snapshot and re-executes the
+//! loop deterministically, *verifying* each regenerated transition
+//! against the WAL suffix; the recovered [`ServeReport`] is
+//! byte-identical to an uncrashed run's.
+//!
+//! # Lease-based liveness
+//!
+//! With [`ServeConfig::lease`] set, every GPU holds a heartbeated lease.
+//! A [`crate::faults::SilentWorkerFault`] stops a worker's heartbeats
+//! without any failure event; once the lease times out the scheduler
+//! expires it ([`QueueScheduler::on_lease_expired`]), requeues the
+//! worker's in-flight job with capped exponential backoff, and stops
+//! dispatching to the GPU until heartbeats resume
+//! ([`QueueScheduler::on_gpu_recovery`]). Jobs requeued more than
+//! `max_requeues` times are counted lost.
 //!
 //! Decision-latency p50/p99 (via [`Histogram::quantile`]) and
 //! decisions/sec are first-class [`MetricsRegistry`] series. Everything
@@ -28,10 +54,15 @@
 //! scheduler produce byte-identical reports.
 
 use crate::admission::{
-    AdmissionConfig, AdmissionController, AdmissionCounters, BudgetController, PendingJob,
-    PressureCurve, TenantId,
+    AdmissionConfig, AdmissionController, AdmissionCounters, AdmissionOutcome, BudgetController,
+    PendingJob, PressureCurve, RejectReason, TenantId,
 };
+use crate::faults::{SchedulerCrash, ServeFaultPlan};
 use crate::metrics::{push_f64, push_json_str};
+use crate::recovery::{
+    crc32, dead_at, dead_during, f64_from_hex, f64_hex, last_heartbeat, LeaseConfig, RecoveryError,
+    RecoveryStats, WalFile, WalOptions, WalSession,
+};
 use crate::registry::{Histogram, MetricsRegistry};
 use hare_cluster::{Cluster, SimDuration, SimTime};
 use hare_workload::{ArrivalStream, OpenArrival, OpenArrivalConfig};
@@ -65,6 +96,28 @@ pub trait QueueScheduler {
     /// `cluster`, spending at most `budget_frac` of the full solve
     /// budget.
     fn plan(&mut self, window: &[&PendingJob], cluster: &Cluster, budget_frac: f64) -> PlanOutcome;
+
+    /// Scheduler-private state for crash snapshots, as one line using
+    /// only `:,|` separators (it nests inside the snapshot's `;`/`=`
+    /// framing). Stateless schedulers (the default) return `""`; a
+    /// scheduler whose plans depend on mutable state (e.g. the ladder's
+    /// stale-plan cache) must round-trip it here or recovery will
+    /// diverge.
+    fn save_state(&self) -> String {
+        String::new()
+    }
+
+    /// Restore the state produced by [`QueueScheduler::save_state`].
+    fn load_state(&mut self, _state: &str) {}
+
+    /// GPU `gpu`'s lease expired: it stopped heartbeating and is out of
+    /// service until further notice. Its in-flight job (if any) is
+    /// requeued by the loop itself.
+    fn on_lease_expired(&mut self, _gpu: usize) {}
+
+    /// GPU `gpu` resumed heartbeating after an expiry and rejoined the
+    /// dispatchable set.
+    fn on_gpu_recovery(&mut self, _gpu: usize) {}
 }
 
 /// Configuration of one serve run.
@@ -92,6 +145,11 @@ pub struct ServeConfig {
     pub cost_per_work: f64,
     /// Recent-decision window feeding the pressure controller's p99.
     pub latency_window: usize,
+    /// Lease-based worker liveness; `None` trusts every GPU forever
+    /// (required `Some` to inject silent-worker faults).
+    pub lease: Option<LeaseConfig>,
+    /// Injected failures (silent worker deaths, a scheduler crash).
+    pub faults: ServeFaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +164,8 @@ impl Default for ServeConfig {
             plan_window: 16,
             cost_per_work: 1e-5,
             latency_window: 64,
+            lease: None,
+            faults: ServeFaultPlan::default(),
         }
     }
 }
@@ -125,6 +185,8 @@ impl ServeConfig {
 const LATENCY_BUCKETS_SECS: [f64; 9] = [0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 20.0, 60.0];
 /// Queue-wait histogram buckets (seconds).
 const WAIT_BUCKETS_SECS: [f64; 8] = [1.0, 10.0, 60.0, 300.0, 900.0, 3600.0, 14400.0, 86400.0];
+/// Snapshot format version (bump on incompatible encoding changes).
+const SNAPSHOT_VERSION: u32 = 1;
 
 /// Final report of one serve run.
 #[derive(Clone, Debug, PartialEq)]
@@ -133,7 +195,9 @@ pub struct ServeReport {
     pub scheme: String,
     /// Simulated instant the loop finished draining.
     pub end: SimTime,
-    /// Admission conservation counters at the end of the run.
+    /// Admission conservation counters at the end of the run (the
+    /// `drained` / `shed` split lives here: `drained` is the graceful
+    /// wind-down residue, `shed` genuine overload loss).
     pub counters: AdmissionCounters,
     /// Jobs that finished service.
     pub completed: u64,
@@ -147,7 +211,7 @@ pub struct ServeReport {
     pub rung_hits: BTreeMap<String, u64>,
     /// Peak pending-queue depth.
     pub queue_depth_max: usize,
-    /// Pending-queue depth when the drain began (all shed).
+    /// Pending-queue depth when the drain began (all drained).
     pub queue_depth_at_drain: usize,
     /// Deepest solver-budget level the controller reached.
     pub min_budget_level: f64,
@@ -156,6 +220,15 @@ pub struct ServeReport {
     /// Mean completion time of finished jobs (arrival → service end),
     /// seconds; zero when nothing completed.
     pub mean_jct_secs: f64,
+    /// Jobs requeued after a lease expiry (entries into the backoff
+    /// pool; one job can contribute several times).
+    pub requeued: u64,
+    /// Lease expiries across the run.
+    pub lease_expiries: u64,
+    /// Lease rejoins (heartbeats resumed after an expiry).
+    pub lease_rejoins: u64,
+    /// Jobs dropped after exceeding the lease requeue budget.
+    pub lease_lost: u64,
     /// Every figure above (plus the queue-wait histogram) as registry
     /// series, for uniform JSON export.
     pub metrics: MetricsRegistry,
@@ -181,6 +254,11 @@ impl ServeReport {
             self.completed,
             self.decisions,
         );
+        let _ = write!(
+            s,
+            ",\"drained\":{},\"shed\":{},\"requeued\":{},\"lease_lost\":{}",
+            self.counters.drained, self.counters.shed, self.requeued, self.lease_lost,
+        );
         s.push_str(",\"decision_latency_p50\":");
         push_f64(&mut s, self.latency_quantile(0.5).unwrap_or(f64::NAN));
         s.push_str(",\"decision_latency_p99\":");
@@ -197,8 +275,112 @@ impl ServeReport {
 /// A dispatched job in service on one GPU.
 #[derive(Clone, Debug)]
 struct Running {
+    job: PendingJob,
+    started: SimTime,
+    /// Completion instant; [`SimTime::MAX`] for a zombie whose worker
+    /// died mid-service (the completion was suppressed; the lease
+    /// machinery will requeue it).
     done_at: SimTime,
-    arrival: SimTime,
+    /// Requeue attempts this job has already been through.
+    requeues: u32,
+}
+
+/// A job waiting out its requeue backoff after a lease expiry.
+#[derive(Clone, Debug)]
+struct PoolEntry {
+    job: PendingJob,
+    ready_at: SimTime,
+    requeues: u32,
+}
+
+/// The complete, snapshotable state of one serve run — everything
+/// [`ServeLoop::drive`] mutates. Encoding this (plus the arrival-stream
+/// cursor and scheduler-private state) *is* the crash snapshot.
+struct ServeState {
+    now: SimTime,
+    /// Decision epochs processed (1-based once the first epoch runs).
+    epoch_index: u64,
+    admission: AdmissionController,
+    budget: BudgetController,
+    running: Vec<Option<Running>>,
+    /// Per-GPU "lease currently expired" flags.
+    lease_expired: Vec<bool>,
+    /// Requeue backoff pool, FIFO.
+    pool: Vec<PoolEntry>,
+    /// Requeue counts of readmitted jobs, keyed by their fresh queue
+    /// seq; read back (and dropped) when the job dispatches.
+    requeue_tags: BTreeMap<u64, u32>,
+    latency_hist: Histogram,
+    wait_hist: Histogram,
+    recent: Vec<f64>,
+    recent_at: usize,
+    decisions: u64,
+    rung_hits: BTreeMap<String, u64>,
+    completed: u64,
+    jct_sum: f64,
+    depth_max: usize,
+    depth_at_drain: usize,
+    work_total: u64,
+    requeued: u64,
+    lease_expiries: u64,
+    lease_rejoins: u64,
+    lease_lost: u64,
+}
+
+/// Log one WAL transition, formatting only when a session is attached
+/// (plain runs pay nothing).
+fn wal_log(
+    session: &mut Option<&mut WalSession<'_>>,
+    f: impl FnOnce() -> String,
+) -> Result<(), RecoveryError> {
+    match session {
+        Some(s) => s.log(&f()),
+        None => Ok(()),
+    }
+}
+
+/// One-letter admission outcome code for `arr` WAL records.
+fn outcome_code(o: AdmissionOutcome) -> String {
+    match o {
+        AdmissionOutcome::Admitted => "a".to_string(),
+        AdmissionOutcome::Deferred { retry_at } => format!("d{}", retry_at.as_micros()),
+        AdmissionOutcome::Rejected(RejectReason::RateLimited) => "rl".to_string(),
+        AdmissionOutcome::Rejected(RejectReason::QueueFull) => "qf".to_string(),
+        AdmissionOutcome::Rejected(RejectReason::Draining) => "dr".to_string(),
+    }
+}
+
+/// Route a job coming off a dead worker: drained if the run is winding
+/// down, lost if it exhausted its requeue budget, otherwise into the
+/// backoff pool.
+fn requeue_job(
+    st: &mut ServeState,
+    session: &mut Option<&mut WalSession<'_>>,
+    lease: &LeaseConfig,
+    now: SimTime,
+    job: PendingJob,
+    prev_requeues: u32,
+) -> Result<(), RecoveryError> {
+    let id = job.spec.id.0;
+    if st.admission.is_draining() {
+        st.admission.count_drained(1);
+        wal_log(session, || format!("dreq {id}"))?;
+    } else if prev_requeues >= lease.max_requeues {
+        st.lease_lost += 1;
+        wal_log(session, || format!("lost {id}"))?;
+    } else {
+        let ready_at = now + lease.backoff(prev_requeues);
+        st.requeued += 1;
+        wal_log(session, || {
+            format!("req {id} {} {prev_requeues}", ready_at.as_micros())
+        })?;
+        st.pool.push(PoolEntry {
+            job,
+            ready_at,
+            requeues: prev_requeues + 1,
+        });
+    }
+    Ok(())
 }
 
 /// The continuous-service loop.
@@ -217,6 +399,17 @@ impl ServeLoop {
             "cost_per_work must be non-negative and finite"
         );
         assert!(cfg.latency_window > 0, "empty latency window");
+        if let Some(lease) = &cfg.lease {
+            if let Err(e) = lease.validate() {
+                panic!("invalid lease config: {e}");
+            }
+        }
+        if let Err(e) = cfg
+            .faults
+            .validate(cluster.gpu_count(), cfg.lease.is_some())
+        {
+            panic!("invalid serve fault plan: {e}");
+        }
         ServeLoop { cluster, cfg }
     }
 
@@ -226,6 +419,57 @@ impl ServeLoop {
     fn service_time(&self, job: &hare_workload::JobSpec, gpu: usize) -> SimDuration {
         let kind = self.cluster.gpus()[gpu].kind;
         SimDuration::from_millis_f64(job.task_ms(kind) * job.task_count() as f64)
+    }
+
+    /// Silent-death windows per GPU, sorted by open instant.
+    fn death_windows(&self) -> Vec<Vec<(SimTime, Option<SimTime>)>> {
+        let mut w = vec![Vec::new(); self.cluster.gpu_count()];
+        for f in &self.cfg.faults.silent_workers {
+            w[f.gpu].push((f.from, f.until));
+        }
+        for v in &mut w {
+            v.sort_by_key(|&(from, _)| from);
+        }
+        w
+    }
+
+    /// CRC fingerprint of everything that must match between the run
+    /// that wrote a snapshot and the run recovering from it. The crash
+    /// injection is excluded: recovery deliberately strips it.
+    fn fingerprint(&self, scheme: &str) -> u32 {
+        let mut cfg = self.cfg.clone();
+        cfg.faults.crash = None;
+        let kinds: Vec<_> = self.cluster.gpus().iter().map(|g| g.kind).collect();
+        crc32(format!("{SNAPSHOT_VERSION}|{scheme}|{cfg:?}|{kinds:?}").as_bytes())
+    }
+
+    fn fresh_state(&self) -> ServeState {
+        let n = self.cluster.gpu_count();
+        ServeState {
+            now: SimTime::ZERO,
+            epoch_index: 0,
+            admission: AdmissionController::new(self.cfg.admission.clone()),
+            budget: BudgetController::new(self.cfg.pressure, self.cfg.ascend_dwell),
+            running: vec![None; n],
+            lease_expired: vec![false; n],
+            pool: Vec::new(),
+            requeue_tags: BTreeMap::new(),
+            latency_hist: Histogram::new(&LATENCY_BUCKETS_SECS),
+            wait_hist: Histogram::new(&WAIT_BUCKETS_SECS),
+            recent: Vec::with_capacity(self.cfg.latency_window),
+            recent_at: 0,
+            decisions: 0,
+            rung_hits: BTreeMap::new(),
+            completed: 0,
+            jct_sum: 0.0,
+            depth_max: 0,
+            depth_at_drain: 0,
+            work_total: 0,
+            requeued: 0,
+            lease_expiries: 0,
+            lease_rejoins: 0,
+            lease_lost: 0,
+        }
     }
 
     /// Run to drain with no external stop signal.
@@ -239,163 +483,458 @@ impl ServeLoop {
     /// long per decision epoch in *wall-clock* time — live-service pacing
     /// so an external signal can land mid-run; `None` runs flat out.
     /// Pacing ends once draining: the drain itself is pure simulation.
+    ///
+    /// Panics on an injected [`SchedulerCrash`] — crashing without a WAL
+    /// leaves nothing to recover; use [`ServeLoop::run_with_wal`].
     pub fn run_with_stop(
         &self,
         scheduler: &mut dyn QueueScheduler,
         stop: &AtomicBool,
         pace: Option<std::time::Duration>,
     ) -> ServeReport {
+        let mut st = self.fresh_state();
+        let mut stream = self.cfg.arrivals.stream();
+        let mut next_arrival = stream.next().filter(|a| a.spec.arrival < self.cfg.horizon);
+        match self.drive(
+            scheduler,
+            &mut st,
+            &mut stream,
+            &mut next_arrival,
+            None,
+            self.cfg.faults.crash,
+            1,
+            stop,
+            pace,
+        ) {
+            Ok(()) => self.finish(scheduler, st),
+            Err(e) => panic!("serve run failed without a WAL: {e}"),
+        }
+    }
+
+    /// Run with write-ahead logging: every transition is journaled to
+    /// `wal.path`, group-committed at epoch boundaries, and every
+    /// `wal.snapshot_every` epochs the log is compacted into a full
+    /// state snapshot. An injected [`SchedulerCrash`] (or a real kill)
+    /// leaves a WAL that [`ServeLoop::recover`] resumes from.
+    pub fn run_with_wal(
+        &self,
+        scheduler: &mut dyn QueueScheduler,
+        wal: &WalOptions,
+        stop: &AtomicBool,
+        pace: Option<std::time::Duration>,
+    ) -> Result<ServeReport, RecoveryError> {
+        assert!(wal.snapshot_every >= 1, "snapshot_every must be ≥ 1");
+        let mut file = WalFile::create(&wal.path)?;
+        let mut session = WalSession::new(&mut file, Vec::new());
+        let mut st = self.fresh_state();
+        let mut stream = self.cfg.arrivals.stream();
+        let mut next_arrival = stream.next().filter(|a| a.spec.arrival < self.cfg.horizon);
+        // Initial snapshot: recovery works from the first record on.
+        let blob = self.encode_snapshot(
+            &st,
+            &scheduler.save_state(),
+            scheduler.name(),
+            stream.cursor(),
+            next_arrival.is_some(),
+        );
+        session.snapshot(&blob)?;
+        self.drive(
+            scheduler,
+            &mut st,
+            &mut stream,
+            &mut next_arrival,
+            Some(&mut session),
+            self.cfg.faults.crash,
+            wal.snapshot_every,
+            stop,
+            pace,
+        )?;
+        Ok(self.finish(scheduler, st))
+    }
+
+    /// Recover a crashed (or completed) WAL-logged run: load the last
+    /// valid snapshot, re-execute deterministically while verifying
+    /// every regenerated transition against the WAL suffix, then keep
+    /// serving live. The returned report is byte-identical to what an
+    /// uncrashed run would have produced. Any injected crash in the
+    /// config is ignored — recovery must not crash again.
+    pub fn recover(
+        &self,
+        scheduler: &mut dyn QueueScheduler,
+        wal: &WalOptions,
+        stop: &AtomicBool,
+        pace: Option<std::time::Duration>,
+    ) -> Result<(ServeReport, RecoveryStats), RecoveryError> {
+        assert!(wal.snapshot_every >= 1, "snapshot_every must be ≥ 1");
+        let (mut file, blob, suffix) = WalFile::open_for_recovery(&wal.path)?;
+        let (mut st, sched_state, cursor, buffered) =
+            self.decode_snapshot(&blob, self.fingerprint(scheduler.name()))?;
+        scheduler.load_state(&sched_state);
+
+        // Resume the arrival stream at the snapshot's cursor. The last
+        // draw is re-drawn (same seed ⇒ same value) so the horizon
+        // filter re-applies; a draining snapshot pinned arrivals off.
+        let mut stream = self.cfg.arrivals.stream();
+        let mut next_arrival = if st.admission.is_draining() {
+            stream.fast_forward(cursor);
+            None
+        } else {
+            if cursor == 0 {
+                return Err(RecoveryError::Corrupt {
+                    line: 0,
+                    why: "arrival cursor 0 in a non-draining snapshot".to_string(),
+                });
+            }
+            stream.fast_forward(cursor - 1);
+            stream.next().filter(|a| a.spec.arrival < self.cfg.horizon)
+        };
+        if !st.admission.is_draining() && next_arrival.is_some() != buffered {
+            return Err(RecoveryError::Corrupt {
+                line: 0,
+                why: "arrival stream does not reproduce the snapshot's buffered arrival"
+                    .to_string(),
+            });
+        }
+
+        let resumed_at = st.now;
+        let mut session = WalSession::new(&mut file, suffix);
+        self.drive(
+            scheduler,
+            &mut st,
+            &mut stream,
+            &mut next_arrival,
+            Some(&mut session),
+            None, // recovery strips the injected crash
+            wal.snapshot_every,
+            stop,
+            pace,
+        )?;
+        let stats = RecoveryStats {
+            resumed_at,
+            replayed: session.replayed(),
+        };
+        Ok((self.finish(scheduler, st), stats))
+    }
+
+    /// The event loop proper, shared by fresh, WAL-logged, and
+    /// recovering runs. With a session attached every transition is
+    /// logged (verified while the replay suffix lasts, appended after);
+    /// wall-clock pacing and the external stop flag are suppressed
+    /// during replay — the WAL already knows what happened.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &self,
+        scheduler: &mut dyn QueueScheduler,
+        st: &mut ServeState,
+        stream: &mut ArrivalStream,
+        next_arrival: &mut Option<OpenArrival>,
+        mut session: Option<&mut WalSession<'_>>,
+        crash: Option<SchedulerCrash>,
+        snapshot_every: u64,
+        stop: &AtomicBool,
+        pace: Option<std::time::Duration>,
+    ) -> Result<(), RecoveryError> {
         let horizon = self.cfg.horizon;
-        let mut admission = AdmissionController::new(self.cfg.admission.clone());
-        let mut budget = BudgetController::new(self.cfg.pressure, self.cfg.ascend_dwell);
-        let mut stream: ArrivalStream = self.cfg.arrivals.stream();
-        // The stream is infinite; the horizon truncates it lazily.
-        let mut next_arrival: Option<OpenArrival> =
-            stream.next().filter(|a| a.spec.arrival < horizon);
-
         let n_gpus = self.cluster.gpu_count();
-        let mut running: Vec<Option<Running>> = vec![None; n_gpus];
-        let mut now = SimTime::ZERO;
-        let mut epoch = now + self.cfg.decision_interval;
-
-        let mut latency_hist = Histogram::new(&LATENCY_BUCKETS_SECS);
-        let mut wait_hist = Histogram::new(&WAIT_BUCKETS_SECS);
-        let mut recent: Vec<f64> = Vec::with_capacity(self.cfg.latency_window);
-        let mut recent_at = 0usize;
-        let mut decisions = 0u64;
-        let mut rung_hits: BTreeMap<String, u64> = BTreeMap::new();
-        let mut completed = 0u64;
-        let mut jct_sum = 0.0f64;
-        let mut depth_max = 0usize;
-        let mut depth_at_drain = 0usize;
-        let mut work_total = 0u64;
+        let deaths = self.death_windows();
+        let mut epoch = st.now + self.cfg.decision_interval;
+        let mut finished = false;
 
         loop {
             // Next event: arrival (until drain), completion, or epoch.
-            let next_completion = running
+            let next_completion = st
+                .running
                 .iter()
                 .flatten()
                 .map(|r| r.done_at)
                 .min()
                 .unwrap_or(SimTime::MAX);
-            let arrival_t = match (&next_arrival, admission.is_draining()) {
+            let arrival_t = match (&next_arrival, st.admission.is_draining()) {
                 (Some(a), false) => a.spec.arrival,
                 _ => SimTime::MAX,
             };
 
             if arrival_t <= next_completion && arrival_t <= epoch {
-                now = arrival_t;
+                st.now = arrival_t;
                 let a = next_arrival.take().expect("arrival_t was finite");
-                admission.offer(now, TenantId(a.tenant), a.spec);
-                depth_max = depth_max.max(admission.depth());
-                next_arrival = stream.next().filter(|n| n.spec.arrival < horizon);
+                let id = a.spec.id.0;
+                let outcome = st.admission.offer(st.now, TenantId(a.tenant), a.spec);
+                wal_log(&mut session, || {
+                    format!("arr {id} {}", outcome_code(outcome))
+                })?;
+                st.depth_max = st.depth_max.max(st.admission.depth());
+                *next_arrival = stream.next().filter(|n| n.spec.arrival < horizon);
                 continue;
             }
             if next_completion <= epoch {
-                now = next_completion;
-                for slot in running.iter_mut() {
-                    if slot.as_ref().is_some_and(|r| r.done_at == now) {
-                        let r = slot.take().expect("checked is_some");
-                        completed += 1;
-                        jct_sum += now.saturating_since(r.arrival).as_secs_f64();
+                st.now = next_completion;
+                for (gpu, gpu_deaths) in deaths.iter().enumerate() {
+                    if st.running[gpu]
+                        .as_ref()
+                        .is_some_and(|r| r.done_at == st.now)
+                    {
+                        let r = st.running[gpu].take().expect("checked is_some");
+                        let id = r.job.spec.id.0;
+                        if self.cfg.lease.is_some() && dead_during(r.started, st.now, gpu_deaths) {
+                            // The worker died mid-service: no completion
+                            // happened. Park the job as a zombie; the
+                            // lease machinery requeues it.
+                            wal_log(&mut session, || {
+                                format!("zomb {gpu} {id} {}", st.now.as_micros())
+                            })?;
+                            st.running[gpu] = Some(Running {
+                                done_at: SimTime::MAX,
+                                ..r
+                            });
+                        } else {
+                            st.completed += 1;
+                            st.jct_sum += st.now.saturating_since(r.job.spec.arrival).as_secs_f64();
+                            wal_log(&mut session, || {
+                                format!("comp {gpu} {id} {}", st.now.as_micros())
+                            })?;
+                        }
                     }
                 }
                 continue;
             }
 
             // Decision epoch.
-            now = epoch;
+            st.now = epoch;
             epoch += self.cfg.decision_interval;
+            st.epoch_index += 1;
+
+            // Injected crash: die at the top of the epoch, leaving the
+            // buffered (un-fsynced) WAL tail to be regenerated by
+            // recovery — exactly what a real kill loses.
+            if let Some(c) = crash {
+                if st.epoch_index == c.at_epoch {
+                    return Err(RecoveryError::InjectedCrash { at: st.now });
+                }
+            }
+
+            let replaying = session.as_ref().is_some_and(|s| s.replaying());
             if let Some(d) = pace {
-                if !admission.is_draining() {
+                if !st.admission.is_draining() && !replaying {
                     std::thread::sleep(d);
                 }
             }
-            let drain_due = stop.load(Ordering::SeqCst) || next_arrival.is_none();
-            if drain_due && !admission.is_draining() {
-                // Graceful drain: stop admitting, shed the pending queue,
-                // let in-flight jobs finish.
-                depth_at_drain = admission.depth();
-                admission.begin_drain();
-                let _ = admission.shed_all();
-                next_arrival = None;
-            }
-            if admission.is_draining() {
-                if running.iter().all(Option::is_none) {
-                    break;
+
+            'epoch: {
+                // Lease maintenance: expiries, rejoins, and jobs whose
+                // worker is known to have died under them.
+                if let Some(lease) = &self.cfg.lease {
+                    for (gpu, gpu_deaths) in deaths.iter().enumerate() {
+                        let lh = last_heartbeat(st.now, lease.heartbeat, gpu_deaths)
+                            .unwrap_or(SimTime::ZERO);
+                        let live = st.now.saturating_since(lh) <= lease.timeout;
+                        if st.lease_expired[gpu] {
+                            if live {
+                                st.lease_expired[gpu] = false;
+                                st.lease_rejoins += 1;
+                                scheduler.on_gpu_recovery(gpu);
+                                wal_log(&mut session, || format!("rejoin {gpu}"))?;
+                            }
+                        } else if !live {
+                            st.lease_expired[gpu] = true;
+                            st.lease_expiries += 1;
+                            scheduler.on_lease_expired(gpu);
+                            wal_log(&mut session, || format!("exp {gpu}"))?;
+                            if let Some(r) = st.running[gpu].take() {
+                                requeue_job(st, &mut session, lease, st.now, r.job, r.requeues)?;
+                            }
+                        }
+                        // A revived worker's heartbeat reveals it lost
+                        // its job even if the lease never lapsed.
+                        let doomed = st.running[gpu].as_ref().is_some_and(|r| {
+                            !dead_at(st.now, gpu_deaths)
+                                && dead_during(r.started, st.now, gpu_deaths)
+                        });
+                        if doomed {
+                            let r = st.running[gpu].take().expect("checked some");
+                            wal_log(&mut session, || format!("wlost {gpu} {}", r.job.spec.id.0))?;
+                            requeue_job(st, &mut session, lease, st.now, r.job, r.requeues)?;
+                        }
+                    }
                 }
-                continue;
-            }
 
-            admission.poll(now);
-            depth_max = depth_max.max(admission.depth());
-
-            // Backpressure: depth + recent decision-latency p99 → budget.
-            let p99 = if recent.is_empty() {
-                0.0
-            } else {
-                let mut v = recent.clone();
-                v.sort_by(f64::total_cmp);
-                v[((v.len() as f64 * 0.99).ceil() as usize).clamp(1, v.len()) - 1]
-            };
-            let frac = budget.update(admission.depth(), p99);
-
-            let mut idle: Vec<usize> = (0..n_gpus).filter(|&g| running[g].is_none()).collect();
-            if idle.is_empty() || admission.depth() == 0 {
-                continue;
-            }
-
-            // Plan over the fair-queue head window.
-            let window = admission.peek_window(self.cfg.plan_window);
-            let window_seqs: Vec<u64> = window.iter().map(|p| p.seq).collect();
-            let outcome = scheduler.plan(&window, &self.cluster, frac);
-            let latency_secs = outcome.work as f64 * self.cfg.cost_per_work;
-            let latency = SimDuration::from_secs_f64(latency_secs);
-            decisions += 1;
-            work_total += outcome.work;
-            latency_hist.record(latency_secs);
-            if recent.len() < self.cfg.latency_window {
-                recent.push(latency_secs);
-            } else {
-                recent[recent_at] = latency_secs;
-                recent_at = (recent_at + 1) % self.cfg.latency_window;
-            }
-            *rung_hits.entry(outcome.rung.to_string()).or_insert(0) += 1;
-
-            // Dispatch in plan order: each job onto the idle GPU that
-            // serves it fastest; decision latency is charged up front.
-            let mut seen = vec![false; window_seqs.len()];
-            for &wi in &outcome.order {
-                if idle.is_empty() {
-                    break;
+                // Drain: an external stop (live only — replay re-learns
+                // it from the WAL's own drain record) or arrival
+                // exhaustion.
+                let stop_now = !replaying && stop.load(Ordering::SeqCst);
+                let logged_drain = replaying
+                    && session
+                        .as_ref()
+                        .is_some_and(|s| s.peek_drain_at(st.now.as_micros()));
+                let drain_due = stop_now || next_arrival.is_none() || logged_drain;
+                if drain_due && !st.admission.is_draining() {
+                    st.depth_at_drain = st.admission.depth();
+                    st.admission.begin_drain();
+                    let q = st.admission.drain_all().len();
+                    let p = st.pool.len();
+                    st.admission.count_drained(p as u64);
+                    st.pool.clear();
+                    st.requeue_tags.clear();
+                    *next_arrival = None;
+                    wal_log(&mut session, || {
+                        format!("drain {} {q} {p}", st.now.as_micros())
+                    })?;
                 }
-                assert!(
-                    wi < window_seqs.len() && !std::mem::replace(&mut seen[wi], true),
-                    "scheduler returned an invalid dispatch order"
-                );
-                let job = admission
-                    .take(window_seqs[wi])
-                    .expect("window entries stay live until taken");
-                let (pos, &gpu) = idle
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &g)| (self.service_time(&job.spec, g), g))
-                    .expect("idle is non-empty: checked above");
-                idle.remove(pos);
-                wait_hist.record(now.saturating_since(job.admitted_at).as_secs_f64());
-                let done_at = now + latency + self.service_time(&job.spec, gpu);
-                running[gpu] = Some(Running {
-                    done_at,
-                    arrival: job.spec.arrival,
-                });
+                if st.admission.is_draining() {
+                    if st.running.iter().all(Option::is_none) && st.pool.is_empty() {
+                        finished = true;
+                    }
+                    break 'epoch;
+                }
+
+                // Ripened requeues re-enter the fair queue (FIFO).
+                let mut i = 0;
+                while i < st.pool.len() {
+                    if st.pool[i].ready_at <= st.now {
+                        let e = st.pool.remove(i);
+                        let id = e.job.spec.id.0;
+                        let seq = st.admission.readmit(e.job);
+                        st.requeue_tags.insert(seq, e.requeues);
+                        st.depth_max = st.depth_max.max(st.admission.depth());
+                        wal_log(&mut session, || format!("readd {id} {seq}"))?;
+                    } else {
+                        i += 1;
+                    }
+                }
+
+                st.admission.poll(st.now);
+                st.depth_max = st.depth_max.max(st.admission.depth());
+                let c = st.admission.counters();
+                wal_log(&mut session, || {
+                    format!(
+                        "ep {} {} {} {} {} {}",
+                        st.epoch_index,
+                        st.now.as_micros(),
+                        c.offered,
+                        c.admitted,
+                        c.rejected(),
+                        st.admission.depth()
+                    )
+                })?;
+
+                // Backpressure: depth + recent decision-latency p99 →
+                // budget.
+                let p99 = if st.recent.is_empty() {
+                    0.0
+                } else {
+                    let mut v = st.recent.clone();
+                    v.sort_by(f64::total_cmp);
+                    v[((v.len() as f64 * 0.99).ceil() as usize).clamp(1, v.len()) - 1]
+                };
+                let before = st.budget.level_idx();
+                let frac = st.budget.update(st.admission.depth(), p99);
+                if st.budget.level_idx() != before {
+                    wal_log(&mut session, || format!("budget {}", st.budget.level_idx()))?;
+                }
+
+                let mut idle: Vec<usize> = (0..n_gpus)
+                    .filter(|&g| st.running[g].is_none() && !st.lease_expired[g])
+                    .collect();
+                if idle.is_empty() || st.admission.depth() == 0 {
+                    break 'epoch;
+                }
+
+                // Plan over the fair-queue head window.
+                let window = st.admission.peek_window(self.cfg.plan_window);
+                let window_seqs: Vec<u64> = window.iter().map(|p| p.seq).collect();
+                let outcome = scheduler.plan(&window, &self.cluster, frac);
+                let latency_secs = outcome.work as f64 * self.cfg.cost_per_work;
+                let latency = SimDuration::from_secs_f64(latency_secs);
+                st.decisions += 1;
+                st.work_total += outcome.work;
+                st.latency_hist.record(latency_secs);
+                if st.recent.len() < self.cfg.latency_window {
+                    st.recent.push(latency_secs);
+                } else {
+                    st.recent[st.recent_at] = latency_secs;
+                    st.recent_at = (st.recent_at + 1) % self.cfg.latency_window;
+                }
+                *st.rung_hits.entry(outcome.rung.to_string()).or_insert(0) += 1;
+                wal_log(&mut session, || {
+                    format!("plan {} {}", outcome.rung, outcome.work)
+                })?;
+
+                // Dispatch in plan order: each job onto the idle GPU
+                // that serves it fastest; decision latency is charged
+                // up front.
+                let mut seen = vec![false; window_seqs.len()];
+                for &wi in &outcome.order {
+                    if idle.is_empty() {
+                        break;
+                    }
+                    assert!(
+                        wi < window_seqs.len() && !std::mem::replace(&mut seen[wi], true),
+                        "scheduler returned an invalid dispatch order"
+                    );
+                    let job = st
+                        .admission
+                        .take(window_seqs[wi])
+                        .expect("window entries stay live until taken");
+                    let requeues = st.take_requeue_tag(job.seq);
+                    let (pos, &gpu) = idle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &g)| (self.service_time(&job.spec, g), g))
+                        .expect("idle is non-empty: checked above");
+                    idle.remove(pos);
+                    st.wait_hist
+                        .record(st.now.saturating_since(job.admitted_at).as_secs_f64());
+                    let done_at = st.now + latency + self.service_time(&job.spec, gpu);
+                    wal_log(&mut session, || {
+                        format!("disp {} {gpu} {}", job.spec.id.0, done_at.as_micros())
+                    })?;
+                    st.running[gpu] = Some(Running {
+                        job,
+                        started: st.now,
+                        done_at,
+                        requeues,
+                    });
+                }
+            }
+
+            // Epoch postlude: snapshot (compacting the log) on cadence,
+            // group-commit otherwise. Both are no-ops during replay.
+            if session.is_some() && !finished {
+                if st.epoch_index.is_multiple_of(snapshot_every) {
+                    let blob = self.encode_snapshot(
+                        st,
+                        &scheduler.save_state(),
+                        scheduler.name(),
+                        stream.cursor(),
+                        next_arrival.is_some(),
+                    );
+                    if let Some(s) = session.as_deref_mut() {
+                        s.snapshot(&blob)?;
+                    }
+                } else if let Some(s) = session.as_deref_mut() {
+                    s.commit()?;
+                }
+            }
+            if finished {
+                break;
             }
         }
 
-        let counters = admission.counters();
-        let elapsed = now.as_secs_f64().max(1e-9);
-        let decisions_per_sec = decisions as f64 / elapsed;
-        let mean_jct_secs = if completed > 0 {
-            jct_sum / completed as f64
+        wal_log(&mut session, || {
+            format!("end {} {}", st.now.as_micros(), st.completed)
+        })?;
+        if let Some(s) = session {
+            s.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Build the final report from a drained state.
+    fn finish(&self, scheduler: &dyn QueueScheduler, st: ServeState) -> ServeReport {
+        let counters = st.admission.counters();
+        let elapsed = st.now.as_secs_f64().max(1e-9);
+        let decisions_per_sec = st.decisions as f64 / elapsed;
+        let mean_jct_secs = if st.completed > 0 {
+            st.jct_sum / st.completed as f64
         } else {
             0.0
         };
@@ -411,45 +950,372 @@ impl ServeLoop {
         metrics.add("serve.rejected_draining", counters.rejected_draining);
         metrics.add("serve.deferrals", counters.deferrals);
         metrics.add("serve.shed", counters.shed);
-        metrics.add("serve.completed", completed);
-        metrics.add("serve.decisions", decisions);
-        metrics.add("serve.decision_work", work_total);
-        metrics.add("serve.queue_depth_max", depth_max as u64);
+        metrics.add("serve.drained", counters.drained);
+        metrics.add("serve.readmitted", counters.readmitted);
+        metrics.add("serve.completed", st.completed);
+        metrics.add("serve.decisions", st.decisions);
+        metrics.add("serve.decision_work", st.work_total);
+        metrics.add("serve.queue_depth_max", st.depth_max as u64);
+        metrics.add("serve.requeued", st.requeued);
+        metrics.add("serve.lease_expiries", st.lease_expiries);
+        metrics.add("serve.lease_rejoins", st.lease_rejoins);
+        metrics.add("serve.lease_lost", st.lease_lost);
         metrics.set_gauge("serve.decisions_per_sec", decisions_per_sec);
         metrics.set_gauge(
             "serve.decision_latency_p50",
-            latency_hist.quantile(0.5).unwrap_or(0.0),
+            st.latency_hist.quantile(0.5).unwrap_or(0.0),
         );
         metrics.set_gauge(
             "serve.decision_latency_p99",
-            latency_hist.quantile(0.99).unwrap_or(0.0),
+            st.latency_hist.quantile(0.99).unwrap_or(0.0),
         );
-        metrics.set_gauge("serve.min_budget_level", budget.min_level());
-        metrics.set_gauge("serve.budget_transitions", budget.transitions() as f64);
+        metrics.set_gauge("serve.min_budget_level", st.budget.min_level());
+        metrics.set_gauge("serve.budget_transitions", st.budget.transitions() as f64);
         metrics.set_gauge("serve.mean_jct_secs", mean_jct_secs);
-        for (rung, hits) in &rung_hits {
+        for (rung, hits) in &st.rung_hits {
             metrics.add(&format!("serve.rung.{rung}"), *hits);
         }
-        metrics.insert_histogram("serve.decision_latency_secs", latency_hist.clone());
-        metrics.insert_histogram("serve.queue_wait_secs", wait_hist);
+        metrics.insert_histogram("serve.decision_latency_secs", st.latency_hist.clone());
+        metrics.insert_histogram("serve.queue_wait_secs", st.wait_hist);
 
         ServeReport {
             scheme: scheduler.name().to_string(),
-            end: now,
+            end: st.now,
             counters,
-            completed,
-            decisions,
+            completed: st.completed,
+            decisions: st.decisions,
             decisions_per_sec,
-            decision_latency: latency_hist,
-            rung_hits,
-            queue_depth_max: depth_max,
-            queue_depth_at_drain: depth_at_drain,
-            min_budget_level: budget.min_level(),
-            budget_transitions: budget.transitions(),
+            decision_latency: st.latency_hist,
+            rung_hits: st.rung_hits,
+            queue_depth_max: st.depth_max,
+            queue_depth_at_drain: st.depth_at_drain,
+            min_budget_level: st.budget.min_level(),
+            budget_transitions: st.budget.transitions(),
             mean_jct_secs,
+            requeued: st.requeued,
+            lease_expiries: st.lease_expiries,
+            lease_rejoins: st.lease_rejoins,
+            lease_lost: st.lease_lost,
             metrics,
         }
     }
+
+    /// Encode the complete loop state as the single-line snapshot blob:
+    /// `;`-separated `key=value` sections, nesting the admission/budget
+    /// encodings (which use only `:,|`).
+    fn encode_snapshot(
+        &self,
+        st: &ServeState,
+        sched_state: &str,
+        scheme: &str,
+        cursor: u64,
+        buffered: bool,
+    ) -> String {
+        assert!(
+            !sched_state.contains([';', '=', ' ', '\n']),
+            "scheduler state must avoid the snapshot framing characters"
+        );
+        let mut s = String::with_capacity(1024);
+        let _ = write!(s, "v={SNAPSHOT_VERSION}");
+        let _ = write!(s, ";fp={:08x}", self.fingerprint(scheme));
+        let _ = write!(s, ";now={}", st.now.as_micros());
+        let _ = write!(s, ";ei={}", st.epoch_index);
+        let _ = write!(s, ";cur={cursor}");
+        let _ = write!(s, ";buf={}", u8::from(buffered));
+        let _ = write!(s, ";ac={}", st.admission.encode_state());
+        let _ = write!(s, ";bc={}", st.budget.encode_state());
+        s.push_str(";run=");
+        for (i, slot) in st.running.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            match slot {
+                None => s.push('-'),
+                Some(r) => {
+                    let _ = write!(
+                        s,
+                        "{}:{}:{}:{}",
+                        r.job.encode(),
+                        r.started.as_micros(),
+                        r.done_at.as_micros(),
+                        r.requeues
+                    );
+                }
+            }
+        }
+        s.push_str(";ls=");
+        for &e in &st.lease_expired {
+            s.push(if e { '1' } else { '0' });
+        }
+        s.push_str(";pool=");
+        for (i, e) in st.pool.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{}:{}",
+                e.job.encode(),
+                e.ready_at.as_micros(),
+                e.requeues
+            );
+        }
+        s.push_str(";rt=");
+        for (i, (seq, req)) in st.requeue_tags.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{seq}:{req}");
+        }
+        let _ = write!(s, ";lh={}", encode_hist(&st.latency_hist));
+        let _ = write!(s, ";wh={}", encode_hist(&st.wait_hist));
+        s.push_str(";rc=");
+        for (i, v) in st.recent.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&f64_hex(*v));
+        }
+        let _ = write!(s, ";ra={}", st.recent_at);
+        let _ = write!(
+            s,
+            ";ct={}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+            st.decisions,
+            st.completed,
+            f64_hex(st.jct_sum),
+            st.depth_max,
+            st.depth_at_drain,
+            st.work_total,
+            st.requeued,
+            st.lease_expiries,
+            st.lease_rejoins,
+            st.lease_lost
+        );
+        s.push_str(";rh=");
+        for (i, (rung, hits)) in st.rung_hits.iter().enumerate() {
+            assert!(
+                !rung.contains([':', ',', ';', '=']),
+                "rung names must avoid snapshot framing characters"
+            );
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{rung}:{hits}");
+        }
+        let _ = write!(s, ";ss={sched_state}");
+        s
+    }
+
+    /// Inverse of [`Self::encode_snapshot`]: `(state, scheduler_state,
+    /// arrival_cursor, arrival_buffered)`.
+    fn decode_snapshot(
+        &self,
+        blob: &str,
+        expected_fp: u32,
+    ) -> Result<(ServeState, String, u64, bool), RecoveryError> {
+        let corrupt = |why: String| RecoveryError::Corrupt { line: 0, why };
+        let mut map: BTreeMap<&str, &str> = BTreeMap::new();
+        for section in blob.split(';') {
+            let (k, v) = section
+                .split_once('=')
+                .ok_or_else(|| corrupt(format!("snapshot section without '=': {section:?}")))?;
+            map.insert(k, v);
+        }
+        let get = |k: &str| {
+            map.get(k)
+                .copied()
+                .ok_or_else(|| corrupt(format!("snapshot is missing section {k:?}")))
+        };
+        let pu64 = |k: &str, v: &str| {
+            v.parse::<u64>()
+                .map_err(|e| corrupt(format!("snapshot {k}={v:?}: {e}")))
+        };
+
+        let version = pu64("v", get("v")?)?;
+        if version != u64::from(SNAPSHOT_VERSION) {
+            return Err(corrupt(format!(
+                "snapshot version {version}, want {SNAPSHOT_VERSION}"
+            )));
+        }
+        let fp = u32::from_str_radix(get("fp")?, 16)
+            .map_err(|e| corrupt(format!("snapshot fingerprint: {e}")))?;
+        if fp != expected_fp {
+            return Err(RecoveryError::ConfigMismatch {
+                expected: fp,
+                got: expected_fp,
+            });
+        }
+
+        let mut st = self.fresh_state();
+        st.now = SimTime::from_micros(pu64("now", get("now")?)?);
+        st.epoch_index = pu64("ei", get("ei")?)?;
+        let cursor = pu64("cur", get("cur")?)?;
+        let buffered = match get("buf")? {
+            "0" => false,
+            "1" => true,
+            other => return Err(corrupt(format!("snapshot buf={other:?}"))),
+        };
+        st.admission = AdmissionController::decode_state(self.cfg.admission.clone(), get("ac")?)
+            .map_err(|why| corrupt(format!("admission state: {why}")))?;
+        st.budget =
+            BudgetController::decode_state(self.cfg.pressure, self.cfg.ascend_dwell, get("bc")?)
+                .map_err(|why| corrupt(format!("budget state: {why}")))?;
+
+        let n_gpus = self.cluster.gpu_count();
+        let run = get("run")?;
+        let slots: Vec<&str> = run.split(',').collect();
+        if slots.len() != n_gpus {
+            return Err(corrupt(format!(
+                "snapshot has {} running slots for a {n_gpus}-GPU cluster",
+                slots.len()
+            )));
+        }
+        for (gpu, slot) in slots.iter().enumerate() {
+            if *slot == "-" {
+                continue;
+            }
+            let f: Vec<&str> = slot.split(':').collect();
+            if f.len() != 15 {
+                return Err(corrupt(format!(
+                    "running slot {slot:?}: {} fields, want 15",
+                    f.len()
+                )));
+            }
+            let job = PendingJob::decode(&f[..12].join(":"))
+                .map_err(|why| corrupt(format!("running job: {why}")))?;
+            st.running[gpu] = Some(Running {
+                job,
+                started: SimTime::from_micros(pu64("run.started", f[12])?),
+                done_at: SimTime::from_micros(pu64("run.done", f[13])?),
+                requeues: pu64("run.requeues", f[14])? as u32,
+            });
+        }
+
+        let ls = get("ls")?;
+        if ls.len() != n_gpus || !ls.bytes().all(|b| b == b'0' || b == b'1') {
+            return Err(corrupt(format!("snapshot lease flags {ls:?}")));
+        }
+        st.lease_expired = ls.bytes().map(|b| b == b'1').collect();
+
+        let pool = get("pool")?;
+        if !pool.is_empty() {
+            for entry in pool.split(',') {
+                let f: Vec<&str> = entry.split(':').collect();
+                if f.len() != 14 {
+                    return Err(corrupt(format!(
+                        "pool entry {entry:?}: {} fields, want 14",
+                        f.len()
+                    )));
+                }
+                let job = PendingJob::decode(&f[..12].join(":"))
+                    .map_err(|why| corrupt(format!("pool job: {why}")))?;
+                st.pool.push(PoolEntry {
+                    job,
+                    ready_at: SimTime::from_micros(pu64("pool.ready", f[12])?),
+                    requeues: pu64("pool.requeues", f[13])? as u32,
+                });
+            }
+        }
+
+        let rt = get("rt")?;
+        if !rt.is_empty() {
+            for entry in rt.split(',') {
+                let (seq, req) = entry
+                    .split_once(':')
+                    .ok_or_else(|| corrupt(format!("requeue tag {entry:?}")))?;
+                st.requeue_tags
+                    .insert(pu64("rt.seq", seq)?, pu64("rt.req", req)? as u32);
+            }
+        }
+
+        st.latency_hist = decode_hist(&LATENCY_BUCKETS_SECS, get("lh")?)
+            .map_err(|why| corrupt(format!("latency histogram: {why}")))?;
+        st.wait_hist = decode_hist(&WAIT_BUCKETS_SECS, get("wh")?)
+            .map_err(|why| corrupt(format!("wait histogram: {why}")))?;
+
+        let rc = get("rc")?;
+        if !rc.is_empty() {
+            for v in rc.split(',') {
+                st.recent
+                    .push(f64_from_hex(v).ok_or_else(|| corrupt(format!("recent latency {v:?}")))?);
+            }
+        }
+        if st.recent.len() > self.cfg.latency_window {
+            return Err(corrupt(format!(
+                "snapshot recent window {} exceeds latency_window {}",
+                st.recent.len(),
+                self.cfg.latency_window
+            )));
+        }
+        st.recent_at = pu64("ra", get("ra")?)? as usize;
+
+        let ct: Vec<&str> = get("ct")?.split(':').collect();
+        let [decisions, completed, jct, depth_max, depth_at_drain, work_total, requeued, lexp, lrej, llost] =
+            ct[..]
+        else {
+            return Err(corrupt(format!(
+                "snapshot ct has {} fields, want 10",
+                ct.len()
+            )));
+        };
+        st.decisions = pu64("ct.decisions", decisions)?;
+        st.completed = pu64("ct.completed", completed)?;
+        st.jct_sum = f64_from_hex(jct).ok_or_else(|| corrupt(format!("jct sum {jct:?}")))?;
+        st.depth_max = pu64("ct.depth_max", depth_max)? as usize;
+        st.depth_at_drain = pu64("ct.depth_at_drain", depth_at_drain)? as usize;
+        st.work_total = pu64("ct.work_total", work_total)?;
+        st.requeued = pu64("ct.requeued", requeued)?;
+        st.lease_expiries = pu64("ct.lease_expiries", lexp)?;
+        st.lease_rejoins = pu64("ct.lease_rejoins", lrej)?;
+        st.lease_lost = pu64("ct.lease_lost", llost)?;
+
+        let rh = get("rh")?;
+        if !rh.is_empty() {
+            for entry in rh.split(',') {
+                let (rung, hits) = entry
+                    .split_once(':')
+                    .ok_or_else(|| corrupt(format!("rung tally {entry:?}")))?;
+                st.rung_hits.insert(rung.to_string(), pu64("rh", hits)?);
+            }
+        }
+
+        let ss = get("ss")?.to_string();
+        Ok((st, ss, cursor, buffered))
+    }
+}
+
+impl ServeState {
+    /// Requeue count carried by the readmitted queue entry `seq`; 0 for
+    /// first-time admissions.
+    fn take_requeue_tag(&mut self, seq: u64) -> u32 {
+        self.requeue_tags.remove(&seq).unwrap_or(0)
+    }
+}
+
+/// Histogram → `count:count:…:sum_bits` (bounds are compile-time
+/// constants, not encoded).
+fn encode_hist(h: &Histogram) -> String {
+    let mut s = String::with_capacity(64);
+    for c in h.counts() {
+        let _ = write!(s, "{c}:");
+    }
+    s.push_str(&f64_hex(h.sum()));
+    s
+}
+
+/// Inverse of [`encode_hist`] over the known `bounds`.
+fn decode_hist(bounds: &[f64], s: &str) -> Result<Histogram, String> {
+    let fields: Vec<&str> = s.split(':').collect();
+    let [counts @ .., sum] = &fields[..] else {
+        return Err(format!("histogram {s:?} has no fields"));
+    };
+    let counts: Vec<u64> = counts
+        .iter()
+        .map(|c| c.parse::<u64>().map_err(|e| format!("count {c:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let sum = f64_from_hex(sum).ok_or_else(|| format!("sum {sum:?}"))?;
+    Histogram::from_parts(bounds, counts, sum)
+        .ok_or_else(|| format!("histogram {s:?} does not fit {} bounds", bounds.len()))
 }
 
 #[cfg(test)]
@@ -457,7 +1323,9 @@ impl ServeLoop {
 mod tests {
     use super::*;
     use crate::admission::TokenBucketConfig;
+    use crate::faults::SilentWorkerFault;
     use hare_workload::estimate_capacity_jobs_per_sec;
+    use std::path::PathBuf;
 
     /// Trivial FIFO scheduler: dispatch in fair-queue order, flat work.
     struct Fifo;
@@ -499,6 +1367,13 @@ mod tests {
         }
     }
 
+    fn tmp_wal(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hare-serve-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
     #[test]
     fn serves_to_drain_and_conserves() {
         let cfg = config(0.7, 2_000);
@@ -507,9 +1382,10 @@ mod tests {
         assert!(report.counters.conserved(), "{:?}", report.counters);
         assert_eq!(
             report.counters.admitted,
-            report.completed + report.counters.shed,
-            "admitted jobs either completed or were shed at drain"
+            report.completed + report.counters.drained,
+            "admitted jobs either completed or were drained at wind-down"
         );
+        assert_eq!(report.counters.shed, 0, "a graceful drain is not overload");
         assert!(report.decisions > 0);
         assert!(report.latency_quantile(0.99).is_some());
         assert!(report.mean_jct_secs > 0.0);
@@ -532,8 +1408,8 @@ mod tests {
         let report = ServeLoop::new(Cluster::testbed15(), cfg).run(&mut Fifo);
         assert!(report.queue_depth_max <= cap, "bounded queue");
         assert!(
-            report.counters.rejected() > 0 || report.counters.shed > 0,
-            "overload must shed or reject: {:?}",
+            report.counters.rejected() > 0 || report.counters.drained > 0,
+            "overload must reject or leave a drain residue: {:?}",
             report.counters
         );
         assert!(report.counters.conserved());
@@ -559,5 +1435,163 @@ mod tests {
         assert_eq!(report.counters.deferrals, 0);
         assert_eq!(report.min_budget_level, 1.0, "no brownout when disabled");
         assert!(report.counters.conserved());
+    }
+
+    #[test]
+    fn wal_run_matches_plain_run() {
+        let cfg = config(1.2, 1_500);
+        let golden = ServeLoop::new(Cluster::testbed15(), cfg.clone()).run(&mut Fifo);
+        let path = tmp_wal("match");
+        let stop = AtomicBool::new(false);
+        let wal = WalOptions::new(&path);
+        let report = ServeLoop::new(Cluster::testbed15(), cfg)
+            .run_with_wal(&mut Fifo, &wal, &stop, None)
+            .unwrap();
+        assert_eq!(report, golden, "journaling must not perturb the run");
+        assert_eq!(report.to_json(), golden.to_json());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_and_recover_is_byte_identical() {
+        let cfg = config(1.2, 1_500);
+        let golden = ServeLoop::new(Cluster::testbed15(), cfg.clone()).run(&mut Fifo);
+        for at_epoch in [1, 7, 40, 220] {
+            let mut cfg = cfg.clone();
+            cfg.faults.crash = Some(SchedulerCrash { at_epoch });
+            let path = tmp_wal(&format!("crash-{at_epoch}"));
+            let mut wal = WalOptions::new(&path);
+            wal.snapshot_every = 10;
+            let stop = AtomicBool::new(false);
+            let loop_ = ServeLoop::new(Cluster::testbed15(), cfg);
+            let err = loop_
+                .run_with_wal(&mut Fifo, &wal, &stop, None)
+                .expect_err("crash fires");
+            assert!(matches!(err, RecoveryError::InjectedCrash { .. }), "{err}");
+            let (report, stats) = loop_.recover(&mut Fifo, &wal, &stop, None).unwrap();
+            assert_eq!(report, golden, "crash at epoch {at_epoch}");
+            assert_eq!(report.to_json(), golden.to_json());
+            assert!(stats.resumed_at <= SimTime::from_micros(err.crash_instant()));
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    impl RecoveryError {
+        fn crash_instant(&self) -> u64 {
+            match self {
+                RecoveryError::InjectedCrash { at } => at.as_micros(),
+                other => panic!("expected InjectedCrash, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recovering_a_completed_wal_replays_to_the_same_report() {
+        let cfg = config(0.9, 1_000);
+        let path = tmp_wal("completed");
+        let wal = WalOptions::new(&path);
+        let stop = AtomicBool::new(false);
+        let loop_ = ServeLoop::new(Cluster::testbed15(), cfg);
+        let report = loop_.run_with_wal(&mut Fifo, &wal, &stop, None).unwrap();
+        let (recovered, stats) = loop_.recover(&mut Fifo, &wal, &stop, None).unwrap();
+        assert_eq!(recovered, report);
+        assert!(stats.replayed > 0, "the whole suffix replays");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_a_changed_config() {
+        let cfg = config(1.0, 800);
+        let path = tmp_wal("fingerprint");
+        let wal = WalOptions::new(&path);
+        let stop = AtomicBool::new(false);
+        ServeLoop::new(Cluster::testbed15(), cfg.clone())
+            .run_with_wal(&mut Fifo, &wal, &stop, None)
+            .unwrap();
+        let mut other = cfg;
+        other.plan_window += 1;
+        let err = ServeLoop::new(Cluster::testbed15(), other)
+            .recover(&mut Fifo, &wal, &stop, None)
+            .expect_err("fingerprint mismatch");
+        assert!(matches!(err, RecoveryError::ConfigMismatch { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn silent_death_expires_the_lease_and_requeues_work() {
+        let mut cfg = config(1.5, 2_500);
+        cfg.lease = Some(LeaseConfig::default());
+        // Every worker goes silent mid-run and revives later: whatever
+        // was in flight at the blackout must requeue and finish after.
+        cfg.faults.silent_workers = (0..Cluster::testbed15().gpu_count())
+            .map(|gpu| SilentWorkerFault {
+                gpu,
+                from: SimTime::from_secs(600),
+                until: Some(SimTime::from_secs(900)),
+            })
+            .collect();
+        let report = ServeLoop::new(Cluster::testbed15(), cfg).run(&mut Fifo);
+        assert!(report.lease_expiries >= 2, "deaths detected");
+        assert!(report.lease_rejoins >= 1, "workers rejoin after revival");
+        assert!(report.requeued > 0, "in-flight work requeued");
+        assert!(
+            report.counters.readmitted > 0,
+            "requeues re-entered the queue"
+        );
+        assert!(report.counters.conserved());
+        assert_eq!(
+            report.counters.admitted,
+            report.completed + report.counters.drained + report.counters.shed + report.lease_lost,
+            "lease accounting closes the conservation identity: {report:?}"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_with_leases_and_silent_faults() {
+        let mut cfg = config(0.8, 1_500);
+        cfg.lease = Some(LeaseConfig::default());
+        cfg.faults.silent_workers = vec![SilentWorkerFault {
+            gpu: 1,
+            from: SimTime::from_secs(60),
+            until: Some(SimTime::from_secs(500)),
+        }];
+        let golden = ServeLoop::new(Cluster::testbed15(), cfg.clone()).run(&mut Fifo);
+        let mut crash_cfg = cfg;
+        crash_cfg.faults.crash = Some(SchedulerCrash { at_epoch: 25 });
+        let path = tmp_wal("lease-crash");
+        let mut wal = WalOptions::new(&path);
+        wal.snapshot_every = 7;
+        let stop = AtomicBool::new(false);
+        let loop_ = ServeLoop::new(Cluster::testbed15(), crash_cfg);
+        loop_
+            .run_with_wal(&mut Fifo, &wal, &stop, None)
+            .expect_err("crash fires");
+        let (report, _) = loop_.recover(&mut Fifo, &wal, &stop, None).unwrap();
+        assert_eq!(report, golden);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_run_state() {
+        // Encode/decode identity on a non-trivial mid-run state, checked
+        // indirectly: crash exactly between snapshots so recovery must
+        // decode a snapshot with running jobs, a busy queue, and recent
+        // latencies, then verify a long replay suffix.
+        let cfg = config(1.6, 1_200);
+        let golden = ServeLoop::new(Cluster::testbed15(), cfg.clone()).run(&mut Fifo);
+        let mut cfg = cfg;
+        cfg.faults.crash = Some(SchedulerCrash { at_epoch: 40 });
+        let path = tmp_wal("roundtrip");
+        let mut wal = WalOptions::new(&path);
+        wal.snapshot_every = 16;
+        let stop = AtomicBool::new(false);
+        let loop_ = ServeLoop::new(Cluster::testbed15(), cfg);
+        loop_
+            .run_with_wal(&mut Fifo, &wal, &stop, None)
+            .expect_err("crash fires");
+        let (report, stats) = loop_.recover(&mut Fifo, &wal, &stop, None).unwrap();
+        assert_eq!(report, golden);
+        assert!(stats.replayed > 0, "suffix was verified, not skipped");
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -202,6 +202,24 @@ pub struct ArrivalStream {
 }
 
 impl ArrivalStream {
+    /// Resumable cursor: the number of arrivals emitted so far. A fresh
+    /// stream fast-forwarded to another stream's cursor produces exactly
+    /// the arrivals the other stream would produce next — the property
+    /// the serve-mode crash snapshots rely on (the RNG itself is not
+    /// serialized; the cursor is).
+    pub fn cursor(&self) -> u64 {
+        self.next_id as u64
+    }
+
+    /// Draw and discard arrivals until `cursor() == n`. Panics if the
+    /// stream is already past `n` — a cursor cannot rewind.
+    pub fn fast_forward(&mut self, n: u64) {
+        assert!(self.cursor() <= n, "arrival cursor cannot rewind");
+        while self.cursor() < n {
+            let _ = self.next();
+        }
+    }
+
     /// Advance `self.t` to the next arrival instant.
     fn advance(&mut self) {
         let rate = self.cfg.rate_jobs_per_sec();
@@ -379,6 +397,29 @@ mod tests {
                 assert!(x.tenant < cfg(p).n_tenants);
             }
         }
+    }
+
+    #[test]
+    fn fast_forward_resumes_streams_bit_exactly() {
+        for p in [ArrivalProcess::Poisson, bursty(), diurnal()] {
+            let c = cfg(p);
+            let reference: Vec<_> = c.stream().take(120).collect();
+            for k in [0u64, 1, 57, 100] {
+                let mut resumed = c.stream();
+                resumed.fast_forward(k);
+                assert_eq!(resumed.cursor(), k);
+                let tail: Vec<_> = resumed.take(120 - k as usize).collect();
+                assert_eq!(tail, reference[k as usize..], "{p:?} cursor {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn fast_forward_rejects_rewinding() {
+        let mut s = cfg(ArrivalProcess::Poisson).stream();
+        s.fast_forward(5);
+        s.fast_forward(2);
     }
 
     #[test]
