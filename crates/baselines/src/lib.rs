@@ -22,5 +22,8 @@ pub use hare_online::{HareOnline, ReplanBudget};
 pub use sched_homo::SchedHomo;
 pub use serve_sched::{LadderServe, SrtfServe};
 pub use srtf::Srtf;
-pub use suite::{build_simulation, run_all, run_scheme, run_scheme_faulted, RunOptions, Scheme};
+pub use suite::{
+    build_simulation, run_all, run_scheme, run_scheme_counted, run_scheme_faulted,
+    run_scheme_sharded, RunOptions, Scheme,
+};
 pub use timeslice::TimeSlice;

@@ -326,7 +326,8 @@ mod tests {
             ..OpenArrivalConfig::default()
         };
         let counts: Vec<_> = cluster.count_by_kind().into_iter().collect();
-        arrivals.capacity_jobs_per_sec = estimate_capacity_jobs_per_sec(&counts, &arrivals, 128);
+        arrivals.capacity_jobs_per_sec =
+            estimate_capacity_jobs_per_sec(&counts, &arrivals, OpenArrivalConfig::CAPACITY_SAMPLES);
         ServeConfig {
             arrivals,
             horizon: hare_cluster::SimTime::from_secs(horizon_secs),

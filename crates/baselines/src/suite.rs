@@ -5,7 +5,10 @@
 use crate::{GavelFifo, SchedAllox, SchedHomo, Srtf};
 use hare_core::HareScheduler;
 use hare_memory::SwitchPolicy;
-use hare_sim::{FaultPlan, OfflineReplay, SimReport, SimWorkload, Simulation};
+use hare_sim::{
+    FaultPlan, OfflineReplay, ShardReport, ShardedTrace, SimReport, SimWorkload, Simulation,
+};
+use hare_workload::ProfileDb;
 use serde::{Deserialize, Serialize};
 
 /// The schemes compared throughout the evaluation.
@@ -111,19 +114,62 @@ pub fn run_scheme_faulted(
     opts: RunOptions,
     plan: &FaultPlan,
 ) -> SimReport {
+    run_counted_with_plan(scheme, workload, opts, plan).0
+}
+
+/// Run one scheme's simulation and return the processed-event count along
+/// with the report (the sharded merge and the bench binary both need the
+/// denominator).
+pub fn run_scheme_counted(
+    scheme: Scheme,
+    workload: &SimWorkload,
+    opts: RunOptions,
+) -> (SimReport, u64) {
+    run_counted_with_plan(scheme, workload, opts, &FaultPlan::default())
+}
+
+/// The single dispatch point every entry above funnels through.
+fn run_counted_with_plan(
+    scheme: Scheme,
+    workload: &SimWorkload,
+    opts: RunOptions,
+    plan: &FaultPlan,
+) -> (SimReport, u64) {
     let sim = build_simulation(scheme, workload, opts, plan);
     match scheme {
         Scheme::Hare => {
             let out = HareScheduler::default().schedule(&workload.problem);
             let mut policy = OfflineReplay::new("Hare", workload, &out.schedule);
-            sim.run(&mut policy)
+            sim.run_counted(&mut policy)
         }
-        Scheme::GavelFifo => sim.run(&mut GavelFifo::new()),
-        Scheme::Srtf => sim.run(&mut Srtf::new()),
-        Scheme::SchedHomo => sim.run(&mut SchedHomo::new()),
-        Scheme::SchedAllox => sim.run(&mut SchedAllox::new()),
+        Scheme::GavelFifo => sim.run_counted(&mut GavelFifo::new()),
+        Scheme::Srtf => sim.run_counted(&mut Srtf::new()),
+        Scheme::SchedHomo => sim.run_counted(&mut SchedHomo::new()),
+        Scheme::SchedAllox => sim.run_counted(&mut SchedAllox::new()),
     }
     .expect("simulation failed")
+}
+
+/// Run one scheme over a routed, cell-partitioned trace: each cell gets
+/// its own preparation stage ([`SimWorkload::build`] over the cell's
+/// cluster and routed jobs) and its own scheduler instance — Hare re-plans
+/// within every cell it owns, exactly as in the unsharded path — and the
+/// per-cell reports merge into one global report. With a 1-cell trace the
+/// merged report is bit-identical to [`run_scheme`]'s. Workloads are
+/// built and dropped one cell at a time, so peak memory stays one cell's
+/// jobs × GPUs matrices rather than the datacenter's.
+pub fn run_scheme_sharded(
+    scheme: Scheme,
+    trace: &ShardedTrace,
+    db: &ProfileDb,
+    opts: RunOptions,
+) -> ShardReport {
+    trace
+        .run_with(|_cell_idx, cell, specs| {
+            let w = SimWorkload::build(cell.cluster().clone(), specs.to_vec(), db);
+            Ok(run_scheme_counted(scheme, &w, opts))
+        })
+        .expect("sharded simulation failed")
 }
 
 /// Run all five schemes.

@@ -38,7 +38,8 @@ fn config() -> ServeConfig {
         ..OpenArrivalConfig::default()
     };
     let counts: Vec<_> = cluster.count_by_kind().into_iter().collect();
-    arrivals.capacity_jobs_per_sec = estimate_capacity_jobs_per_sec(&counts, &arrivals, 128);
+    arrivals.capacity_jobs_per_sec =
+        estimate_capacity_jobs_per_sec(&counts, &arrivals, OpenArrivalConfig::CAPACITY_SAMPLES);
     let mut cfg = ServeConfig {
         arrivals,
         horizon: SimTime::from_secs(1_600),

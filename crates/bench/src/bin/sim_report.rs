@@ -13,50 +13,71 @@
 //! their (cheap) policy inside it. Workload construction is never timed
 //! except in the `fig_suite` entry, which is deliberately end-to-end.
 //!
+//! The `huge` scenario exercises the sharded datacenter path: a 12k-GPU
+//! cluster split into cells, 100k jobs drawn from a lazy arrival stream
+//! (never materialized as a global trace), Hare planning within every
+//! cell, and the per-cell reports merged into one. `--smoke` runs a
+//! reduced-scale variant (512 GPUs, 2k jobs, 8 cells) of the same path.
+//!
 //! Run with `cargo run --release -p hare-bench --bin sim_report`
 //! (`-- --smoke` for the CI-sized variant: small+medium only, short
-//! sweep, no fig suite).
+//! sweep, no fig suite; `-- --check-regression` to additionally fail if
+//! measured events/sec fall more than 20% below the committed
+//! BENCH_sim.json after normalizing out machine speed).
 
 #![warn(clippy::unwrap_used)]
 
 use hare_baselines::{build_simulation, RunOptions, Scheme};
+use hare_cluster::{Cluster, Heterogeneity};
 use hare_core::HareScheduler;
 use hare_experiments::{sweep_table, testbed_workload, LargeScale};
-use hare_sim::{FaultPlan, OfflineReplay, SimWorkload};
+use hare_sim::{FaultPlan, GatewayConfig, OfflineReplay, ShardedTrace, SimWorkload, Simulation};
+use hare_workload::{OpenArrivalConfig, ProfileDb, StreamedTrace};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Sim-only wall-clock and events processed for one scheme on a workload.
+/// Best-of-3 sim-only timing: the engine is deterministic, so every run
+/// processes identical events and only the wall clock varies — the min
+/// is the least-noisy estimate, which matters for the millisecond-scale
+/// scenarios the regression guard compares across machines.
 fn sim_only(scheme: Scheme, w: &SimWorkload, seed: u64) -> (f64, u64) {
     let opts = RunOptions {
         seed,
         ..RunOptions::default()
     };
     let plan = FaultPlan::default();
-    match scheme {
-        Scheme::Hare => {
-            let out = HareScheduler::default().schedule(&w.problem);
-            let mut policy = OfflineReplay::new("Hare", w, &out.schedule);
-            let t = Instant::now();
-            let (_, events) = build_simulation(scheme, w, opts, &plan)
-                .run_counted(&mut policy)
-                .expect("simulation failed");
-            (t.elapsed().as_secs_f64(), events)
-        }
-        _ => {
-            let t = Instant::now();
-            let sim = build_simulation(scheme, w, opts, &plan);
-            let (_, events) = match scheme {
-                Scheme::Hare => unreachable!(),
-                Scheme::GavelFifo => sim.run_counted(&mut hare_baselines::GavelFifo::new()),
-                Scheme::Srtf => sim.run_counted(&mut hare_baselines::Srtf::new()),
-                Scheme::SchedHomo => sim.run_counted(&mut hare_baselines::SchedHomo::new()),
-                Scheme::SchedAllox => sim.run_counted(&mut hare_baselines::SchedAllox::new()),
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..3 {
+        let (secs, n) = match scheme {
+            Scheme::Hare => {
+                let out = HareScheduler::default().schedule(&w.problem);
+                let mut policy = OfflineReplay::new("Hare", w, &out.schedule);
+                let t = Instant::now();
+                let (_, events) = build_simulation(scheme, w, opts, &plan)
+                    .run_counted(&mut policy)
+                    .expect("simulation failed");
+                (t.elapsed().as_secs_f64(), events)
             }
-            .expect("simulation failed");
-            (t.elapsed().as_secs_f64(), events)
-        }
+            _ => {
+                let t = Instant::now();
+                let sim = build_simulation(scheme, w, opts, &plan);
+                let (_, events) = match scheme {
+                    Scheme::Hare => unreachable!(),
+                    Scheme::GavelFifo => sim.run_counted(&mut hare_baselines::GavelFifo::new()),
+                    Scheme::Srtf => sim.run_counted(&mut hare_baselines::Srtf::new()),
+                    Scheme::SchedHomo => sim.run_counted(&mut hare_baselines::SchedHomo::new()),
+                    Scheme::SchedAllox => sim.run_counted(&mut hare_baselines::SchedAllox::new()),
+                }
+                .expect("simulation failed");
+                (t.elapsed().as_secs_f64(), events)
+            }
+        };
+        best = best.min(secs);
+        events = n;
     }
+    (best, events)
 }
 
 /// Pre-overhaul sim-only seconds (same scenarios, same methodology,
@@ -99,13 +120,165 @@ fn committed_small_total(root: &std::path::Path) -> Option<f64> {
         .as_f64()
 }
 
+/// Committed per-(scenario, scheme) events/sec from BENCH_sim.json — the
+/// baseline for `--check-regression`.
+fn committed_events_per_sec(root: &std::path::Path) -> Vec<(String, String, f64)> {
+    let Some(text) = std::fs::read_to_string(root.join("BENCH_sim.json")).ok() else {
+        return Vec::new();
+    };
+    let Some(value) = serde_json::from_str(&text).ok() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let scenarios = value
+        .get("scenarios")
+        .and_then(|s| s.as_array())
+        .cloned()
+        .unwrap_or_default();
+    for scen in &scenarios {
+        let Some(sname) = scen.get("name").and_then(|n| n.as_str()) else {
+            continue;
+        };
+        for sch in scen
+            .get("schemes")
+            .and_then(|s| s.as_array())
+            .into_iter()
+            .flatten()
+        {
+            if let (Some(name), Some(eps)) = (
+                sch.get("name").and_then(|n| n.as_str()),
+                sch.get("events_per_sec")
+                    .and_then(serde_json::Value::as_f64),
+            ) {
+                out.push((sname.to_string(), name.to_string(), eps));
+            }
+        }
+    }
+    out
+}
+
+/// Runs shorter than this are at the mercy of scheduler jitter even
+/// with best-of-3 timing; the regression guard skips them rather than
+/// fail CI on timer noise.
+const MIN_GUARDED_SECS: f64 = 0.010;
+
+/// Fail (return false) if any measured events/sec falls more than 20%
+/// below the committed baseline *after* normalizing out machine speed:
+/// each (scenario, scheme) pair's measured/committed ratio is divided by
+/// the median ratio, so a uniformly slower or faster machine cancels out
+/// and only *relative* hot-path regressions trip the guard. Pairs whose
+/// measured run is under `MIN_GUARDED_SECS` are reported but not judged.
+fn check_regression(
+    committed: &[(String, String, f64)],
+    measured: &[(String, String, f64, f64)],
+) -> bool {
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (scen, scheme, eps, secs) in measured {
+        if let Some((_, _, base)) = committed
+            .iter()
+            .find(|(s, n, _)| s == scen && n == scheme)
+            .filter(|(_, _, base)| *base > 0.0)
+        {
+            if *secs < MIN_GUARDED_SECS {
+                println!(
+                    "check-regression: {scen}/{scheme}: {:.2}x raw — under {MIN_GUARDED_SECS}s, too fast to judge, skipped",
+                    eps / base
+                );
+                continue;
+            }
+            ratios.push((format!("{scen}/{scheme}"), eps / base));
+        }
+    }
+    if ratios.is_empty() {
+        println!("check-regression: no committed baseline to compare against — skipping");
+        return true;
+    }
+    let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut ok = true;
+    for (key, ratio) in &ratios {
+        let normalized = ratio / median;
+        let flag = if normalized < 0.8 {
+            ok = false;
+            "  <-- REGRESSION (>20% below median)"
+        } else {
+            ""
+        };
+        println!("check-regression: {key}: {ratio:.2}x raw, {normalized:.2}x of median{flag}");
+    }
+    ok
+}
+
+/// The sharded datacenter scenario: cells simulated independently, jobs
+/// drawn from a lazy arrival stream and routed by the gateway, Hare
+/// planning within every cell. Returns the JSON fragment. "sim-only"
+/// sums the per-cell event loops; routing, workload builds and the
+/// per-cell Hare schedules stay outside the timer, matching the other
+/// scenarios' methodology.
+fn huge_scenario(smoke: bool) -> String {
+    let (n_gpus, n_jobs, n_cells) = if smoke {
+        (512u32, 2_000u64, 8usize)
+    } else {
+        (12_288, 100_000, 192)
+    };
+    let cluster = Cluster::with_heterogeneity(Heterogeneity::High, n_gpus);
+    let counts: Vec<_> = cluster.count_by_kind().into_iter().collect();
+    let arrivals = OpenArrivalConfig {
+        seed: 11,
+        ..OpenArrivalConfig::default()
+    }
+    .calibrated(&counts);
+    let stream = StreamedTrace::new(&arrivals, n_jobs).map(|a| a.spec);
+    let t = Instant::now();
+    let sharded = ShardedTrace::route(&cluster, n_cells, &GatewayConfig::default(), stream);
+    let route_secs = t.elapsed().as_secs_f64();
+    let db = ProfileDb::new(7);
+    let mut sim_secs = 0.0;
+    let mut tasks = 0u64;
+    let merged = sharded
+        .run_with(|_ci, cell, specs| {
+            let w = SimWorkload::build(cell.cluster().clone(), specs.to_vec(), &db);
+            tasks += w.problem.n_tasks() as u64;
+            let out = HareScheduler::default().schedule(&w.problem);
+            let mut policy = OfflineReplay::new("Hare", &w, &out.schedule);
+            let timer = Instant::now();
+            let r = Simulation::new(&w)
+                .with_noise(0.02)
+                .with_seed(1)
+                .run_counted(&mut policy);
+            sim_secs += timer.elapsed().as_secs_f64();
+            r
+        })
+        .expect("huge sharded run failed");
+    let eps = merged.events_total as f64 / sim_secs;
+    let max_cell_jobs = merged.cells.iter().map(|c| c.jobs).max().unwrap_or(0);
+    println!(
+        "huge: {n_gpus} gpus, {n_jobs} jobs, {n_cells} cells, {tasks} tasks — \
+         route {route_secs:.2}s, sim-only {sim_secs:.2}s, {} events, {eps:.0} events/s \
+         (max {max_cell_jobs} jobs in one cell)",
+        merged.events_total
+    );
+    format!(
+        "  \"huge\": {{\"gpus\": {n_gpus}, \"jobs\": {n_jobs}, \"cells\": {n_cells}, \
+         \"tasks\": {tasks}, \"scheme\": \"Hare\", \"route_secs\": {route_secs:.3}, \
+         \"sim_only_secs\": {sim_secs:.3}, \"events\": {}, \"events_per_sec\": {eps:.0}, \
+         \"max_cell_jobs\": {max_cell_jobs}, \"makespan_secs\": {:.0}}},\n",
+        merged.events_total,
+        merged.report.makespan.as_secs_f64()
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let check = std::env::args().any(|a| a == "--check-regression");
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let root = workspace_root();
     let committed_small = committed_small_total(&root);
+    let committed_eps = committed_events_per_sec(&root);
+    let mut measured_eps: Vec<(String, String, f64, f64)> = Vec::new();
 
     let medium_cfg = LargeScale {
         n_gpus: 64,
@@ -129,10 +302,10 @@ fn main() {
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"cores\": {cores},");
     json.push_str(
-        "  \"methodology\": \"sim-only = event loop only (Hare schedule precomputed outside \
-         the timer); events/sec = engine events processed / sim-only secs; fig_suite is \
-         end-to-end including workload builds; before = same methodology at the pre-overhaul \
-         commit, single-threaded\",\n",
+        "  \"methodology\": \"sim-only = event loop only, best of 3 runs (Hare schedule \
+         precomputed outside the timer); events/sec = engine events processed / sim-only secs; \
+         fig_suite is end-to-end including workload builds; before = same methodology at the \
+         pre-overhaul commit, single-threaded\",\n",
     );
     json.push_str(
         "  \"before\": {\"small_total_secs\": 0.300, \"medium_total_secs\": 2.007, \
@@ -163,6 +336,7 @@ fn main() {
             let (secs, events) = sim_only(*scheme, w, 1);
             total += secs;
             let eps = events as f64 / secs;
+            measured_eps.push((name.to_string(), scheme.name().to_string(), eps, secs));
             println!(
                 "  {:<12} {secs:.3}s  {events} events  {eps:.0} events/s",
                 scheme.name()
@@ -201,6 +375,9 @@ fn main() {
         }
     }
     json.push_str("  ],\n");
+
+    // --- Sharded datacenter scenario ---------------------------------
+    json.push_str(&huge_scenario(smoke));
 
     // --- Tracing overhead --------------------------------------------
     // The observability layer must be zero-cost when disabled. The
@@ -319,4 +496,9 @@ fn main() {
     let path = root.join("BENCH_sim.json");
     std::fs::write(&path, &json).expect("write BENCH_sim.json");
     println!("wrote {}", path.display());
+
+    if check && !check_regression(&committed_eps, &measured_eps) {
+        eprintln!("events/sec regressed more than 20% against the committed BENCH_sim.json");
+        std::process::exit(1);
+    }
 }

@@ -14,6 +14,8 @@
 //!             [--journal FILE] [--out FILE] [--smoke]   # continuous service
 //!             [--wal FILE] [--snapshot-every N] [--recover] [--crash-at N]
 //!             [--lease-timeout S] [--heartbeat S]       # crash tolerance
+//! hare shard  [workload flags] [--cells N] [--scheme S] [--stream]
+//!                                            # sharded datacenter run
 //! ```
 
 #![warn(clippy::unwrap_used)]
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
         Some("profile") => profile(),
         Some("switch") => switching(&opts),
         Some("serve") => serve::serve(&opts),
+        Some("shard") => shard(&opts),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => {
             print!("{HELP}");
@@ -66,6 +69,8 @@ commands:
   switch     task-switching cost between two models (--from, --to, --gpu)
   serve      continuous-service mode: open arrivals, admission control,
              brownout under overload, graceful SIGTERM/SIGINT drain
+  shard      datacenter-scale sharded run: partition the cluster into
+             cells, gateway-route jobs, simulate each cell independently
 
 workload flags (compare/schedule/export):
   --cluster testbed|low:N|mid:N|high:N   (default testbed = 15 mixed GPUs)
@@ -90,6 +95,13 @@ serve flags:
   --journal FILE  append the final cell durably; --replay-journal FILE
   --out FILE      write the JSON report to FILE instead of stdout
   --smoke         short run (600 s horizon) for CI
+
+shard flags (plus the workload flags above):
+  --cells N       number of machine-disjoint cells          (default 2)
+  --scheme S      hare|gavel|srtf|homo|allox                (default hare)
+  --stream        draw jobs from the open arrival stream (lazy, never a
+                  materialized global trace) instead of the closed trace;
+                  --jobs N is the stream length
 
 serve crash tolerance:
   --wal FILE      write-ahead log every transition; group-committed per epoch
@@ -223,6 +235,94 @@ fn write_chrome_trace(w: &SimWorkload, seed: u64, path: &str) -> Result<(), Stri
         "\nwrote Chrome trace of {} ({} events) to {path}",
         report.scheme,
         sink.len()
+    );
+    Ok(())
+}
+
+/// `hare shard`: partition the cluster into cells, route the workload
+/// through the gateway, simulate every cell independently, and print the
+/// per-cell accounting plus the merged global report.
+fn shard(opts: &Options) -> Result<(), String> {
+    use hare_baselines::{run_scheme_sharded, Scheme};
+    use hare_sim::{GatewayConfig, ShardedTrace};
+
+    let cluster = opts.cluster()?;
+    let n_cells: usize = opts.num("cells", 2)?;
+    if n_cells == 0 {
+        return Err("--cells must be positive".into());
+    }
+    if n_cells > cluster.machine_count() {
+        return Err(format!(
+            "--cells {n_cells} exceeds the cluster's {} machines",
+            cluster.machine_count()
+        ));
+    }
+    let scheme = match opts.get("scheme", "hare") {
+        s if s.eq_ignore_ascii_case("hare") => Scheme::Hare,
+        s if s.eq_ignore_ascii_case("gavel") => Scheme::GavelFifo,
+        s if s.eq_ignore_ascii_case("srtf") => Scheme::Srtf,
+        s if s.eq_ignore_ascii_case("homo") => Scheme::SchedHomo,
+        s if s.eq_ignore_ascii_case("allox") => Scheme::SchedAllox,
+        other => return Err(format!("unknown scheme {other:?}")),
+    };
+    let seed: u64 = opts.num("seed", 1)?;
+    let gw = GatewayConfig::default();
+    let sharded = if opts.has("stream") {
+        let n_jobs: u64 = opts.num("jobs", 20u64)?;
+        if n_jobs == 0 {
+            return Err("--jobs must be positive".into());
+        }
+        let counts: Vec<_> = cluster.count_by_kind().into_iter().collect();
+        let arrivals = hare_workload::OpenArrivalConfig {
+            seed,
+            mix: opts.mix()?,
+            ..hare_workload::OpenArrivalConfig::default()
+        }
+        .calibrated(&counts);
+        let stream = hare_workload::StreamedTrace::new(&arrivals, n_jobs).map(|a| a.spec);
+        ShardedTrace::route(&cluster, n_cells, &gw, stream)
+    } else {
+        ShardedTrace::route(&cluster, n_cells, &gw, trace(opts)?)
+    };
+    println!(
+        "{} jobs routed over {} cells ({} GPUs, {} machines)\n",
+        sharded.n_jobs(),
+        n_cells,
+        cluster.gpu_count(),
+        cluster.machine_count()
+    );
+    let db = ProfileDb::new(seed);
+    let merged = run_scheme_sharded(
+        scheme,
+        &sharded,
+        &db,
+        RunOptions {
+            seed,
+            ..RunOptions::default()
+        },
+    );
+    println!(
+        "{:<6} {:>6} {:>6} {:>10} {:>12}",
+        "cell", "jobs", "gpus", "events", "makespan"
+    );
+    for c in &merged.cells {
+        println!(
+            "{:<6} {:>6} {:>6} {:>10} {:>12}",
+            c.cell,
+            c.jobs,
+            c.gpus,
+            c.events,
+            c.makespan.to_string()
+        );
+    }
+    let r = &merged.report;
+    println!(
+        "\n{}: weighted JCT {:.0}, mean JCT {:.0}s, makespan {}, {} events total",
+        r.scheme,
+        r.weighted_jct,
+        r.mean_jct(),
+        r.makespan,
+        merged.events_total
     );
     Ok(())
 }

@@ -1,0 +1,232 @@
+//! Cell partitioning for datacenter-scale simulation.
+//!
+//! A 10k-GPU simulation cannot run as one flat event loop: per-job ×
+//! per-GPU state is quadratic and every event contends on one queue. The
+//! sharded engine instead splits the cluster into *cells* — disjoint sets
+//! of whole machines, each a self-contained [`Cluster`] — and runs an
+//! independent simulation per cell. This module owns the partitioning and
+//! the id translation between the global cluster and its cells.
+//!
+//! Machines are **striped** across cells (global machine `m` lands in cell
+//! `m % n_cells`) rather than chunked. Cluster builders lay out machines
+//! kind-by-kind, so contiguous chunks would produce single-kind cells;
+//! striping gives every cell approximately the global kind mix, which the
+//! gateway's heterogeneity-aware routing relies on.
+//!
+//! Within a cell, machines keep their relative order and GPUs keep their
+//! relative (global-id) order, renumbered densely from zero. A 1-cell
+//! partition is therefore the identity: its single cell is bit-identical
+//! to the source cluster, which is what lets the sharded engine's 1-cell
+//! output be compared byte-for-byte against the unsharded engine.
+
+use crate::cluster::Cluster;
+use crate::gpu::{Gpu, GpuId, MachineId};
+
+/// One cell of a partitioned cluster: a standalone [`Cluster`] over a
+/// subset of the global machines, plus the id maps back to the global
+/// space.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    cluster: Cluster,
+    global_machines: Vec<MachineId>,
+    global_gpus: Vec<GpuId>,
+}
+
+impl Cell {
+    /// The cell's self-contained cluster (dense local ids).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Global machine id for each local machine id (ascending).
+    pub fn global_machines(&self) -> &[MachineId] {
+        &self.global_machines
+    }
+
+    /// Global GPU id for each local GPU id (ascending).
+    pub fn global_gpus(&self) -> &[GpuId] {
+        &self.global_gpus
+    }
+
+    /// Translate a cell-local GPU id to the global id space.
+    pub fn to_global_gpu(&self, local: GpuId) -> GpuId {
+        self.global_gpus[local.index()]
+    }
+}
+
+/// A partition of a [`Cluster`] into machine-disjoint cells.
+#[derive(Clone, Debug)]
+pub struct CellPartition {
+    cells: Vec<Cell>,
+    /// Global GPU id → (cell index, cell-local GPU id).
+    gpu_home: Vec<(usize, GpuId)>,
+}
+
+impl CellPartition {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True only for a degenerate partition (never produced by
+    /// [`Cluster::partition_cells`], which requires ≥ 1 cell).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// All cells, in cell-index order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// One cell.
+    pub fn cell(&self, i: usize) -> &Cell {
+        &self.cells[i]
+    }
+
+    /// Which cell a global machine belongs to.
+    pub fn cell_of_machine(&self, m: MachineId) -> usize {
+        m.index() % self.cells.len()
+    }
+
+    /// Where a global GPU lives: (cell index, cell-local GPU id).
+    pub fn locate_gpu(&self, g: GpuId) -> (usize, GpuId) {
+        self.gpu_home[g.index()]
+    }
+}
+
+impl Cluster {
+    /// Partition this cluster into `n_cells` machine-disjoint cells by
+    /// striping machines across cells (machine `m` → cell `m % n_cells`).
+    /// Every cell must end up with at least one machine, so `n_cells` is
+    /// capped by the machine count.
+    ///
+    /// `partition_cells(1)` reproduces this cluster exactly in its single
+    /// cell — the identity the sharded-vs-unsharded golden tests pin.
+    pub fn partition_cells(&self, n_cells: usize) -> CellPartition {
+        assert!(n_cells >= 1, "need at least one cell");
+        assert!(
+            n_cells <= self.machine_count(),
+            "more cells ({n_cells}) than machines ({})",
+            self.machine_count()
+        );
+        // Group the global GPU list by cell. GPUs arrive in ascending
+        // global-id order, so each cell's list is ascending too.
+        let mut machines: Vec<Vec<MachineId>> = vec![Vec::new(); n_cells];
+        for m in 0..self.machine_count() {
+            machines[m % n_cells].push(MachineId(m as u32));
+        }
+        let mut gpus: Vec<Vec<Gpu>> = vec![Vec::new(); n_cells];
+        let mut global: Vec<Vec<GpuId>> = vec![Vec::new(); n_cells];
+        let mut gpu_home = Vec::with_capacity(self.gpu_count());
+        for g in self.gpus() {
+            let cell = g.machine.index() % n_cells;
+            // Machines are striped, so global machine m has local index
+            // m / n_cells within its cell (ascending order preserved).
+            let local_machine = MachineId((g.machine.index() / n_cells) as u32);
+            let local_id = GpuId(gpus[cell].len() as u32);
+            gpu_home.push((cell, local_id));
+            gpus[cell].push(Gpu {
+                id: local_id,
+                kind: g.kind,
+                machine: local_machine,
+            });
+            global[cell].push(g.id);
+        }
+        let cells = machines
+            .into_iter()
+            .zip(gpus)
+            .zip(global)
+            .map(|((global_machines, gpus), global_gpus)| Cell {
+                cluster: Cluster::from_parts(gpus, global_machines.len() as u32, *self.network()),
+                global_machines,
+                global_gpus,
+            })
+            .collect();
+        CellPartition { cells, gpu_home }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuKind;
+
+    #[test]
+    fn one_cell_is_the_identity() {
+        let c = Cluster::testbed15();
+        let p = c.partition_cells(1);
+        assert_eq!(p.len(), 1);
+        let cell = p.cell(0);
+        assert_eq!(cell.cluster().gpu_count(), c.gpu_count());
+        assert_eq!(cell.cluster().machine_count(), c.machine_count());
+        for (a, b) in cell.cluster().gpus().iter().zip(c.gpus()) {
+            assert_eq!(a, b);
+        }
+        for g in c.gpu_ids() {
+            assert_eq!(p.locate_gpu(g), (0, g));
+            assert_eq!(cell.to_global_gpu(g), g);
+        }
+    }
+
+    #[test]
+    fn cells_cover_every_gpu_exactly_once() {
+        let c = Cluster::with_heterogeneity(crate::cluster::Heterogeneity::High, 64);
+        for n_cells in [1, 2, 3, 5, c.machine_count()] {
+            let p = c.partition_cells(n_cells);
+            let mut seen = vec![0u32; c.gpu_count()];
+            for (ci, cell) in p.cells().iter().enumerate() {
+                assert!(cell.cluster().gpu_count() > 0, "cell {ci} is empty");
+                for (local, &g) in cell.global_gpus().iter().enumerate() {
+                    seen[g.index()] += 1;
+                    assert_eq!(p.locate_gpu(g), (ci, GpuId(local as u32)));
+                    assert_eq!(cell.cluster().gpu(GpuId(local as u32)).kind, c.gpu(g).kind);
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "{n_cells} cells: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn machines_are_striped_not_chunked() {
+        // testbed15: machines 0,1 hold V100s, 2 holds T4s, 3 holds K80/M60.
+        // Striping into 2 cells puts {0,2} and {1,3} together, so both
+        // cells stay heterogeneous; chunking would give {0,1} all-V100.
+        let c = Cluster::testbed15();
+        let p = c.partition_cells(2);
+        assert_eq!(p.cell(0).global_machines(), &[MachineId(0), MachineId(2)]);
+        assert_eq!(p.cell(1).global_machines(), &[MachineId(1), MachineId(3)]);
+        assert!(p.cell(0).cluster().kinds_present().len() > 1);
+        assert!(p.cell(1).cluster().kinds_present().len() > 1);
+        assert_eq!(p.cell_of_machine(MachineId(2)), 0);
+        assert_eq!(p.cell_of_machine(MachineId(3)), 1);
+    }
+
+    #[test]
+    fn cell_local_ids_are_dense_and_machine_local() {
+        let c = Cluster::from_counts(&[(GpuKind::V100, 8), (GpuKind::K80, 8)], 2);
+        let p = c.partition_cells(3);
+        for cell in p.cells() {
+            for (i, g) in cell.cluster().gpus().iter().enumerate() {
+                assert_eq!(g.id.index(), i);
+                assert!(g.machine.index() < cell.cluster().machine_count());
+            }
+            // Same-machine relationships survive renumbering.
+            for (i, &gi) in cell.global_gpus().iter().enumerate() {
+                for (j, &gj) in cell.global_gpus().iter().enumerate() {
+                    assert_eq!(
+                        cell.cluster()
+                            .same_machine(GpuId(i as u32), GpuId(j as u32)),
+                        c.same_machine(gi, gj)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more cells")]
+    fn too_many_cells_rejected() {
+        let _ = Cluster::testbed15().partition_cells(5);
+    }
+}

@@ -126,6 +126,21 @@ impl Cluster {
         Cluster::from_counts(&counts, 4)
     }
 
+    /// Assemble a cluster from pre-built parts. Used by the cell
+    /// partitioner, which renumbers an existing cluster's GPUs/machines
+    /// into dense per-cell id spaces; callers must hand in dense,
+    /// consistent ids (debug-asserted).
+    pub(crate) fn from_parts(gpus: Vec<Gpu>, machine_count: u32, network: NetworkModel) -> Self {
+        assert!(!gpus.is_empty(), "empty cluster");
+        debug_assert!(gpus.iter().enumerate().all(|(i, g)| g.id.index() == i));
+        debug_assert!(gpus.iter().all(|g| g.machine.0 < machine_count));
+        Cluster {
+            gpus,
+            machine_count,
+            network,
+        }
+    }
+
     /// Replace the network model (e.g. for the Fig.-18 bandwidth sweep).
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = network;

@@ -14,11 +14,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod cells;
 pub mod cluster;
 pub mod gpu;
 pub mod network;
 pub mod units;
 
+pub use cells::{Cell, CellPartition};
 pub use cluster::{Cluster, Heterogeneity};
 pub use gpu::{Gpu, GpuId, GpuKind, GpuSpec, MachineId};
 pub use network::{NetworkModel, SyncScheme};

@@ -78,6 +78,16 @@ impl DenseSet {
         self.version
     }
 
+    /// Smallest member, if any — O(words), no iterator machinery, for the
+    /// dispatch hot path's "lowest-id idle GPU of this kind" lookup.
+    pub fn first(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, &w)| wi * 64 + w.trailing_zeros() as usize)
+    }
+
     /// Members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -137,6 +147,21 @@ mod tests {
         let mut out = vec![99; 3];
         s.collect_into(&mut out);
         assert_eq!(out, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_is_the_minimum_member() {
+        let mut s = DenseSet::new(200);
+        assert_eq!(s.first(), None);
+        for i in [150, 70, 3, 64, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.first(), Some(3));
+        s.remove(3);
+        assert_eq!(s.first(), Some(64));
+        s.remove(64);
+        s.remove(70);
+        assert_eq!(s.first(), Some(150));
     }
 
     #[test]

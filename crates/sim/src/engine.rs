@@ -892,32 +892,11 @@ impl<'a, 'b> Engine<'a, 'b> {
             faults.dropped_gradients += ps.dropped();
         }
         faults.storage_stall = self.store.stalled();
-        // The registry is filled once here — never on the event hot path —
-        // and is excluded from `SimReport::to_json` so golden fixtures are
-        // unaffected. Everything recorded is a deterministic function of
-        // run state, keeping reports bit-reproducible.
-        let mut metrics = MetricsRegistry::new();
-        metrics.add("sim.events_processed", self.events_processed);
-        metrics.add("sim.jobs_completed", completion.len() as u64);
-        metrics.add("sim.gpu_failures", u64::from(faults.gpu_failures));
-        metrics.add("sim.gpu_recoveries", u64::from(faults.gpu_recoveries));
-        metrics.add("sim.gradients_accepted", faults.gradients_accepted);
-        metrics.add("sim.gradients_dropped", faults.dropped_gradients);
-        metrics.add(
-            "sim.switches",
-            self.gpus.iter().map(|g| u64::from(g.switch_count)).sum(),
-        );
-        metrics.add(
-            "sim.cache_hits",
-            self.gpus.iter().map(|g| u64::from(g.cache_hits)).sum(),
-        );
-        metrics.set_gauge("sim.makespan_secs", stats.makespan.as_secs_f64());
-        metrics.set_gauge("sim.weighted_jct", stats.weighted_jct);
-        const JCT_BUCKETS_SECS: &[f64] =
-            &[60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0];
-        for jct in &stats.jct {
-            metrics.observe("sim.jct_secs", JCT_BUCKETS_SECS, jct.as_secs_f64());
-        }
+        // Registry filled by the shared helper (also used by the sharded
+        // merge) — excluded from `SimReport::to_json` so golden fixtures
+        // are unaffected.
+        let metrics =
+            crate::metrics::sim_registry(self.events_processed, &self.gpus, &faults, &stats);
         SimReport {
             scheme: self.policy.name(),
             makespan: stats.makespan,

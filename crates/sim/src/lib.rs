@@ -19,6 +19,7 @@ pub mod ps;
 pub mod recovery;
 pub mod registry;
 pub mod serve;
+pub mod shard;
 pub mod storage;
 pub mod trace;
 
@@ -38,12 +39,14 @@ pub use faults::{
     StorageFaultKind, StragglerWindow,
 };
 pub use metrics::{
-    completion_stats, jct_cdf, CompletionStats, FaultMetrics, GpuReport, SimReport, UtilSpan,
+    completion_stats, completion_stats_parts, jct_cdf, sim_registry, CompletionStats, FaultMetrics,
+    GpuReport, SimReport, UtilSpan,
 };
 pub use policy::{OfflineReplay, Policy, SimView};
 pub use ps::{ParameterServer, SyncOutcome};
 pub use recovery::{crc32, LeaseConfig, RecoveryError, RecoveryStats, WalFile, WalOptions};
 pub use registry::{Histogram, MetricsRegistry};
 pub use serve::{PlanOutcome, QueueScheduler, ServeConfig, ServeLoop, ServeReport};
+pub use shard::{CellSummary, GatewayConfig, ShardReport, ShardedTrace};
 pub use storage::CheckpointStore;
 pub use trace::{ChromeTraceSink, NoopSink, SimInstant, TaskPhase, TraceSink};

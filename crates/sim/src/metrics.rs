@@ -171,13 +171,29 @@ pub struct CompletionStats {
 /// tests pin these outputs bit for bit. An empty completion set (a report
 /// aggregated from zero jobs) is legal and yields all-zero stats.
 pub fn completion_stats(completion: &[SimTime], jobs: &[JobInfo]) -> CompletionStats {
-    debug_assert_eq!(completion.len(), jobs.len());
+    let arrivals: Vec<SimTime> = jobs.iter().map(|j| j.arrival).collect();
+    let weights: Vec<f64> = jobs.iter().map(|j| j.weight).collect();
+    completion_stats_parts(completion, &arrivals, &weights)
+}
+
+/// [`completion_stats`] over bare per-job arrival/weight columns, for
+/// callers that never materialize full [`JobInfo`] rows (the sharded
+/// datacenter run aggregates 100k+ streamed jobs whose per-GPU time
+/// matrices exist only cell-locally and one cell at a time). Identical
+/// arithmetic, in the same job-index order, as the `JobInfo` entry point.
+pub fn completion_stats_parts(
+    completion: &[SimTime],
+    arrivals: &[SimTime],
+    weights: &[f64],
+) -> CompletionStats {
+    debug_assert_eq!(completion.len(), arrivals.len());
+    debug_assert_eq!(completion.len(), weights.len());
     let jct: Vec<SimDuration> = completion
         .iter()
-        .zip(jobs)
-        .map(|(&c, j)| c.saturating_since(j.arrival))
+        .zip(arrivals)
+        .map(|(&c, &a)| c.saturating_since(a))
         .collect();
-    let weights: Vec<f64> = jobs.iter().map(|j| j.weight).collect();
+    let weights = weights.to_vec();
     let weighted_completion = completion
         .iter()
         .zip(&weights)
@@ -196,6 +212,46 @@ pub fn completion_stats(completion: &[SimTime], jobs: &[JobInfo]) -> CompletionS
         weighted_jct,
         makespan,
     }
+}
+
+/// Histogram buckets for the `sim.jct_secs` series: one minute through
+/// eight hours, matching the Fig.-13 CDF's plotted range.
+pub const JCT_BUCKETS_SECS: &[f64] =
+    &[60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0];
+
+/// Build the report-time metrics registry from run totals. Shared by the
+/// engine's [`SimReport`] assembly and the sharded merge so a 1-cell
+/// sharded run reproduces the unsharded registry exactly (series names,
+/// insertion order, and values). Filled once at report time — never on
+/// the event hot path — and every value is a deterministic function of
+/// the inputs, keeping reports bit-reproducible.
+pub fn sim_registry(
+    events_processed: u64,
+    gpus: &[GpuReport],
+    faults: &FaultMetrics,
+    stats: &CompletionStats,
+) -> crate::registry::MetricsRegistry {
+    let mut metrics = crate::registry::MetricsRegistry::new();
+    metrics.add("sim.events_processed", events_processed);
+    metrics.add("sim.jobs_completed", stats.jct.len() as u64);
+    metrics.add("sim.gpu_failures", u64::from(faults.gpu_failures));
+    metrics.add("sim.gpu_recoveries", u64::from(faults.gpu_recoveries));
+    metrics.add("sim.gradients_accepted", faults.gradients_accepted);
+    metrics.add("sim.gradients_dropped", faults.dropped_gradients);
+    metrics.add(
+        "sim.switches",
+        gpus.iter().map(|g| u64::from(g.switch_count)).sum(),
+    );
+    metrics.add(
+        "sim.cache_hits",
+        gpus.iter().map(|g| u64::from(g.cache_hits)).sum(),
+    );
+    metrics.set_gauge("sim.makespan_secs", stats.makespan.as_secs_f64());
+    metrics.set_gauge("sim.weighted_jct", stats.weighted_jct);
+    for jct in &stats.jct {
+        metrics.observe("sim.jct_secs", JCT_BUCKETS_SECS, jct.as_secs_f64());
+    }
+    metrics
 }
 
 /// Minimal JSON string escaping (scheme names are plain ASCII, but the

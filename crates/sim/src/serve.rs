@@ -57,6 +57,7 @@ use crate::admission::{
     AdmissionConfig, AdmissionController, AdmissionCounters, AdmissionOutcome, BudgetController,
     PendingJob, PressureCurve, RejectReason, TenantId,
 };
+use crate::dense::DenseSet;
 use crate::faults::{SchedulerCrash, ServeFaultPlan};
 use crate::metrics::{push_f64, push_json_str};
 use crate::recovery::{
@@ -64,8 +65,8 @@ use crate::recovery::{
     RecoveryStats, WalFile, WalOptions, WalSession,
 };
 use crate::registry::{Histogram, MetricsRegistry};
-use hare_cluster::{Cluster, SimDuration, SimTime};
-use hare_workload::{ArrivalStream, OpenArrival, OpenArrivalConfig};
+use hare_cluster::{Cluster, GpuKind, SimDuration, SimTime};
+use hare_workload::{ArrivalStream, JobSpec, OpenArrival, OpenArrivalConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -187,6 +188,102 @@ const LATENCY_BUCKETS_SECS: [f64; 9] = [0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 2
 const WAIT_BUCKETS_SECS: [f64; 8] = [1.0, 10.0, 60.0, 300.0, 900.0, 3600.0, 14400.0, 86400.0];
 /// Snapshot format version (bump on incompatible encoding changes).
 const SNAPSHOT_VERSION: u32 = 1;
+
+/// Sequential service time of one job on a GPU of the given kind: all its
+/// tasks back to back (job-granularity serving has no intra-job
+/// parallelism).
+fn service_time_on(job: &JobSpec, kind: GpuKind) -> SimDuration {
+    SimDuration::from_millis_f64(job.task_ms(kind) * job.task_count() as f64)
+}
+
+/// Speed-indexed idle-GPU tracker for the dispatch hot path.
+///
+/// The loop used to rebuild a `Vec` of idle GPUs every epoch by scanning
+/// all of `0..n_gpus`, then `Vec::remove` each dispatch — O(epochs × |GPUs|)
+/// before a single job moved. This structure is maintained incrementally
+/// at every occupancy transition instead, with one [`DenseSet`] per GPU
+/// *kind*: a job's service time depends only on the kind, so the GPU
+/// minimizing `(service_time, gpu_id)` is found by comparing each kind's
+/// lowest-id idle member — O(kinds) per dispatch, and byte-identical to
+/// the full scan's `min_by_key` choice (within a kind the service time is
+/// constant, so the kind's candidate is exactly its smallest id; across
+/// kinds the same tuple comparison decides, ties falling to the lower id).
+struct IdleGpus {
+    /// One member set per kind present in the cluster.
+    kinds: Vec<(GpuKind, DenseSet)>,
+    /// GPU id → index into `kinds`.
+    kind_idx: Vec<usize>,
+    len: usize,
+}
+
+impl IdleGpus {
+    /// Build from the current loop state: idle = no running job and no
+    /// expired lease. Called once per `drive` entry (fresh, WAL-logged,
+    /// and recovering runs alike), then maintained incrementally.
+    fn new(cluster: &Cluster, st: &ServeState) -> Self {
+        let n = cluster.gpu_count();
+        let kinds: Vec<(GpuKind, DenseSet)> = cluster
+            .kinds_present()
+            .into_iter()
+            .map(|k| (k, DenseSet::new(n)))
+            .collect();
+        let kind_idx = cluster
+            .gpus()
+            .iter()
+            .map(|g| {
+                kinds
+                    .iter()
+                    .position(|(k, _)| *k == g.kind)
+                    .expect("every GPU's kind is present")
+            })
+            .collect();
+        let mut idle = IdleGpus {
+            kinds,
+            kind_idx,
+            len: 0,
+        };
+        for g in 0..n {
+            if st.running[g].is_none() && !st.lease_expired[g] {
+                idle.insert(g);
+            }
+        }
+        idle
+    }
+
+    /// Mark a GPU idle (idempotent).
+    fn insert(&mut self, gpu: usize) {
+        if self.kinds[self.kind_idx[gpu]].1.insert(gpu) {
+            self.len += 1;
+        }
+    }
+
+    /// Mark a GPU non-idle (idempotent).
+    fn remove(&mut self, gpu: usize) {
+        if self.kinds[self.kind_idx[gpu]].1.remove(gpu) {
+            self.len -= 1;
+        }
+    }
+
+    /// True when no GPU is dispatchable.
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The idle GPU serving `job` fastest, lowest id breaking ties —
+    /// the same choice as `min_by_key(|g| (service_time(job, g), g))`
+    /// over the full idle scan.
+    fn best_for(&self, job: &JobSpec) -> Option<usize> {
+        let mut best: Option<(SimDuration, usize)> = None;
+        for (kind, set) in &self.kinds {
+            let Some(g) = set.first() else { continue };
+            let cand = (service_time_on(job, *kind), g);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        best.map(|(_, g)| g)
+    }
+}
 
 /// Final report of one serve run.
 #[derive(Clone, Debug, PartialEq)]
@@ -416,9 +513,8 @@ impl ServeLoop {
     /// Sequential service time of `job` on GPU `gpu` (all tasks back to
     /// back on that one GPU — the serve loop schedules at job
     /// granularity; intra-job parallelism is the batch engine's domain).
-    fn service_time(&self, job: &hare_workload::JobSpec, gpu: usize) -> SimDuration {
-        let kind = self.cluster.gpus()[gpu].kind;
-        SimDuration::from_millis_f64(job.task_ms(kind) * job.task_count() as f64)
+    fn service_time(&self, job: &JobSpec, gpu: usize) -> SimDuration {
+        service_time_on(job, self.cluster.gpus()[gpu].kind)
     }
 
     /// Silent-death windows per GPU, sorted by open instant.
@@ -635,10 +731,12 @@ impl ServeLoop {
         pace: Option<std::time::Duration>,
     ) -> Result<(), RecoveryError> {
         let horizon = self.cfg.horizon;
-        let n_gpus = self.cluster.gpu_count();
         let deaths = self.death_windows();
         let mut epoch = st.now + self.cfg.decision_interval;
         let mut finished = false;
+        // Maintained incrementally at every occupancy transition below;
+        // rebuilding from `st` here covers fresh and recovered runs alike.
+        let mut idle = IdleGpus::new(&self.cluster, st);
 
         loop {
             // Next event: arrival (until drain), completion, or epoch.
@@ -692,6 +790,10 @@ impl ServeLoop {
                             wal_log(&mut session, || {
                                 format!("comp {gpu} {id} {}", st.now.as_micros())
                             })?;
+                            // An expired lease would have reclaimed the job
+                            // before its completion event, so this GPU is
+                            // dispatchable again.
+                            idle.insert(gpu);
                         }
                     }
                 }
@@ -733,12 +835,17 @@ impl ServeLoop {
                                 st.lease_rejoins += 1;
                                 scheduler.on_gpu_recovery(gpu);
                                 wal_log(&mut session, || format!("rejoin {gpu}"))?;
+                                // An expired GPU never carries a running
+                                // job (expiry reclaimed it), so the rejoin
+                                // makes it dispatchable immediately.
+                                idle.insert(gpu);
                             }
                         } else if !live {
                             st.lease_expired[gpu] = true;
                             st.lease_expiries += 1;
                             scheduler.on_lease_expired(gpu);
                             wal_log(&mut session, || format!("exp {gpu}"))?;
+                            idle.remove(gpu);
                             if let Some(r) = st.running[gpu].take() {
                                 requeue_job(st, &mut session, lease, st.now, r.job, r.requeues)?;
                             }
@@ -753,6 +860,9 @@ impl ServeLoop {
                             let r = st.running[gpu].take().expect("checked some");
                             wal_log(&mut session, || format!("wlost {gpu} {}", r.job.spec.id.0))?;
                             requeue_job(st, &mut session, lease, st.now, r.job, r.requeues)?;
+                            // The worker is back (not dead now, lease
+                            // intact) and its old job is requeued: idle.
+                            idle.insert(gpu);
                         }
                     }
                 }
@@ -831,9 +941,6 @@ impl ServeLoop {
                     wal_log(&mut session, || format!("budget {}", st.budget.level_idx()))?;
                 }
 
-                let mut idle: Vec<usize> = (0..n_gpus)
-                    .filter(|&g| st.running[g].is_none() && !st.lease_expired[g])
-                    .collect();
                 if idle.is_empty() || st.admission.depth() == 0 {
                     break 'epoch;
                 }
@@ -875,12 +982,10 @@ impl ServeLoop {
                         .take(window_seqs[wi])
                         .expect("window entries stay live until taken");
                     let requeues = st.take_requeue_tag(job.seq);
-                    let (pos, &gpu) = idle
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|&(_, &g)| (self.service_time(&job.spec, g), g))
+                    let gpu = idle
+                        .best_for(&job.spec)
                         .expect("idle is non-empty: checked above");
-                    idle.remove(pos);
+                    idle.remove(gpu);
                     st.wait_hist
                         .record(st.now.saturating_since(job.admitted_at).as_secs_f64());
                     let done_at = st.now + latency + self.service_time(&job.spec, gpu);
@@ -1351,7 +1456,8 @@ mod tests {
             ..OpenArrivalConfig::default()
         };
         let counts: Vec<_> = cluster.count_by_kind().into_iter().collect();
-        arrivals.capacity_jobs_per_sec = estimate_capacity_jobs_per_sec(&counts, &arrivals, 128);
+        arrivals.capacity_jobs_per_sec =
+            estimate_capacity_jobs_per_sec(&counts, &arrivals, OpenArrivalConfig::CAPACITY_SAMPLES);
         ServeConfig {
             arrivals,
             horizon: SimTime::from_secs(horizon_secs),

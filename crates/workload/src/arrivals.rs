@@ -145,9 +145,27 @@ impl OpenArrival {
 }
 
 impl OpenArrivalConfig {
+    /// Default sample count for [`estimate_capacity_jobs_per_sec`]: enough
+    /// draws that the mean job body is stable across seeds, small enough
+    /// that calibration stays instant. One named constant instead of a
+    /// magic `128` at every call site — calibrations that should agree
+    /// byte-for-byte (serve loop, recovery round-trips, scheduler tests)
+    /// must sample identically, or their capacity estimates (and thus
+    /// every downstream arrival time) silently diverge.
+    pub const CAPACITY_SAMPLES: u32 = 128;
+
     /// Offered arrival rate in jobs/second.
     pub fn rate_jobs_per_sec(&self) -> f64 {
         self.load_factor * self.capacity_jobs_per_sec
+    }
+
+    /// Calibrate `capacity_jobs_per_sec` against a cluster's GPU census
+    /// with the default sample count — the common call-site shape of
+    /// [`estimate_capacity_jobs_per_sec`].
+    pub fn calibrated(mut self, kinds: &[(GpuKind, u32)]) -> Self {
+        self.capacity_jobs_per_sec =
+            estimate_capacity_jobs_per_sec(kinds, &self, Self::CAPACITY_SAMPLES);
+        self
     }
 
     /// The lazy, infinite arrival stream. Each call returns a fresh
@@ -317,6 +335,60 @@ impl Iterator for ArrivalStream {
                 .with_batches_per_task(batches),
             tenant,
         })
+    }
+}
+
+/// A bounded, lazily-generated job trace: the first `n` arrivals of an
+/// open stream, yielded one at a time.
+///
+/// This is the bridge between the serve-mode arrival generators and the
+/// batch engine at datacenter scale: a 100k-job trace is never
+/// materialized as one allocation — the sharded-simulation gateway pulls
+/// arrivals from this iterator and appends each spec to its routed cell
+/// only, so peak memory tracks the per-cell partitions, not
+/// `jobs × GPUs` matrices over the whole fleet. Ids are dense in arrival
+/// order (inherited from [`ArrivalStream`]), which is exactly the global
+/// job-id space the shard layer's merged report is indexed by.
+#[derive(Clone, Debug)]
+pub struct StreamedTrace {
+    stream: ArrivalStream,
+    remaining: u64,
+}
+
+impl StreamedTrace {
+    /// The first `n_jobs` arrivals of `cfg`'s stream.
+    pub fn new(cfg: &OpenArrivalConfig, n_jobs: u64) -> Self {
+        StreamedTrace {
+            stream: cfg.stream(),
+            remaining: n_jobs,
+        }
+    }
+
+    /// Arrivals emitted so far (the underlying stream cursor).
+    pub fn cursor(&self) -> u64 {
+        self.stream.cursor()
+    }
+
+    /// Arrivals still to come.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Iterator for StreamedTrace {
+    type Item = OpenArrival;
+
+    fn next(&mut self) -> Option<OpenArrival> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.stream.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
     }
 }
 

@@ -15,6 +15,7 @@ pub mod trace;
 
 pub use arrivals::{
     estimate_capacity_jobs_per_sec, ArrivalProcess, ArrivalStream, OpenArrival, OpenArrivalConfig,
+    StreamedTrace,
 };
 pub use csv::{parse_model, trace_from_csv, trace_to_csv};
 pub use job::{JobId, JobSpec};
